@@ -1,0 +1,274 @@
+//! The attack's memory layout: where the victim array, secret, and the
+//! attacker's working regions live.
+//!
+//! The regions are chosen so the attacks compose cleanly on the paper's
+//! cache geometry (64 KB / 2-way L1D → 512 sets, 2 MB / 16-way L2 → 2048
+//! sets, 64-byte lines):
+//!
+//! * the victim array is 32 KB-aligned, so index `i` maps to L1D set
+//!   `(8·i) mod 512` — distinct for every index in a ≤ 64-wide window;
+//! * the secret's own cacheline maps to set 4, never a multiple of 8, so
+//!   fetching the secret cannot evict a primed line;
+//! * C3 noise lines map to sets ≡ 4 (mod 8) for the same reason;
+//! * the probe-order table occupies its own region and touches at most
+//!   one line per set.
+
+use prefender_sim::Addr;
+
+/// Address map and probe window of one attack experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackLayout {
+    /// Base of the victim's secret-indexed array (32 KB-aligned).
+    pub array_base: u64,
+    /// Byte distance between consecutive eviction cachelines
+    /// (the paper's example scale, 0x200 = 512 B = 8 lines).
+    pub probe_stride: u64,
+    /// First probed array index (paper Figure 8: 50).
+    pub first_index: usize,
+    /// Number of probed indices (paper Figure 8: 50..=110 → 61).
+    pub n_indices: usize,
+    /// The victim's secret (paper: visible at index 65).
+    pub secret: usize,
+    /// Address holding the secret value.
+    pub secret_addr: u64,
+    /// Base of the attacker's probe-order pointer table.
+    pub order_table: u64,
+    /// Base of the C3 noise region.
+    pub noise_region: u64,
+    /// Number of distinct noisy load instructions for C3 (must exceed the
+    /// access-buffer count to thrash it; paper baseline has 32 buffers).
+    pub n_noise_loads: usize,
+    /// Base of the C4 noisy-access region: a few adjacent lines the probe
+    /// load also touches, shrinking DiffMin to one line (0x40) so the
+    /// Access Tracker's candidates fall off the eviction pattern.
+    pub c4_region: u64,
+    /// Number of distinct C4 noise lines (their pairwise 0x40 differences
+    /// dominate DiffMin).
+    pub n_c4_lines: usize,
+    /// Base of the Evict+Reload conflict region (128 KB-aligned).
+    pub evict_region: u64,
+    /// Base of the Prime+Probe priming region (32 KB-aligned).
+    pub prime_region: u64,
+    /// Latency threshold separating hits from misses for reload-style
+    /// attacks and L2-granularity Prime+Probe.
+    pub hit_threshold: u64,
+    /// Latency threshold separating L1 hits from L1 misses for
+    /// single-core (L1-granularity) Prime+Probe.
+    pub l1_hit_threshold: u64,
+}
+
+impl AttackLayout {
+    /// The paper's Figure 8 setup: indices 50–110, secret 65, 0x200 stride.
+    pub fn paper() -> Self {
+        AttackLayout {
+            array_base: 0x0010_0000,
+            probe_stride: 0x200,
+            first_index: 50,
+            n_indices: 61,
+            secret: 65,
+            secret_addr: 0x0002_0100, // L1D set 4 — never collides with primes
+            order_table: 0x0100_0000,
+            noise_region: 0x0200_0100, // lines at sets ≡ 4 (mod 8)
+            n_noise_loads: 40,
+            c4_region: 0x0300_0100, // lines at sets 4..8 — never prime sets
+            n_c4_lines: 4,
+            evict_region: 0x0400_0000,
+            prime_region: 0x0800_0000,
+            hit_threshold: 100,
+            l1_hit_threshold: 10,
+        }
+    }
+
+    /// Address of eviction cacheline `index`.
+    pub fn index_addr(&self, index: usize) -> Addr {
+        Addr::new(self.array_base + index as u64 * self.probe_stride)
+    }
+
+    /// The probed indices, in ascending order.
+    pub fn indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.first_index..self.first_index + self.n_indices
+    }
+
+    /// The array index an address corresponds to, if it is an eviction
+    /// cacheline inside the probe window.
+    pub fn addr_index(&self, addr: Addr) -> Option<usize> {
+        let off = addr.raw().checked_sub(self.array_base)?;
+        if off % self.probe_stride != 0 {
+            return None;
+        }
+        let idx = (off / self.probe_stride) as usize;
+        (idx >= self.first_index && idx < self.first_index + self.n_indices).then_some(idx)
+    }
+
+    /// The C3 noise line accessed by noisy load `j`.
+    pub fn noise_addr(&self, j: usize) -> Addr {
+        Addr::new(self.noise_region + j as u64 * 0x200)
+    }
+
+    /// The single-core Prime+Probe prime address for `index` and `way`
+    /// (L1D granularity: way stride = 32 KB, one L1D way span).
+    pub fn prime_addr(&self, index: usize, way: usize) -> Addr {
+        // Index i's line maps to L1D set (8·i) mod 512; the prime line for
+        // that set in `way` is prime_region + (addr mod 32 KB) + way·32 KB.
+        let set_off = (self.index_addr(index).raw()) % 0x8000;
+        Addr::new(self.prime_region + set_off + way as u64 * 0x8000)
+    }
+
+    /// The cross-core Prime+Probe prime address for `index` and `way`
+    /// (L2 granularity: way stride = 128 KB, one L2 way span).
+    pub fn prime_addr_l2(&self, index: usize, way: usize) -> Addr {
+        let set_off = (self.index_addr(index).raw()) % 0x2_0000;
+        Addr::new(self.prime_region + set_off + way as u64 * 0x2_0000)
+    }
+
+    /// The Evict+Reload conflict address `k` for `index`'s L2 set
+    /// (L2 set span = 128 KB).
+    pub fn evict_addr(&self, index: usize, k: usize) -> Addr {
+        let set_off = self.index_addr(index).raw() % 0x2_0000;
+        Addr::new(self.evict_region + set_off + k as u64 * 0x2_0000)
+    }
+
+    /// The `k`-th C4 noise line (cycling over [`Self::n_c4_lines`] adjacent
+    /// lines). Never on the recorded scale pattern, and its `±DiffMin`
+    /// neighbours never land on eviction cachelines either.
+    pub fn c4_noise_addr(&self, k: usize) -> Addr {
+        Addr::new(self.c4_region + (k % self.n_c4_lines) as u64 * 0x40)
+    }
+}
+
+impl Default for AttackLayout {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_window() {
+        let l = AttackLayout::paper();
+        let idx: Vec<usize> = l.indices().collect();
+        assert_eq!(idx.first(), Some(&50));
+        assert_eq!(idx.last(), Some(&110));
+        assert_eq!(idx.len(), 61);
+        assert!(l.indices().any(|i| i == l.secret));
+    }
+
+    #[test]
+    fn index_addr_round_trips() {
+        let l = AttackLayout::paper();
+        for i in l.indices() {
+            assert_eq!(l.addr_index(l.index_addr(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn off_pattern_addresses_rejected() {
+        let l = AttackLayout::paper();
+        assert_eq!(l.addr_index(Addr::new(l.array_base + 0x100)), None);
+        assert_eq!(l.addr_index(Addr::new(l.array_base - 0x200)), None);
+        assert_eq!(l.addr_index(l.index_addr(49)), None, "outside the window");
+        assert_eq!(l.addr_index(l.index_addr(111)), None);
+    }
+
+    #[test]
+    fn array_alignment_gives_unique_l1_sets() {
+        let l = AttackLayout::paper();
+        assert_eq!(l.array_base % 0x8000, 0, "32 KB alignment");
+        let sets: Vec<u64> = l.indices().map(|i| (l.index_addr(i).raw() / 64) % 512).collect();
+        let mut dedup = sets.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sets.len(), "each index owns a distinct L1D set");
+    }
+
+    #[test]
+    fn secret_line_avoids_prime_sets() {
+        let l = AttackLayout::paper();
+        // Prime sets are ≡ 0 (mod 8) in both the L1D (512 sets) and the
+        // L2 (2048 sets); the secret's line must not touch them.
+        assert_ne!((l.secret_addr / 64) % 512 % 8, 0);
+        assert_ne!((l.secret_addr / 64) % 2048 % 8, 0);
+    }
+
+    #[test]
+    fn noise_lines_avoid_prime_sets() {
+        let l = AttackLayout::paper();
+        for j in 0..l.n_noise_loads {
+            assert_ne!((l.noise_addr(j).raw() / 64) % 512 % 8, 0, "L1 collision at {j}");
+            assert_ne!((l.noise_addr(j).raw() / 64) % 2048 % 8, 0, "L2 collision at {j}");
+        }
+    }
+
+    #[test]
+    fn prime_addr_matches_target_l1_set() {
+        let l = AttackLayout::paper();
+        for i in l.indices() {
+            let target_set = (l.index_addr(i).raw() / 64) % 512;
+            for way in 0..2 {
+                let set = (l.prime_addr(i, way).raw() / 64) % 512;
+                assert_eq!(set, target_set);
+            }
+        }
+    }
+
+    #[test]
+    fn prime_addr_l2_matches_target_l2_set() {
+        let l = AttackLayout::paper();
+        for i in l.indices() {
+            let target_set = (l.index_addr(i).raw() / 64) % 2048;
+            for way in 0..16 {
+                let set = (l.prime_addr_l2(i, way).raw() / 64) % 2048;
+                assert_eq!(set, target_set);
+            }
+        }
+    }
+
+    #[test]
+    fn evict_addr_matches_l2_set() {
+        let l = AttackLayout::paper();
+        for i in [50, 65, 110] {
+            let target_set = (l.index_addr(i).raw() / 64) % 2048;
+            for k in 0..17 {
+                let set = (l.evict_addr(i, k).raw() / 64) % 2048;
+                assert_eq!(set, target_set);
+            }
+        }
+    }
+
+    #[test]
+    fn c4_noise_is_off_pattern() {
+        let l = AttackLayout::paper();
+        for k in 0..l.n_c4_lines {
+            assert_eq!(l.addr_index(l.c4_noise_addr(k)), None);
+            // Off the recorded (sc=0x200, blk=secret line) pattern:
+            let diff = l.c4_noise_addr(k).raw() as i128 - l.index_addr(65).raw() as i128;
+            assert_ne!(diff.rem_euclid(0x200), 0, "noise line {k} hits the scale pattern");
+        }
+    }
+
+    #[test]
+    fn c4_noise_cycles_and_avoids_prime_sets() {
+        let l = AttackLayout::paper();
+        assert_eq!(l.c4_noise_addr(0), l.c4_noise_addr(l.n_c4_lines));
+        for k in 0..l.n_c4_lines {
+            let set = (l.c4_noise_addr(k).raw() / 64) % 512;
+            assert_ne!(set % 8, 0, "C4 line {k} collides with a prime set");
+        }
+    }
+
+    #[test]
+    fn c4_diffmin_candidates_stay_off_pattern() {
+        // The whole point of the redesigned C4 region: blk ± 0x40 from an
+        // eviction line is never another eviction line.
+        let l = AttackLayout::paper();
+        for i in l.indices() {
+            for delta in [0x40i64, -0x40] {
+                let cand = l.index_addr(i).offset(delta).unwrap();
+                assert_eq!(l.addr_index(cand), None);
+            }
+        }
+    }
+}

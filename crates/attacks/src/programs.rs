@@ -1,0 +1,452 @@
+//! Attack-phase program generators.
+//!
+//! Every generator emits into a [`ProgramBuilder`] so the single-core
+//! runner can concatenate phase 1 + victim + phase 3 into one program
+//! (the attacker and victim share a core, as in a Spectre gadget), while
+//! the cross-core runner builds them as separate per-core programs.
+
+use prefender_isa::{Program, ProgramBuilder, Reg};
+
+use crate::layout::AttackLayout;
+
+/// A phase-3 program plus the PCs of its measuring loads (the trace is
+/// filtered by these PCs to recover the attacker's latencies).
+#[derive(Debug, Clone)]
+pub struct ProbeProgram {
+    /// The program (possibly including earlier phases).
+    pub program: Program,
+    /// PCs of the probe load instructions.
+    pub probe_pcs: Vec<u64>,
+    /// Number of probe-loop iterations.
+    pub n_probes: usize,
+}
+
+// Register conventions: the victim block uses r0–r6 (paper Figure 5);
+// attacker phases use r10–r20; r14 doubles as the victim's stack pointer
+// stand-in only inside the victim block.
+
+/// Emits phase 1 of Flush+Reload: flush every eviction cacheline.
+pub(crate) fn emit_flush(b: &mut ProgramBuilder, l: &AttackLayout) {
+    b.li(Reg::R10, l.index_addr(l.first_index).raw() as i64);
+    b.li(Reg::R11, l.n_indices as i64);
+    let top = b.label();
+    b.flush(0, Reg::R10);
+    b.add(Reg::R10, Reg::R10, l.probe_stride as i64);
+    b.sub(Reg::R11, Reg::R11, 1);
+    b.bnz(Reg::R11, top);
+}
+
+/// Emits the victim block — the paper's Figure 5:
+/// `r6 = array[secret * stride]`, with the secret loaded from memory so
+/// the Scale Tracker sees a genuine variable.
+pub(crate) fn emit_victim(b: &mut ProgramBuilder, l: &AttackLayout) {
+    b.li(Reg::R0, l.secret_addr as i64); // r0 = &secret
+    b.ld(Reg::R1, 0, Reg::R0); //            r1 = secret        (variable)
+    b.li(Reg::R2, l.array_base as i64); //   r2 = arr_addr      (immediate)
+    b.li(Reg::R3, l.probe_stride as i64); // r3 = 0x200         (immediate)
+    b.mul(Reg::R4, Reg::R1, Reg::R3); //     r4 = secret*0x200  (sc = 0x200)
+    b.add(Reg::R5, Reg::R2, Reg::R4); //     r5 = &array[secret*0x200]
+    b.ld(Reg::R6, 0, Reg::R5); //            the secret-dependent access
+}
+
+/// Emits phase 1 of Evict+Reload: for each eviction cacheline, load 17
+/// attacker lines that conflict in its (16-way) L2 set, forcing it out of
+/// the whole inclusive hierarchy.
+pub(crate) fn emit_evict(b: &mut ProgramBuilder, l: &AttackLayout) {
+    b.li(Reg::R10, l.index_addr(l.first_index).raw() as i64); // target addr
+    b.li(Reg::R11, l.n_indices as i64);
+    let outer = b.label();
+    // e = evict_region + (target mod 128 KB): same L2 set as the target.
+    b.and(Reg::R12, Reg::R10, 0x1_FFFF);
+    b.li(Reg::R13, l.evict_region as i64);
+    b.add(Reg::R12, Reg::R12, Reg::R13);
+    b.li(Reg::R14, 17);
+    let inner = b.label();
+    b.ld(Reg::R15, 0, Reg::R12);
+    b.add(Reg::R12, Reg::R12, 0x2_0000);
+    b.sub(Reg::R14, Reg::R14, 1);
+    b.bnz(Reg::R14, inner);
+    b.add(Reg::R10, Reg::R10, l.probe_stride as i64);
+    b.sub(Reg::R11, Reg::R11, 1);
+    b.bnz(Reg::R11, outer);
+}
+
+/// Emits the C3 noise block: `n_noise_loads` loads with *distinct PCs*
+/// targeting fixed benign lines, enough of them to thrash every access
+/// buffer between two probe activations.
+pub(crate) fn emit_noise(b: &mut ProgramBuilder, l: &AttackLayout) {
+    b.li(Reg::R20, l.noise_region as i64);
+    for j in 0..l.n_noise_loads {
+        b.ld(Reg::R21, j as i64 * 0x200, Reg::R20);
+    }
+}
+
+/// Per-probe measurement overhead: a real attacker brackets every probe
+/// with serializing `rdtscp` pairs and records the measurement, costing
+/// tens of cycles per probe (the paper's Figure 9 shows ≈1 µs per probed
+/// line end to end). Modelled as a serializing timestamp read plus delay
+/// slots; without it, back-to-back probes would outrun any prefetcher in
+/// a way no real attack loop does.
+pub(crate) fn emit_measure_overhead(b: &mut ProgramBuilder) {
+    b.rdtsc(Reg::R22);
+    for _ in 0..48 {
+        b.nop();
+    }
+}
+
+/// Emits phase 3 of a reload-style attack: walk the probe-order pointer
+/// table, load each target through a *single* probe PC, optionally
+/// interleaving the C3 noise block.
+///
+/// Returns the probe load's PC (requires the builder's `base_pc` to be
+/// final before calling — the runner sets it first).
+pub(crate) fn emit_reload_probe(
+    b: &mut ProgramBuilder,
+    l: &AttackLayout,
+    n_probes: usize,
+    noise_c3: bool,
+) -> usize {
+    b.li(Reg::R10, l.order_table as i64);
+    b.li(Reg::R11, n_probes as i64);
+    let top = b.label();
+    b.ld(Reg::R12, 0, Reg::R10); // target pointer
+    let probe_idx = b.ld(Reg::R13, 0, Reg::R12); // THE probe access
+    emit_measure_overhead(b);
+    if noise_c3 {
+        emit_noise(b, l);
+    }
+    b.add(Reg::R10, Reg::R10, 8);
+    b.sub(Reg::R11, Reg::R11, 1);
+    b.bnz(Reg::R11, top);
+    probe_idx
+}
+
+/// Emits the Prime+Probe prime/probe loop body shared by phase 1 and
+/// phase 3: for each index, touch `ways` conflict lines of its cache set.
+///
+/// `way_stride`/`set_mask`: 32 KB/0x7FFF for L1-granularity (single-core),
+/// 128 KB/0x1FFFF for L2-granularity (cross-core).
+///
+/// With `noise_c4`, on-set visits alternate with visits to the C4 noise
+/// region *through the same load instructions*, corrupting DiffMin to
+/// 0x40 without changing the probe PCs.
+///
+/// Returns the instruction indices of the `ways` loads.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_pp_loop(
+    b: &mut ProgramBuilder,
+    l: &AttackLayout,
+    ways: usize,
+    way_stride: u64,
+    set_mask: u64,
+    noise_c3: bool,
+    noise_c4: bool,
+) -> Vec<usize> {
+    let iters = if noise_c4 { 2 * l.n_indices } else { l.n_indices };
+    let c4_mask = (l.n_c4_lines as i64 - 1) * 0x40; // cycling cursor mask
+    b.li(Reg::R10, l.first_index as i64); // index i
+    b.li(Reg::R11, 0); //                    parity (C4)
+    b.li(Reg::R12, iters as i64); //         loop counter
+    b.li(Reg::R13, l.prime_region as i64);
+    b.li(Reg::R17, 0); //                    C4 noise cursor
+    let top = b.label();
+    // addr = prime_region + ((i * stride) & mask)
+    b.mul(Reg::R14, Reg::R10, l.probe_stride as i64);
+    b.and(Reg::R14, Reg::R14, set_mask as i64);
+    b.add(Reg::R14, Reg::R13, Reg::R14);
+    if noise_c4 {
+        // On odd iterations the same loads target the C4 noise region:
+        // addr = c4_region + (cursor & mask); cursor += 0x40.
+        let after = b.new_label();
+        let use_noise = b.new_label();
+        b.bnz(Reg::R11, use_noise);
+        b.jmp(after);
+        b.bind(use_noise);
+        b.and(Reg::R18, Reg::R17, c4_mask);
+        b.li(Reg::R19, l.c4_region as i64);
+        b.add(Reg::R14, Reg::R19, Reg::R18);
+        b.add(Reg::R17, Reg::R17, 0x40);
+        b.bind(after);
+    }
+    let mut probe_idxs = Vec::with_capacity(ways);
+    for w in 0..ways {
+        probe_idxs.push(b.ld(Reg::R16, (w as u64 * way_stride) as i64, Reg::R14));
+        emit_measure_overhead(b);
+    }
+    if noise_c3 {
+        emit_noise(b, l);
+    }
+    if noise_c4 {
+        // Toggle parity; advance the index only every second iteration.
+        b.xor(Reg::R11, Reg::R11, 1);
+        let skip = b.new_label();
+        b.bnz(Reg::R11, skip);
+        b.add(Reg::R10, Reg::R10, 1);
+        b.bind(skip);
+    } else {
+        b.add(Reg::R10, Reg::R10, 1);
+    }
+    b.sub(Reg::R12, Reg::R12, 1);
+    b.bnz(Reg::R12, top);
+    probe_idxs
+}
+
+/// Standalone Flush+Reload phase-1 program (cross-core attacker).
+pub fn flush_program(l: &AttackLayout) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.name("flush-phase1");
+    emit_flush(&mut b, l);
+    b.halt();
+    b.build().expect("static program")
+}
+
+/// Standalone Evict+Reload phase-1 program (cross-core attacker).
+pub fn evict_program(l: &AttackLayout) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.name("evict-phase1");
+    emit_evict(&mut b, l);
+    b.halt();
+    b.build().expect("static program")
+}
+
+/// Standalone victim program (cross-core victim, paper Figure 4).
+pub fn victim_program(l: &AttackLayout) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.name("victim");
+    b.base_pc(0x4_0000); // victim code lives apart from attacker code
+    emit_victim(&mut b, l);
+    b.halt();
+    b.build().expect("static program")
+}
+
+/// Standalone reload phase-3 program (cross-core attacker).
+///
+/// Phase-3 code lives at its own base PC so its load PCs never collide
+/// with phase-1 loads in the shared trace.
+pub fn reload_probe_program(l: &AttackLayout, n_probes: usize, noise_c3: bool) -> ProbeProgram {
+    let mut b = ProgramBuilder::new();
+    b.name("reload-phase3");
+    b.base_pc(0x1_0000);
+    let idx = emit_reload_probe(&mut b, l, n_probes, noise_c3);
+    b.halt();
+    let program = b.build().expect("static program");
+    let pc = program.pc_of(idx);
+    ProbeProgram { program, probe_pcs: vec![pc], n_probes }
+}
+
+/// Standalone Prime+Probe phase-1 (prime) program.
+///
+/// `cross_core` selects L2-granularity priming (17 ways × 128 KB stride)
+/// instead of L1-granularity (2 ways × 32 KB).
+pub fn prime_probe_program(l: &AttackLayout, cross_core: bool) -> Program {
+    let (ways, stride, mask) = pp_geometry(cross_core);
+    let mut b = ProgramBuilder::new();
+    b.name("prime-phase1");
+    emit_pp_loop(&mut b, l, ways, stride, mask, false, false);
+    b.halt();
+    b.build().expect("static program")
+}
+
+/// Standalone Prime+Probe phase-3 (probe) program.
+///
+/// Phase-3 code lives at its own base PC so its load PCs never collide
+/// with the (identically shaped) phase-1 prime loads in the shared trace.
+pub fn prime_probe_probe_program(
+    l: &AttackLayout,
+    cross_core: bool,
+    noise_c3: bool,
+    noise_c4: bool,
+) -> ProbeProgram {
+    let (ways, stride, mask) = pp_geometry(cross_core);
+    let mut b = ProgramBuilder::new();
+    b.name("probe-phase3");
+    b.base_pc(0x1_0000);
+    let idxs = emit_pp_loop(&mut b, l, ways, stride, mask, noise_c3, noise_c4);
+    b.halt();
+    let program = b.build().expect("static program");
+    let probe_pcs = idxs.iter().map(|&i| program.pc_of(i)).collect();
+    let n = if noise_c4 { 2 * l.n_indices } else { l.n_indices };
+    ProbeProgram { program, probe_pcs, n_probes: n }
+}
+
+/// Prime+Probe geometry: `(ways, way_stride, set_mask)`.
+///
+/// Single-core attacks prime the 2-way L1D (hit/miss discrimination is
+/// L1-vs-L2 latency); cross-core attacks prime the 16-way shared L2
+/// (L2-vs-memory). In both cases exactly one line per way — priming more
+/// would self-evict.
+pub(crate) fn pp_geometry(cross_core: bool) -> (usize, u64, u64) {
+    if cross_core {
+        (16, 0x2_0000, 0x1_FFFF)
+    } else {
+        (2, 0x8000, 0x7FFF)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefender_cpu::{CpuConfig, Machine};
+    use prefender_sim::{Addr, HierarchyConfig};
+
+    fn machine() -> Machine {
+        // Attack analyses run without instruction-fetch modelling (see the
+        // runner): code lines in an inclusive L2 would otherwise thrash
+        // primed sets through back-invalidation refetch cycles.
+        Machine::with_cpu_config(
+            HierarchyConfig::paper_baseline(1).unwrap(),
+            CpuConfig { model_fetch: false, ..CpuConfig::default() },
+        )
+    }
+
+    #[test]
+    fn flush_program_clears_the_eviction_set() {
+        let l = AttackLayout::paper();
+        let mut m = machine();
+        // Warm two eviction lines first.
+        for i in [50usize, 65] {
+            m.mem_mut().prefetch(0, l.index_addr(i), prefender_sim::PrefetchSource::Other, prefender_sim::Cycle::ZERO);
+        }
+        m.load_program(0, flush_program(&l));
+        m.run();
+        for i in l.indices() {
+            assert!(!m.mem().probe_l1d(0, l.index_addr(i)));
+            assert!(!m.mem().probe_l2(l.index_addr(i)));
+        }
+    }
+
+    #[test]
+    fn victim_program_touches_exactly_the_secret_line() {
+        let l = AttackLayout::paper();
+        let mut m = machine();
+        m.write_data(l.secret_addr, l.secret as u64);
+        m.trace_mut().set_enabled(true);
+        m.load_program(0, victim_program(&l));
+        m.run();
+        let touched: Vec<Addr> = m
+            .trace()
+            .entries()
+            .iter()
+            .filter_map(|e| l.addr_index(e.addr).map(|_| e.addr))
+            .collect();
+        assert_eq!(touched, vec![l.index_addr(l.secret)]);
+        assert!(m.mem().probe_l1d(0, l.index_addr(l.secret)));
+    }
+
+    #[test]
+    fn evict_program_removes_array_lines_from_l2() {
+        let l = AttackLayout::paper();
+        let mut m = machine();
+        // Load the whole window first so the lines are resident.
+        for i in l.indices() {
+            m.mem_mut().access(0, l.index_addr(i), prefender_sim::AccessKind::Read, prefender_sim::Cycle::ZERO);
+        }
+        m.load_program(0, evict_program(&l));
+        m.run();
+        for i in l.indices() {
+            assert!(!m.mem().probe_l2(l.index_addr(i)), "index {i} survived eviction");
+            assert!(!m.mem().probe_l1d(0, l.index_addr(i)), "inclusion must clear L1 too");
+        }
+    }
+
+    #[test]
+    fn reload_probe_visits_order_table_targets() {
+        let l = AttackLayout::paper();
+        let mut m = machine();
+        // Order: three eviction lines, reversed.
+        let targets = [l.index_addr(52), l.index_addr(51), l.index_addr(50)];
+        for (k, t) in targets.iter().enumerate() {
+            m.write_data(l.order_table + 8 * k as u64, t.raw());
+        }
+        m.trace_mut().set_enabled(true);
+        let probe = reload_probe_program(&l, targets.len(), false);
+        m.load_program(0, probe.program.clone());
+        m.run();
+        let seen: Vec<u64> =
+            m.trace().by_pc(probe.probe_pcs[0]).map(|e| e.addr.raw()).collect();
+        assert_eq!(seen, targets.iter().map(|t| t.raw()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn noise_block_has_distinct_pcs() {
+        let l = AttackLayout::paper();
+        let probe = reload_probe_program(&l, 4, true);
+        let loads = probe
+            .program
+            .instrs()
+            .iter()
+            .filter(|i| matches!(i, prefender_isa::Instr::Load { .. }))
+            .count();
+        // 2 loop loads + 40 noise loads.
+        assert_eq!(loads, 2 + l.n_noise_loads);
+    }
+
+    #[test]
+    fn prime_program_fills_target_l1_sets() {
+        let l = AttackLayout::paper();
+        let mut m = machine();
+        m.load_program(0, prime_probe_program(&l, false));
+        m.run();
+        for i in l.indices() {
+            for way in 0..2 {
+                assert!(
+                    m.mem().probe_l1d(0, l.prime_addr(i, way)),
+                    "prime line for index {i} way {way} missing from L1D"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_core_prime_fills_target_l2_sets() {
+        let l = AttackLayout::paper();
+        let mut m = machine();
+        m.load_program(0, prime_probe_program(&l, true));
+        m.run();
+        for i in l.indices() {
+            for way in 0..16 {
+                assert!(
+                    m.mem().probe_l2(l.prime_addr_l2(i, way)),
+                    "prime line for index {i} way {way} missing from L2"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pp_probe_touches_all_prime_lines() {
+        let l = AttackLayout::paper();
+        let mut m = machine();
+        m.trace_mut().set_enabled(true);
+        let probe = prime_probe_probe_program(&l, false, false, false);
+        m.load_program(0, probe.program.clone());
+        m.run();
+        let probed: usize =
+            probe.probe_pcs.iter().map(|&pc| m.trace().by_pc(pc).count()).sum();
+        assert_eq!(probed, 2 * l.n_indices);
+    }
+
+    #[test]
+    fn pp_probe_with_c4_interleaves_off_pattern_accesses() {
+        let l = AttackLayout::paper();
+        let mut m = machine();
+        m.trace_mut().set_enabled(true);
+        let probe = prime_probe_probe_program(&l, false, false, true);
+        m.load_program(0, probe.program.clone());
+        m.run();
+        let addrs: Vec<u64> =
+            m.trace().by_pc(probe.probe_pcs[0]).map(|e| e.addr.raw()).collect();
+        assert_eq!(addrs.len(), 2 * l.n_indices);
+        // Even positions on-set, odd positions in the C4 noise region,
+        // cycling over its lines.
+        assert_eq!(addrs[1], l.c4_noise_addr(0).raw());
+        assert_eq!(addrs[3], l.c4_noise_addr(1).raw());
+        assert_eq!(addrs[2 * l.n_c4_lines + 1], l.c4_noise_addr(0).raw());
+    }
+
+    #[test]
+    fn pp_geometry_per_scope() {
+        assert_eq!(pp_geometry(false), (2, 0x8000, 0x7FFF));
+        assert_eq!(pp_geometry(true), (16, 0x2_0000, 0x1_FFFF));
+    }
+}

@@ -1,0 +1,242 @@
+//! Full-system security tests reproducing the paper's Figure 8 matrix:
+//! each (attack, challenge set, defense) combination must leak or defend
+//! exactly as the paper reports.
+
+use prefender_attacks::{run_attack, AttackKind, AttackSpec, DefenseConfig, NoiseSpec};
+
+fn outcome(kind: AttackKind, defense: DefenseConfig, noise: NoiseSpec) -> prefender_attacks::AttackOutcome {
+    run_attack(&AttackSpec::new(kind, defense).with_noise(noise)).expect("attack run")
+}
+
+// ---------- Figure 8 (a)-(c): C1 + C2 ----------
+
+#[test]
+fn fr_base_leaks() {
+    let o = outcome(AttackKind::FlushReload, DefenseConfig::None, NoiseSpec::NONE);
+    assert!(o.leaked, "{o}");
+    assert_eq!(o.anomalies, vec![65]);
+}
+
+#[test]
+fn fr_st_defends_with_neighbour_hits() {
+    let o = outcome(AttackKind::FlushReload, DefenseConfig::St, NoiseSpec::NONE);
+    assert!(!o.leaked, "{o}");
+    // The paper: "the latency results of array indices 64-66 are the same".
+    assert_eq!(o.anomalies, vec![64, 65, 66]);
+}
+
+#[test]
+fn fr_at_defends() {
+    let o = outcome(AttackKind::FlushReload, DefenseConfig::At, NoiseSpec::NONE);
+    assert!(!o.leaked, "{o}");
+    assert!(o.anomalies.len() > 3, "AT should flood the window with hits: {o}");
+}
+
+#[test]
+fn fr_st_at_defends() {
+    let o = outcome(AttackKind::FlushReload, DefenseConfig::StAt, NoiseSpec::NONE);
+    assert!(!o.leaked, "{o}");
+}
+
+#[test]
+fn er_base_leaks() {
+    let o = outcome(AttackKind::EvictReload, DefenseConfig::None, NoiseSpec::NONE);
+    assert!(o.leaked, "{o}");
+    assert_eq!(o.anomalies, vec![65]);
+}
+
+#[test]
+fn er_st_defends() {
+    let o = outcome(AttackKind::EvictReload, DefenseConfig::St, NoiseSpec::NONE);
+    assert!(!o.leaked, "{o}");
+    assert_eq!(o.anomalies, vec![64, 65, 66]);
+}
+
+#[test]
+fn er_at_defends() {
+    let o = outcome(AttackKind::EvictReload, DefenseConfig::At, NoiseSpec::NONE);
+    assert!(!o.leaked, "{o}");
+}
+
+#[test]
+fn pp_base_leaks() {
+    let o = outcome(AttackKind::PrimeProbe, DefenseConfig::None, NoiseSpec::NONE);
+    assert!(o.leaked, "{o}");
+    assert_eq!(o.anomalies, vec![65]);
+}
+
+#[test]
+fn pp_st_defends_with_more_misses() {
+    let o = outcome(AttackKind::PrimeProbe, DefenseConfig::St, NoiseSpec::NONE);
+    assert!(!o.leaked, "{o}");
+    assert!(o.anomalies.len() >= 2, "ST adds misses at the neighbours: {o}");
+    assert!(o.anomalies.contains(&65));
+}
+
+#[test]
+fn pp_at_defends() {
+    let o = outcome(AttackKind::PrimeProbe, DefenseConfig::At, NoiseSpec::NONE);
+    assert!(!o.leaked, "{o}");
+}
+
+// ---------- Figure 8 (d)-(f): + C3 (noisy instructions) ----------
+
+#[test]
+fn fr_c3_bypasses_at_alone() {
+    let o = outcome(AttackKind::FlushReload, DefenseConfig::At, NoiseSpec::C3);
+    assert!(o.leaked, "C3 must thrash the access buffers and re-enable the leak: {o}");
+}
+
+#[test]
+fn fr_c3_at_rp_defends() {
+    let o = outcome(AttackKind::FlushReload, DefenseConfig::AtRp, NoiseSpec::C3);
+    assert!(!o.leaked, "AT+RP (paper panel d): {o}");
+    let o = outcome(AttackKind::FlushReload, DefenseConfig::Full, NoiseSpec::C3);
+    assert!(!o.leaked, "{o}");
+}
+
+#[test]
+fn er_c3_bypasses_at_alone() {
+    let o = outcome(AttackKind::EvictReload, DefenseConfig::At, NoiseSpec::C3);
+    assert!(o.leaked, "{o}");
+}
+
+#[test]
+fn er_c3_at_rp_defends() {
+    let o = outcome(AttackKind::EvictReload, DefenseConfig::Full, NoiseSpec::C3);
+    assert!(!o.leaked, "{o}");
+}
+
+#[test]
+fn pp_c3_bypasses_at_alone() {
+    let o = outcome(AttackKind::PrimeProbe, DefenseConfig::At, NoiseSpec::C3);
+    assert!(o.leaked, "{o}");
+}
+
+#[test]
+fn pp_c3_at_rp_defends() {
+    let o = outcome(AttackKind::PrimeProbe, DefenseConfig::Full, NoiseSpec::C3);
+    assert!(!o.leaked, "{o}");
+}
+
+// ---------- Figure 8 (g)-(i): + C4 (noisy accesses) ----------
+
+#[test]
+fn fr_c4_bypasses_at_alone() {
+    let o = outcome(AttackKind::FlushReload, DefenseConfig::At, NoiseSpec::C4);
+    assert!(o.leaked, "C4 must corrupt DiffMin and re-enable the leak: {o}");
+}
+
+#[test]
+fn fr_c4_at_rp_defends() {
+    let o = outcome(AttackKind::FlushReload, DefenseConfig::AtRp, NoiseSpec::C4);
+    assert!(!o.leaked, "AT+RP (paper panel g): {o}");
+    let o = outcome(AttackKind::FlushReload, DefenseConfig::Full, NoiseSpec::C4);
+    assert!(!o.leaked, "{o}");
+}
+
+#[test]
+fn er_c4_bypasses_at_alone() {
+    let o = outcome(AttackKind::EvictReload, DefenseConfig::At, NoiseSpec::C4);
+    assert!(o.leaked, "{o}");
+}
+
+#[test]
+fn er_c4_at_rp_defends() {
+    let o = outcome(AttackKind::EvictReload, DefenseConfig::Full, NoiseSpec::C4);
+    assert!(!o.leaked, "{o}");
+}
+
+#[test]
+fn pp_c4_bypasses_at_alone() {
+    let o = outcome(AttackKind::PrimeProbe, DefenseConfig::At, NoiseSpec::C4);
+    assert!(o.leaked, "{o}");
+}
+
+#[test]
+fn pp_c4_at_rp_defends() {
+    let o = outcome(AttackKind::PrimeProbe, DefenseConfig::Full, NoiseSpec::C4);
+    assert!(!o.leaked, "{o}");
+}
+
+// ---------- Figure 8 (j)-(l): C1 + C2 + C3 + C4, full PREFENDER ----------
+
+#[test]
+fn fr_all_challenges_full_prefender_defends() {
+    let o = outcome(AttackKind::FlushReload, DefenseConfig::Full, NoiseSpec::C3C4);
+    assert!(!o.leaked, "{o}");
+}
+
+#[test]
+fn er_all_challenges_full_prefender_defends() {
+    let o = outcome(AttackKind::EvictReload, DefenseConfig::Full, NoiseSpec::C3C4);
+    assert!(!o.leaked, "{o}");
+}
+
+#[test]
+fn pp_all_challenges_full_prefender_defends() {
+    let o = outcome(AttackKind::PrimeProbe, DefenseConfig::Full, NoiseSpec::C3C4);
+    assert!(!o.leaked, "{o}");
+}
+
+#[test]
+fn all_challenges_base_still_leaks() {
+    for kind in [AttackKind::FlushReload, AttackKind::EvictReload, AttackKind::PrimeProbe] {
+        let o = outcome(kind, DefenseConfig::None, NoiseSpec::C3C4);
+        assert!(o.leaked, "{kind}: {o}");
+    }
+}
+
+// ---------- Cross-core (paper Figure 4) ----------
+
+#[test]
+fn cross_core_fr_base_leaks() {
+    let spec = AttackSpec::new(AttackKind::FlushReload, DefenseConfig::None).cross_core(true);
+    let o = run_attack(&spec).unwrap();
+    assert!(o.leaked, "{o}");
+    assert_eq!(o.anomalies, vec![65]);
+}
+
+#[test]
+fn cross_core_fr_st_defends() {
+    let spec = AttackSpec::new(AttackKind::FlushReload, DefenseConfig::St).cross_core(true);
+    let o = run_attack(&spec).unwrap();
+    assert!(!o.leaked, "{o}");
+    assert_eq!(o.anomalies, vec![64, 65, 66]);
+}
+
+#[test]
+fn cross_core_fr_at_defends() {
+    let spec = AttackSpec::new(AttackKind::FlushReload, DefenseConfig::At).cross_core(true);
+    let o = run_attack(&spec).unwrap();
+    assert!(!o.leaked, "{o}");
+}
+
+#[test]
+fn cross_core_er_base_leaks_and_st_defends() {
+    let base = AttackSpec::new(AttackKind::EvictReload, DefenseConfig::None).cross_core(true);
+    assert!(run_attack(&base).unwrap().leaked);
+    let st = AttackSpec::new(AttackKind::EvictReload, DefenseConfig::St).cross_core(true);
+    assert!(!run_attack(&st).unwrap().leaked);
+}
+
+#[test]
+fn cross_core_pp_base_leaks_and_at_defends() {
+    let base = AttackSpec::new(AttackKind::PrimeProbe, DefenseConfig::None).cross_core(true);
+    let o = run_attack(&base).unwrap();
+    assert!(o.leaked, "{o}");
+    let at = AttackSpec::new(AttackKind::PrimeProbe, DefenseConfig::At).cross_core(true);
+    let o = run_attack(&at).unwrap();
+    assert!(!o.leaked, "{o}");
+}
+
+// ---------- Determinism ----------
+
+#[test]
+fn runs_are_deterministic() {
+    let spec = AttackSpec::new(AttackKind::FlushReload, DefenseConfig::Full)
+        .with_noise(NoiseSpec::C3C4);
+    let a = run_attack(&spec).unwrap();
+    let b = run_attack(&spec).unwrap();
+    assert_eq!(a, b);
+}

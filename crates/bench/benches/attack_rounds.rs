@@ -1,0 +1,24 @@
+//! Criterion bench: one full attack round per (attack, defense) — the
+//! kernel of the Figure 8 / Figure 9 harnesses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prefender_attacks::{run_attack, AttackKind, AttackSpec, DefenseConfig, NoiseSpec};
+
+fn bench_attacks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("attack_round");
+    g.sample_size(10);
+    for kind in [AttackKind::FlushReload, AttackKind::EvictReload, AttackKind::PrimeProbe] {
+        for defense in [DefenseConfig::None, DefenseConfig::Full] {
+            let spec = AttackSpec::new(kind, defense).with_noise(NoiseSpec::C3C4);
+            g.bench_with_input(
+                BenchmarkId::new(kind.to_string(), defense.to_string()),
+                &spec,
+                |b, spec| b.iter(|| run_attack(spec).expect("attack run")),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion microbenchmarks of the core data structures: cache access,
+//! Scale Tracker retire stream, Access Tracker activation, Record
+//! Protector record/hit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prefender_core::{AccessTracker, AtConfig, CalculationBuffer, RecordProtector, RpConfig};
+use prefender_isa::Program;
+use prefender_sim::{AccessKind, Addr, Cycle, HierarchyConfig, MemorySystem};
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("memory_system_access_hit", |b| {
+        let mut m = MemorySystem::new(HierarchyConfig::paper_baseline(1).unwrap());
+        let a = Addr::new(0x4000);
+        m.access(0, a, AccessKind::Read, Cycle::ZERO);
+        let mut t = 1000u64;
+        b.iter(|| {
+            t += 1;
+            m.access(0, a, AccessKind::Read, Cycle::new(t))
+        });
+    });
+    c.bench_function("memory_system_access_streaming", |b| {
+        let mut m = MemorySystem::new(HierarchyConfig::paper_baseline(1).unwrap());
+        let mut t = 0u64;
+        let mut addr = 0u64;
+        b.iter(|| {
+            t += 300;
+            addr = (addr + 64) % (1 << 24);
+            m.access(0, Addr::new(addr), AccessKind::Read, Cycle::new(t))
+        });
+    });
+}
+
+fn bench_scale_tracker(c: &mut Criterion) {
+    let program = Program::parse(
+        "
+        ld r1, 0(r0)
+        li r3, 0x200
+        mul r4, r1, r3
+        add r5, r2, r4
+        sub r6, r5, 8
+        shl r7, r1, 6
+        ",
+    )
+    .unwrap();
+    c.bench_function("calculation_buffer_retire_stream", |b| {
+        let mut buf = CalculationBuffer::new();
+        b.iter(|| {
+            for i in program.instrs() {
+                buf.apply(i);
+            }
+        });
+    });
+}
+
+fn bench_access_tracker(c: &mut Criterion) {
+    c.bench_function("access_tracker_on_load", |b| {
+        let mut at = AccessTracker::new(AtConfig::paper());
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            at.on_load(
+                0x8000 + (k % 40) * 8,
+                Addr::new(0x10_0000 + (k % 61) * 0x200),
+                Cycle::new(k),
+                None,
+                &|_| false,
+            )
+        });
+    });
+}
+
+fn bench_record_protector(c: &mut Criterion) {
+    c.bench_function("record_protector_record_and_hit", |b| {
+        let mut rp = RecordProtector::new(RpConfig::paper());
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            rp.record(0x200 + (k % 7) * 0x40, 0x10_0000 + k * 0x200, Cycle::new(k));
+            rp.hit(0x10_0000 + k * 0x200)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_scale_tracker,
+    bench_access_tracker,
+    bench_record_protector
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: one workload run per prefetcher column — the kernel
+//! of the Table IV/V/VI and Figure 10–12 harnesses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prefender_bench::{Basic, PerfColumn, PrefenderKind};
+use prefender_workloads::spec2006;
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_run");
+    g.sample_size(10);
+    let columns = [
+        ("baseline", PerfColumn::BASELINE),
+        ("tagged", PerfColumn { prefender: None, basic: Basic::Tagged }),
+        ("stride", PerfColumn { prefender: None, basic: Basic::Stride }),
+        (
+            "prefender",
+            PerfColumn { prefender: Some(PrefenderKind::Full { buffers: 32 }), basic: Basic::None },
+        ),
+        (
+            "prefender+stride",
+            PerfColumn {
+                prefender: Some(PrefenderKind::Full { buffers: 32 }),
+                basic: Basic::Stride,
+            },
+        ),
+    ];
+    for name in ["462.libquantum", "429.mcf", "445.gobmk"] {
+        let w = spec2006().into_iter().find(|w| w.name() == name).expect("catalog entry");
+        for (label, col) in columns {
+            g.bench_with_input(BenchmarkId::new(name, label), &(&w, col), |b, (w, col)| {
+                b.iter(|| prefender_bench::perf::run_perf(w, *col, None))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

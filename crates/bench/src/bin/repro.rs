@@ -1,0 +1,115 @@
+//! `repro` — regenerate every table and figure of the PREFENDER paper.
+//!
+//! ```text
+//! repro <experiment> [experiment ...]
+//!
+//! experiments:
+//!   fig8      Figure 8  — attack latency panels, all defenses/challenges
+//!   fig9      Figure 9  — prefetch counts over time during attacks
+//!   fig10     Figure 10 — normalized total L1D miss latency
+//!   fig11     Figure 11 — prefetch counts by unit per benchmark
+//!   fig12     Figure 12 — protected access buffers over execution
+//!   table4    Table IV  — SPEC 2006 speedups without the Record Protector
+//!   table5    Table V   — SPEC 2006 speedups with the Record Protector
+//!   table6    Table VI  — SPEC 2017 speedups
+//!   hwcost    Section V-E — hardware resource budget
+//!   ablate-buffers | ablate-threshold | ablate-unprotect | ablate-replacement
+//!   all       everything above
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use prefender_bench::{ablation, figures, hwcost, security, tables};
+
+fn run_one(name: &str) -> Result<(), String> {
+    match name {
+        "fig8" => {
+            println!("=== Figure 8: security evaluation ===\n");
+            for panel in security::figure8() {
+                println!("{}", panel.render());
+            }
+        }
+        "fig9" => {
+            println!("=== Figure 9: prefetches over time ===\n");
+            for panel in security::figure9(2_000) {
+                println!("{}", panel.render());
+            }
+        }
+        "fig10" => {
+            println!("=== Figure 10: normalized total L1D miss latency ===\n");
+            println!("{}", figures::figure10(None).render());
+        }
+        "fig11" => {
+            println!("=== Figure 11: prefetch counts by unit (ST/AT/RP) ===\n");
+            println!("{}", figures::figure11(None).render());
+        }
+        "fig12" => {
+            println!("=== Figure 12: protected access buffers over execution ===\n");
+            for s in figures::figure12(None, 32) {
+                let peak = s.points().iter().map(|&(_, y)| y).fold(0.0, f64::max);
+                println!("{:<18} peak {:>4}  {}", s.name(), peak, s.sparkline(48));
+            }
+        }
+        "table4" => {
+            println!("=== Table IV: SPEC 2006, without Record Protector ===\n");
+            println!("{}", tables::table4().render());
+        }
+        "table5" => {
+            println!("=== Table V: SPEC 2006, with Record Protector ===\n");
+            println!("{}", tables::table5().render());
+        }
+        "table6" => {
+            println!("=== Table VI: SPEC 2017 ===\n");
+            println!("{}", tables::table6().render());
+        }
+        "hwcost" => {
+            println!("=== Section V-E: hardware resource budget ===\n");
+            println!("{}", hwcost::report());
+        }
+        "ablate-buffers" => {
+            println!("=== Ablation: access-buffer count ===\n");
+            println!("{}", ablation::ablate_buffers());
+        }
+        "ablate-threshold" => {
+            println!("=== Ablation: DiffMin prefetch threshold ===\n");
+            println!("{}", ablation::ablate_threshold());
+        }
+        "ablate-unprotect" => {
+            println!("=== Ablation: RP unprotect threshold ===\n");
+            println!("{}", ablation::ablate_unprotect());
+        }
+        "ablate-replacement" => {
+            println!("=== Ablation: cache replacement policy ===\n");
+            println!("{}", ablation::ablate_replacement());
+        }
+        "all" => {
+            for e in [
+                "fig8", "fig9", "fig10", "fig11", "fig12", "table4", "table5", "table6",
+                "hwcost", "ablate-buffers", "ablate-threshold", "ablate-unprotect",
+                "ablate-replacement",
+            ] {
+                run_one(e)?;
+            }
+        }
+        other => return Err(format!("unknown experiment `{other}`")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!(
+            "usage: repro <fig8|fig9|fig10|fig11|fig12|table4|table5|table6|hwcost|ablate-*|all> ..."
+        );
+        return ExitCode::FAILURE;
+    }
+    for a in &args {
+        if let Err(e) = run_one(a) {
+            eprintln!("repro: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

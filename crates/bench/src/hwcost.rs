@@ -1,0 +1,48 @@
+//! Section V-E: the hardware resource report.
+
+use prefender_core::{hw_cost, AtConfig, PrefenderConfig};
+use prefender_stats::Table;
+
+/// Renders the Section V-E SRAM budget for the paper configuration and
+/// the buffer-count sweep.
+pub fn report() -> String {
+    let mut t = Table::new(vec![
+        "Configuration".into(),
+        "ST bytes".into(),
+        "AT bytes".into(),
+        "RP bytes".into(),
+        "Total bytes".into(),
+    ]);
+    for buffers in [16usize, 32, 64] {
+        let cfg = PrefenderConfig {
+            at: Some(AtConfig::with_buffers(buffers)),
+            ..PrefenderConfig::full()
+        };
+        let c = hw_cost(&cfg);
+        t.row(vec![
+            format!("ST+AT({buffers})+RP"),
+            (c.st_sram_bits / 8).to_string(),
+            (c.at_sram_bits / 8).to_string(),
+            (c.rp_sram_bits / 8).to_string(),
+            c.total_bytes().to_string(),
+        ]);
+    }
+    let paper = hw_cost(&PrefenderConfig::full());
+    format!(
+        "{}\nPaper checks: AT < 3 KB ({}), RP = 400 B ({}), RP modulus datapath {} bits.\n",
+        t.render(),
+        paper.at_sram_bits / 8,
+        paper.rp_sram_bits / 8,
+        paper.rp_modulus_bits
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_contains_paper_budgets() {
+        let r = super::report();
+        assert!(r.contains("400"), "the paper's 400-byte RP budget: {r}");
+        assert!(r.contains("ST+AT(32)+RP"));
+    }
+}

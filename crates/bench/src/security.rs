@@ -1,0 +1,179 @@
+//! Figures 8 and 9: the security evaluation.
+
+use prefender_attacks::{
+    run_attack, run_attack_with_timeline, AttackKind, AttackSpec, DefenseConfig, NoiseSpec,
+};
+use prefender_stats::{Series, Table};
+
+/// The paper's Figure 8 panel grid: three attacks × four challenge sets.
+pub const PANELS: [(&str, AttackKind, NoiseSpec); 12] = [
+    ("(a) Flush+Reload (C1+C2)", AttackKind::FlushReload, NoiseSpec::NONE),
+    ("(b) Evict+Reload (C1+C2)", AttackKind::EvictReload, NoiseSpec::NONE),
+    ("(c) Prime+Probe (C1+C2)", AttackKind::PrimeProbe, NoiseSpec::NONE),
+    ("(d) Flush+Reload (C1+C2+C3)", AttackKind::FlushReload, NoiseSpec::C3),
+    ("(e) Evict+Reload (C1+C2+C3)", AttackKind::EvictReload, NoiseSpec::C3),
+    ("(f) Prime+Probe (C1+C2+C3)", AttackKind::PrimeProbe, NoiseSpec::C3),
+    ("(g) Flush+Reload (C1+C2+C4)", AttackKind::FlushReload, NoiseSpec::C4),
+    ("(h) Evict+Reload (C1+C2+C4)", AttackKind::EvictReload, NoiseSpec::C4),
+    ("(i) Prime+Probe (C1+C2+C4)", AttackKind::PrimeProbe, NoiseSpec::C4),
+    ("(j) Flush+Reload (C1+C2+C3+C4)", AttackKind::FlushReload, NoiseSpec::C3C4),
+    ("(k) Evict+Reload (C1+C2+C3+C4)", AttackKind::EvictReload, NoiseSpec::C3C4),
+    ("(l) Prime+Probe (C1+C2+C3+C4)", AttackKind::PrimeProbe, NoiseSpec::C3C4),
+];
+
+/// One regenerated Figure 8 panel: the latency series per defense config
+/// plus each config's leak verdict.
+#[derive(Debug, Clone)]
+pub struct Figure8Panel {
+    /// Panel title, e.g. `"(a) Flush+Reload (C1+C2)"`.
+    pub title: String,
+    /// One latency-vs-index series per defense configuration.
+    pub series: Vec<Series>,
+    /// `(config label, anomalous indices, leaked?)` verdicts.
+    pub verdicts: Vec<(String, Vec<usize>, bool)>,
+}
+
+impl Figure8Panel {
+    /// The verdict of a configuration, by its display label.
+    pub fn leaked(&self, config: &str) -> Option<bool> {
+        self.verdicts.iter().find(|(c, ..)| c == config).map(|&(_, _, l)| l)
+    }
+
+    /// Renders verdicts plus a sparkline per config.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "Config".into(),
+            "Latency (idx 50..110)".into(),
+            "Anomalies".into(),
+            "Verdict".into(),
+        ]);
+        for ((cfg, anomalies, leaked), s) in self.verdicts.iter().zip(&self.series) {
+            t.row(vec![
+                cfg.clone(),
+                s.sparkline(61),
+                format!("{anomalies:?}"),
+                if *leaked { "LEAKED".into() } else { "defended".into() },
+            ]);
+        }
+        format!("{}\n{}", self.title, t.render())
+    }
+}
+
+/// Regenerates one Figure 8 panel across all six defense configurations.
+pub fn figure8_panel(title: &str, kind: AttackKind, noise: NoiseSpec) -> Figure8Panel {
+    let mut series = Vec::new();
+    let mut verdicts = Vec::new();
+    for defense in DefenseConfig::ALL {
+        let spec = AttackSpec::new(kind, defense).with_noise(noise);
+        let o = run_attack(&spec).expect("attack run");
+        let mut s = Series::new(&defense.to_string());
+        for p in &o.samples {
+            s.push(p.index as f64, p.latency as f64);
+        }
+        series.push(s);
+        verdicts.push((defense.to_string(), o.anomalies.clone(), o.leaked));
+    }
+    Figure8Panel { title: title.to_string(), series, verdicts }
+}
+
+/// Regenerates all twelve Figure 8 panels.
+pub fn figure8() -> Vec<Figure8Panel> {
+    PANELS
+        .iter()
+        .map(|&(title, kind, noise)| figure8_panel(title, kind, noise))
+        .collect()
+}
+
+/// One Figure 9 panel: cumulative prefetch counts (ST/AT/RP) over time
+/// during an attack.
+#[derive(Debug, Clone)]
+pub struct Figure9Panel {
+    /// Panel title.
+    pub title: String,
+    /// Cumulative ST / AT / RP prefetches plus protected-buffer count.
+    pub st: Series,
+    /// Access Tracker series.
+    pub at: Series,
+    /// RP-guided series.
+    pub rp: Series,
+}
+
+impl Figure9Panel {
+    /// Renders the three curves as sparklines with final counts.
+    pub fn render(&self) -> String {
+        let last = |s: &Series| s.points().last().map_or(0.0, |&(_, y)| y);
+        format!(
+            "{}\n  ST {:>6}  {}\n  AT {:>6}  {}\n  RP {:>6}  {}\n",
+            self.title,
+            last(&self.st),
+            self.st.sparkline(40),
+            last(&self.at),
+            self.at.sparkline(40),
+            last(&self.rp),
+            self.rp.sparkline(40),
+        )
+    }
+}
+
+/// Regenerates Figure 9: panels (a)-(c) run PREFENDER-ST+AT against the
+/// clean attacks, panels (d)-(f) run full PREFENDER with all challenges.
+pub fn figure9(bucket_cycles: u64) -> Vec<Figure9Panel> {
+    let mut out = Vec::new();
+    let cases = [
+        ("(a) Flush+Reload (C1+C2), ST+AT", AttackKind::FlushReload, NoiseSpec::NONE, DefenseConfig::StAt),
+        ("(b) Evict+Reload (C1+C2), ST+AT", AttackKind::EvictReload, NoiseSpec::NONE, DefenseConfig::StAt),
+        ("(c) Prime+Probe (C1+C2), ST+AT", AttackKind::PrimeProbe, NoiseSpec::NONE, DefenseConfig::StAt),
+        ("(d) Flush+Reload (all), Prefender", AttackKind::FlushReload, NoiseSpec::C3C4, DefenseConfig::Full),
+        ("(e) Evict+Reload (all), Prefender", AttackKind::EvictReload, NoiseSpec::C3C4, DefenseConfig::Full),
+        ("(f) Prime+Probe (all), Prefender", AttackKind::PrimeProbe, NoiseSpec::C3C4, DefenseConfig::Full),
+    ];
+    for (title, kind, noise, defense) in cases {
+        let spec = AttackSpec::new(kind, defense).with_noise(noise);
+        let (outcome, timeline) =
+            run_attack_with_timeline(&spec, bucket_cycles).expect("attack run");
+        assert!(!outcome.leaked, "{title}: the defended run must not leak");
+        let mut st = Series::new("ST");
+        let mut at = Series::new("AT");
+        let mut rp = Series::new("RP");
+        for p in &timeline {
+            st.push(p.at as f64, p.st as f64);
+            at.push(p.at as f64, p.at_count as f64);
+            rp.push(p.at as f64, p.rp as f64);
+        }
+        out.push(Figure9Panel { title: title.to_string(), st, at, rp });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_grid_matches_paper() {
+        assert_eq!(PANELS.len(), 12);
+    }
+
+    #[test]
+    fn panel_a_reproduces_paper_verdicts() {
+        let p = figure8_panel("(a)", AttackKind::FlushReload, NoiseSpec::NONE);
+        assert_eq!(p.leaked("Base"), Some(true));
+        assert_eq!(p.leaked("Prefender-ST"), Some(false));
+        assert_eq!(p.leaked("Prefender-AT"), Some(false));
+        assert_eq!(p.leaked("Prefender"), Some(false));
+        assert!(p.render().contains("LEAKED"));
+        assert!(p.render().contains("defended"));
+    }
+
+    #[test]
+    fn figure9_first_panel_orders_units() {
+        let panels = figure9(2_000);
+        assert_eq!(panels.len(), 6);
+        let a = &panels[0];
+        let last = |s: &Series| s.points().last().map_or(0.0, |&(_, y)| y);
+        // The paper: the ST prefetches a small amount, the AT much more.
+        assert!(last(&a.st) >= 1.0);
+        assert!(last(&a.at) > last(&a.st));
+        assert!(!a.render().is_empty());
+    }
+}

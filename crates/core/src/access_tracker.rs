@@ -1,0 +1,531 @@
+//! The Access Tracker (AT): phase-3 defense — paper Section IV-C.
+
+use prefender_sim::{Addr, Cycle, PrefetchSource};
+
+use crate::config::{AtConfig, RpConfig};
+
+/// One access buffer: the recorded behaviour of a single load instruction.
+#[derive(Debug, Clone)]
+pub struct AccessBuffer {
+    valid: bool,
+    inst_addr: u64,
+    /// `(block address, entry-LRU sequence)`.
+    entries: Vec<(u64, u64)>,
+    diffmin: Option<u64>,
+    protected: bool,
+    protected_scale: Option<(u64, u64)>,
+    guided_prefetches: u32,
+    last_active: Cycle,
+    touch_seq: u64,
+}
+
+impl AccessBuffer {
+    fn empty(capacity: usize) -> Self {
+        AccessBuffer {
+            valid: false,
+            inst_addr: 0,
+            entries: Vec::with_capacity(capacity),
+            diffmin: None,
+            protected: false,
+            protected_scale: None,
+            guided_prefetches: 0,
+            last_active: Cycle::ZERO,
+            touch_seq: 0,
+        }
+    }
+
+    fn reset_for(&mut self, pc: u64) {
+        self.valid = true;
+        self.inst_addr = pc;
+        self.entries.clear();
+        self.diffmin = None;
+        self.protected = false;
+        self.protected_scale = None;
+        self.guided_prefetches = 0;
+    }
+
+    /// `true` when the buffer is associated with a load.
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// The associated load's instruction address.
+    pub fn inst_addr(&self) -> u64 {
+        self.inst_addr
+    }
+
+    /// Recorded block addresses, most data-structure order (not LRU order).
+    pub fn blocks(&self) -> Vec<u64> {
+        self.entries.iter().map(|&(b, _)| b).collect()
+    }
+
+    /// The current minimum pairwise difference, if computed.
+    pub fn diffmin(&self) -> Option<u64> {
+        self.diffmin
+    }
+
+    /// `true` when the Record Protector has protected this buffer.
+    pub fn is_protected(&self) -> bool {
+        self.protected
+    }
+
+    /// The protected scale registers `(sc, BlkAddr)`, when protected.
+    pub fn protected_scale(&self) -> Option<(u64, u64)> {
+        self.protected_scale
+    }
+
+    fn contains(&self, blk: u64) -> bool {
+        self.entries.iter().any(|&(b, _)| b == blk)
+    }
+
+    fn recompute_diffmin(&mut self) {
+        let mut min: Option<u64> = None;
+        for i in 0..self.entries.len() {
+            for j in (i + 1)..self.entries.len() {
+                let d = self.entries[i].0.abs_diff(self.entries[j].0);
+                if d != 0 {
+                    min = Some(min.map_or(d, |m| m.min(d)));
+                }
+            }
+        }
+        self.diffmin = min;
+    }
+}
+
+/// What one Access Tracker activation decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtDecision {
+    /// At most one prefetch (the paper prefetches one line per load
+    /// execution to bound pollution and hardware cost).
+    pub prefetch: Option<(Addr, PrefetchSource)>,
+    /// The activated buffer's index, when one was available.
+    pub buffer: Option<usize>,
+}
+
+impl AtDecision {
+    const NONE: AtDecision = AtDecision { prefetch: None, buffer: None };
+}
+
+/// The file of access buffers (paper Figure 6) plus the Record Protector's
+/// per-buffer protection state (paper Figure 7).
+///
+/// Flow per load access (paper's four stages):
+/// 1. **Buffer allocation** — associative match on the load's PC; else an
+///    empty buffer; else LRU *over unprotected buffers only*.
+/// 2. **Entry updating** — record the block address (entry-level LRU).
+/// 3. **DiffMin updating** — minimum pairwise difference of recorded
+///    blocks, used once the buffer holds `prefetch_threshold` entries.
+/// 4. **Data prefetching** — `blk ± DiffMin`, first candidate that is in
+///    neither the buffer nor the L1D. When the access hits the scale
+///    buffer or the buffer's protected scale, the *hit scale* guides the
+///    prefetch instead (Record Protector stage 3).
+#[derive(Debug, Clone)]
+pub struct AccessTracker {
+    buffers: Vec<AccessBuffer>,
+    cfg: AtConfig,
+    unprotect_prefetch_threshold: u32,
+    unprotect_idle_cycles: u64,
+    seq: u64,
+}
+
+impl AccessTracker {
+    /// Creates an empty tracker.
+    pub fn new(cfg: AtConfig) -> Self {
+        AccessTracker {
+            buffers: (0..cfg.n_buffers)
+                .map(|_| AccessBuffer::empty(cfg.entries_per_buffer))
+                .collect(),
+            cfg,
+            unprotect_prefetch_threshold: u32::MAX,
+            unprotect_idle_cycles: u64::MAX,
+            seq: 0,
+        }
+    }
+
+    /// Adopts the Record Protector's unprotect thresholds.
+    pub fn set_protection_params(&mut self, rp: &RpConfig) {
+        self.unprotect_prefetch_threshold = rp.unprotect_prefetch_threshold;
+        self.unprotect_idle_cycles = rp.unprotect_idle_cycles;
+    }
+
+    /// The tracker's configuration.
+    pub fn config(&self) -> &AtConfig {
+        &self.cfg
+    }
+
+    /// A buffer, for inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= n_buffers`.
+    pub fn buffer(&self, idx: usize) -> &AccessBuffer {
+        &self.buffers[idx]
+    }
+
+    /// Number of currently protected buffers (paper Figure 12's quantity).
+    pub fn protected_count(&self) -> usize {
+        self.buffers.iter().filter(|b| b.valid && b.protected).count()
+    }
+
+    /// Number of valid (associated) buffers.
+    pub fn valid_count(&self) -> usize {
+        self.buffers.iter().filter(|b| b.valid).count()
+    }
+
+    /// Clears all buffers.
+    pub fn reset(&mut self) {
+        let cap = self.cfg.entries_per_buffer;
+        for b in &mut self.buffers {
+            *b = AccessBuffer::empty(cap);
+        }
+        self.seq = 0;
+    }
+
+    /// Processes one load access.
+    ///
+    /// * `pc` — the load instruction's address;
+    /// * `blk` — the accessed *block* (line-aligned) address;
+    /// * `rp_hit` — `(sc, BlkAddr)` when the Record Protector's scale
+    ///   buffer matched this access (stage 2), else `None`;
+    /// * `resident` — the "already in the L1D" probe.
+    pub fn on_load(
+        &mut self,
+        pc: u64,
+        blk: Addr,
+        now: Cycle,
+        rp_hit: Option<(u64, u64)>,
+        resident: &dyn Fn(Addr) -> bool,
+    ) -> AtDecision {
+        self.expire_protection(now);
+
+        // Stage 1: buffer allocation.
+        let idx = match self.buffers.iter().position(|b| b.valid && b.inst_addr == pc) {
+            Some(i) => i,
+            None => match self.buffers.iter().position(|b| !b.valid) {
+                Some(i) => {
+                    self.buffers[i].reset_for(pc);
+                    i
+                }
+                None => {
+                    // LRU over unprotected buffers only (RP stage 2's rule;
+                    // without RP every buffer is unprotected).
+                    match self
+                        .buffers
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, b)| !b.protected)
+                        .min_by_key(|(_, b)| b.touch_seq)
+                        .map(|(i, _)| i)
+                    {
+                        Some(i) => {
+                            self.buffers[i].reset_for(pc);
+                            i
+                        }
+                        None => return AtDecision::NONE,
+                    }
+                }
+            },
+        };
+
+        self.seq += 1;
+        let seq = self.seq;
+        let threshold = self.cfg.prefetch_threshold;
+        let blk_raw = blk.raw();
+        let unprotect_after = self.unprotect_prefetch_threshold;
+        let b = &mut self.buffers[idx];
+        b.touch_seq = seq;
+        b.last_active = now;
+
+        // Record Protector stage 2: protection status updating.
+        if let Some((sc, pat_blk)) = rp_hit {
+            if !b.protected {
+                b.guided_prefetches = 0;
+            }
+            b.protected = true;
+            b.protected_scale = Some((sc, pat_blk));
+        }
+
+        // Stage 2: entry updating.
+        if let Some(e) = b.entries.iter_mut().find(|(addr, _)| *addr == blk_raw) {
+            e.1 = seq;
+        } else {
+            if b.entries.len() >= self.cfg.entries_per_buffer {
+                let victim = b
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (_, touch))| *touch)
+                    .map(|(i, _)| i)
+                    .expect("buffer is full, hence nonempty");
+                b.entries.swap_remove(victim);
+            }
+            b.entries.push((blk_raw, seq));
+            // Stage 3: DiffMin updating.
+            b.recompute_diffmin();
+        }
+
+        // Record Protector stage 3 / AT stage 4: prefetching.
+        let guided_scale = if let Some((sc, _)) = rp_hit {
+            Some(sc)
+        } else if b.protected {
+            b.protected_scale.and_then(|(sc, pat_blk)| {
+                let diff = blk_raw as i128 - pat_blk as i128;
+                (diff.rem_euclid(sc as i128) == 0).then_some(sc)
+            })
+        } else {
+            None
+        };
+
+        let stride = if let Some(sc) = guided_scale {
+            Some((sc, PrefetchSource::RecordProtector))
+        } else if b.entries.len() >= threshold {
+            b.diffmin.map(|d| (d, PrefetchSource::AccessTracker))
+        } else {
+            None
+        };
+
+        let mut prefetch = None;
+        if let Some((stride, source)) = stride {
+            for delta in [stride as i64, -(stride as i64)] {
+                if let Some(cand) = blk.offset(delta) {
+                    if !b.contains(cand.raw()) && !resident(cand) {
+                        prefetch = Some((cand, source));
+                        break;
+                    }
+                }
+            }
+            if prefetch.is_some() && source == PrefetchSource::RecordProtector {
+                b.guided_prefetches += 1;
+                if b.guided_prefetches > unprotect_after {
+                    b.protected = false;
+                    b.protected_scale = None;
+                    b.guided_prefetches = 0;
+                }
+            }
+        }
+
+        AtDecision { prefetch, buffer: Some(idx) }
+    }
+
+    fn expire_protection(&mut self, now: Cycle) {
+        let idle = self.unprotect_idle_cycles;
+        for b in &mut self.buffers {
+            if b.protected && now.since(b.last_active) > idle {
+                b.protected = false;
+                b.protected_scale = None;
+                b.guided_prefetches = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(n_buffers: usize) -> AccessTracker {
+        AccessTracker::new(AtConfig { n_buffers, ..AtConfig::paper() })
+    }
+
+    const NOT_RESIDENT: fn(Addr) -> bool = |_| false;
+
+    fn probe(t: &mut AccessTracker, pc: u64, blk: u64, at_cycle: u64) -> AtDecision {
+        t.on_load(pc, Addr::new(blk), Cycle::new(at_cycle), None, &NOT_RESIDENT)
+    }
+
+    #[test]
+    fn buffer_associates_by_pc() {
+        let mut t = at(4);
+        let d1 = probe(&mut t, 0x8008, 0x1000, 0);
+        let d2 = probe(&mut t, 0x8008, 0x1600, 1);
+        assert_eq!(d1.buffer, d2.buffer);
+        let d3 = probe(&mut t, 0x8018, 0x2000, 2);
+        assert_ne!(d1.buffer, d3.buffer);
+        assert_eq!(t.valid_count(), 2);
+    }
+
+    #[test]
+    fn figure_6_example() {
+        // Buffer[0] is associated with load 0x8008 and holds 0x1000,
+        // 0x1F00, 0x1600, 0x2800 (256-byte lines in the figure; we use the
+        // raw blocks directly). Access to 0x1C00 updates DiffMin to 0x300
+        // = |0x1F00 - 0x1C00| and prefetches 0x1C00 - 0x300 because
+        // 0x1C00 + 0x300 = 0x1F00 is already in the buffer.
+        let mut t = at(4);
+        for (i, blk) in [0x1000u64, 0x1F00, 0x1600, 0x2800].into_iter().enumerate() {
+            probe(&mut t, 0x8008, blk, i as u64);
+        }
+        let d = probe(&mut t, 0x8008, 0x1C00, 4);
+        let buf = t.buffer(d.buffer.unwrap());
+        assert_eq!(buf.diffmin(), Some(0x300));
+        assert_eq!(d.prefetch, Some((Addr::new(0x1900), PrefetchSource::AccessTracker)));
+    }
+
+    #[test]
+    fn no_prefetch_below_threshold() {
+        let mut t = at(4);
+        assert_eq!(probe(&mut t, 0x8008, 0x1000, 0).prefetch, None);
+        assert_eq!(probe(&mut t, 0x8008, 0x1200, 1).prefetch, None);
+        assert_eq!(probe(&mut t, 0x8008, 0x1400, 2).prefetch, None);
+        // 4th distinct entry reaches the threshold.
+        let d = probe(&mut t, 0x8008, 0x1600, 3);
+        assert_eq!(d.prefetch, Some((Addr::new(0x1800), PrefetchSource::AccessTracker)));
+    }
+
+    #[test]
+    fn random_probe_order_still_learns_stride() {
+        // Challenge C2: eviction lines at 0x200 steps probed in random
+        // order; DiffMin converges to 0x200.
+        let mut t = at(4);
+        let order = [7u64, 2, 11, 5, 3, 9, 1, 8];
+        let mut decisions = Vec::new();
+        for (i, k) in order.into_iter().enumerate() {
+            decisions.push(probe(&mut t, 0x8008, 0x10_0000 + k * 0x200, i as u64));
+        }
+        let buf = t.buffer(decisions.last().unwrap().buffer.unwrap());
+        assert_eq!(buf.diffmin(), Some(0x200));
+        // Some probes have both neighbours already recorded (no prefetch),
+        // but the randomized walk as a whole must prefetch eviction lines.
+        let prefetched: Vec<_> = decisions.iter().filter_map(|d| d.prefetch).collect();
+        assert!(!prefetched.is_empty());
+        for (addr, _) in prefetched {
+            assert_eq!((addr.raw() - 0x10_0000) % 0x200, 0, "on-pattern prefetch");
+        }
+    }
+
+    #[test]
+    fn repeated_block_touches_do_not_duplicate() {
+        let mut t = at(4);
+        probe(&mut t, 0x8008, 0x1000, 0);
+        probe(&mut t, 0x8008, 0x1000, 1);
+        let d = probe(&mut t, 0x8008, 0x1000, 2);
+        assert_eq!(t.buffer(d.buffer.unwrap()).blocks(), vec![0x1000]);
+    }
+
+    #[test]
+    fn entry_lru_eviction_when_full() {
+        let mut t = at(1);
+        // 8 entries fill; the 9th evicts the LRU (0x1000).
+        for (i, k) in (0..9u64).enumerate() {
+            probe(&mut t, 0x8008, 0x1000 + k * 0x100, i as u64);
+        }
+        let blocks = t.buffer(0).blocks();
+        assert_eq!(blocks.len(), 8);
+        assert!(!blocks.contains(&0x1000));
+        assert!(blocks.contains(&0x1800));
+    }
+
+    #[test]
+    fn buffer_lru_replacement_when_all_valid() {
+        let mut t = at(2);
+        probe(&mut t, 0x8000, 0x1000, 0);
+        probe(&mut t, 0x8010, 0x2000, 1);
+        probe(&mut t, 0x8000, 0x1100, 2); // touch 0x8000's buffer
+        // A third PC steals the LRU buffer (0x8010's).
+        probe(&mut t, 0x8020, 0x3000, 3);
+        let pcs: Vec<u64> = (0..2).map(|i| t.buffer(i).inst_addr()).collect();
+        assert!(pcs.contains(&0x8000) && pcs.contains(&0x8020));
+    }
+
+    #[test]
+    fn protected_buffers_survive_lru_thrash() {
+        // Challenge C3: noise PCs must not evict a protected buffer.
+        let mut t = at(2);
+        t.set_protection_params(&RpConfig::paper());
+        // Attacker's load, protected via an rp hit.
+        t.on_load(0x8008, Addr::new(0x1000), Cycle::new(0), Some((0x200, 0x1000)), &NOT_RESIDENT);
+        assert_eq!(t.protected_count(), 1);
+        // Noise: many distinct PCs.
+        for (i, pc) in (0..8u64).map(|k| 0x9000 + k * 8).enumerate() {
+            probe(&mut t, pc, 0x5000 + i as u64 * 0x40, 10 + i as u64);
+        }
+        // The protected buffer still belongs to 0x8008.
+        assert!((0..2).any(|i| t.buffer(i).inst_addr() == 0x8008 && t.buffer(i).is_protected()));
+    }
+
+    #[test]
+    fn all_buffers_protected_yields_no_decision() {
+        let mut t = at(1);
+        t.set_protection_params(&RpConfig::paper());
+        t.on_load(0x8008, Addr::new(0x1000), Cycle::new(0), Some((0x200, 0x1000)), &NOT_RESIDENT);
+        let d = probe(&mut t, 0x9000, 0x2000, 1);
+        assert_eq!(d, AtDecision::NONE);
+    }
+
+    #[test]
+    fn rp_hit_guides_prefetch_over_diffmin() {
+        // Challenge C4: DiffMin corrupted to 0x100 by a noisy access, but
+        // the hit scale 0x200 guides the prefetch.
+        let mut t = at(4);
+        t.set_protection_params(&RpConfig::paper());
+        for (i, blk) in [0x8000u64, 0x8200, 0x8400, 0x8600].into_iter().enumerate() {
+            t.on_load(0x8008, Addr::new(blk), Cycle::new(i as u64), Some((0x200, 0x8000)), &NOT_RESIDENT);
+        }
+        // Noisy access to a non-eviction line corrupts DiffMin (no rp hit).
+        let d = probe(&mut t, 0x8008, 0x8100, 4);
+        let buf = t.buffer(d.buffer.unwrap());
+        assert_eq!(buf.diffmin(), Some(0x100), "DiffMin was corrupted by the noise");
+        // Next eviction-line access hits the protected scale and is guided
+        // by 0x200, not 0x100.
+        let d = t.on_load(0x8008, Addr::new(0x8800), Cycle::new(5), Some((0x200, 0x8000)), &NOT_RESIDENT);
+        assert_eq!(d.prefetch, Some((Addr::new(0x8A00), PrefetchSource::RecordProtector)));
+    }
+
+    #[test]
+    fn protected_scale_applies_after_scale_buffer_eviction() {
+        // Figure 7(b): the scale-buffer entry is gone (rp_hit = None) but
+        // the buffer's own protected-scale registers still match.
+        let mut t = at(4);
+        t.set_protection_params(&RpConfig::paper());
+        t.on_load(0x8008, Addr::new(0x2400), Cycle::new(0), Some((0x400, 0x1000)), &NOT_RESIDENT);
+        let d = probe(&mut t, 0x8008, 0x2C00, 1); // (0x2C00-0x1000) % 0x400 == 0
+        assert_eq!(d.prefetch, Some((Addr::new(0x3000), PrefetchSource::RecordProtector)));
+    }
+
+    #[test]
+    fn guided_prefetch_count_unprotects() {
+        let mut t = at(4);
+        t.set_protection_params(&RpConfig {
+            unprotect_prefetch_threshold: 2,
+            ..RpConfig::paper()
+        });
+        t.on_load(0x8008, Addr::new(0x1000), Cycle::new(0), Some((0x200, 0x1000)), &NOT_RESIDENT);
+        // Each access prefetches via the protected scale; after exceeding
+        // the threshold the buffer unprotects.
+        for k in 1..=3u64 {
+            probe(&mut t, 0x8008, 0x1000 + k * 0x200, k);
+        }
+        assert_eq!(t.protected_count(), 0);
+    }
+
+    #[test]
+    fn idle_timeout_unprotects() {
+        let mut t = at(4);
+        t.set_protection_params(&RpConfig { unprotect_idle_cycles: 100, ..RpConfig::paper() });
+        t.on_load(0x8008, Addr::new(0x1000), Cycle::new(0), Some((0x200, 0x1000)), &NOT_RESIDENT);
+        assert_eq!(t.protected_count(), 1);
+        probe(&mut t, 0x9000, 0x2000, 500); // any access after the idle window
+        assert_eq!(t.protected_count(), 0);
+    }
+
+    #[test]
+    fn resident_candidate_skipped() {
+        let mut t = at(4);
+        for (i, blk) in [0x1000u64, 0x1200, 0x1400, 0x1600].into_iter().enumerate() {
+            t.on_load(0x8008, Addr::new(blk), Cycle::new(i as u64), None, &NOT_RESIDENT);
+        }
+        // +diffmin (0x1A00) is resident; -diffmin (0x1600) is in the
+        // buffer: no prefetch at all.
+        let d = t.on_load(0x8008, Addr::new(0x1800), Cycle::new(4), None, &|a| a.raw() == 0x1A00);
+        assert_eq!(d.prefetch, None);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = at(2);
+        probe(&mut t, 0x8008, 0x1000, 0);
+        t.reset();
+        assert_eq!(t.valid_count(), 0);
+        assert_eq!(t.protected_count(), 0);
+    }
+}

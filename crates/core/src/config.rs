@@ -1,0 +1,155 @@
+//! Configuration of the three PREFENDER units.
+
+/// Scale Tracker configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StConfig {
+    /// Cacheline size in bytes: a scale must *exceed* this to prefetch
+    /// (a sub-line scale lands in the same line — nothing to hide).
+    pub line_size: u64,
+    /// Page size in bytes: the scale must be *smaller* than this, and
+    /// candidates must stay on the accessed page (physical prefetching
+    /// cannot cross page boundaries safely).
+    pub page_size: u64,
+}
+
+impl StConfig {
+    /// Paper baseline: 64-byte lines, 4 KB pages.
+    pub fn paper() -> Self {
+        StConfig { line_size: 64, page_size: 4096 }
+    }
+}
+
+impl Default for StConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Access Tracker configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtConfig {
+    /// Number of access buffers (paper sweeps 16/32/64; default 32).
+    pub n_buffers: usize,
+    /// Entries per buffer (paper: "small (such as 8)").
+    pub entries_per_buffer: usize,
+    /// Valid entries required before DiffMin is computed and prefetching
+    /// starts (paper: "a threshold (such as 4)").
+    pub prefetch_threshold: usize,
+    /// Cacheline size in bytes (block addresses are line-aligned).
+    pub line_size: u64,
+}
+
+impl AtConfig {
+    /// Paper baseline: 32 buffers × 8 entries, threshold 4.
+    pub fn paper() -> Self {
+        AtConfig { n_buffers: 32, entries_per_buffer: 8, prefetch_threshold: 4, line_size: 64 }
+    }
+
+    /// Paper baseline with a different buffer count (the Tables IV/V sweep).
+    pub fn with_buffers(n_buffers: usize) -> Self {
+        AtConfig { n_buffers, ..Self::paper() }
+    }
+}
+
+impl Default for AtConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Record Protector configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpConfig {
+    /// Scale buffer entries (paper Section V-E: 8).
+    pub scale_buffer_entries: usize,
+    /// A protected buffer reverts to unprotected after this many
+    /// hit-scale-guided prefetches (paper: "a threshold"; not quantified —
+    /// default chosen by the ablation in `repro ablate-unprotect`).
+    pub unprotect_prefetch_threshold: u32,
+    /// ... or after staying untouched for this many cycles.
+    pub unprotect_idle_cycles: u64,
+}
+
+impl RpConfig {
+    /// Baseline: 8 scale-buffer entries, unprotect after 64 guided
+    /// prefetches or 100k idle cycles.
+    pub fn paper() -> Self {
+        RpConfig {
+            scale_buffer_entries: 8,
+            unprotect_prefetch_threshold: 64,
+            unprotect_idle_cycles: 100_000,
+        }
+    }
+}
+
+impl Default for RpConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Full PREFENDER configuration: which units are enabled and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefenderConfig {
+    /// Scale Tracker, or `None` to disable.
+    pub st: Option<StConfig>,
+    /// Access Tracker, or `None` to disable.
+    pub at: Option<AtConfig>,
+    /// Record Protector, or `None` to disable (requires both ST and AT to
+    /// have any effect).
+    pub rp: Option<RpConfig>,
+}
+
+impl PrefenderConfig {
+    /// Everything enabled at paper defaults (the "PREFENDER" rows of the
+    /// paper's Table V).
+    pub fn full() -> Self {
+        PrefenderConfig {
+            st: Some(StConfig::paper()),
+            at: Some(AtConfig::paper()),
+            rp: Some(RpConfig::paper()),
+        }
+    }
+
+    /// ST+AT without RP (the paper's Table IV configuration).
+    pub fn st_at() -> Self {
+        PrefenderConfig { st: Some(StConfig::paper()), at: Some(AtConfig::paper()), rp: None }
+    }
+}
+
+impl Default for PrefenderConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let at = AtConfig::paper();
+        assert_eq!(at.n_buffers, 32);
+        assert_eq!(at.entries_per_buffer, 8);
+        assert_eq!(at.prefetch_threshold, 4);
+        let st = StConfig::paper();
+        assert_eq!(st.line_size, 64);
+        assert_eq!(st.page_size, 4096);
+        let rp = RpConfig::paper();
+        assert_eq!(rp.scale_buffer_entries, 8);
+    }
+
+    #[test]
+    fn buffer_sweep_helper() {
+        assert_eq!(AtConfig::with_buffers(64).n_buffers, 64);
+        assert_eq!(AtConfig::with_buffers(64).entries_per_buffer, 8);
+    }
+
+    #[test]
+    fn preset_shapes() {
+        assert!(PrefenderConfig::full().rp.is_some());
+        assert!(PrefenderConfig::st_at().rp.is_none());
+        assert_eq!(PrefenderConfig::default(), PrefenderConfig::full());
+    }
+}

@@ -1,0 +1,109 @@
+//! Analytical hardware-cost model — paper Section V-E.
+//!
+//! The paper argues PREFENDER's hardware is cheap by counting SRAM bits
+//! and datapath widths; this module reproduces that arithmetic from a
+//! [`PrefenderConfig`] so the `repro hwcost` harness can print the same
+//! upper bounds (ST: hundreds of bytes; AT: < 3 KB; RP: 400 bytes).
+
+use prefender_isa::NUM_REGS;
+
+use crate::config::PrefenderConfig;
+
+/// Bit widths used by the paper's Section V-E accounting.
+const ST_VALUE_BITS: u64 = 16; // fva / sc values: prefetch stays in a page
+const AT_ENTRY_BITS: u64 = 64; // "even if each value of the buffer is 64-bit"
+const AT_DIFFMIN_BITS: u64 = 20; // enough for a 1 MB L1D
+const RP_SC_BITS: u64 = 16;
+const RP_BLK_BITS: u64 = 64;
+const RP_MODULUS_BITS: u64 = 9; // set-index width of a 64 KB 2-way L1D
+
+/// SRAM and datapath budget of one PREFENDER instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HwCost {
+    /// Scale Tracker SRAM bits (calculation buffer).
+    pub st_sram_bits: u64,
+    /// Access Tracker SRAM bits (access buffers).
+    pub at_sram_bits: u64,
+    /// Record Protector SRAM bits (scale buffer + protected-scale regs).
+    pub rp_sram_bits: u64,
+    /// Width of the RP modulus datapath in bits.
+    pub rp_modulus_bits: u64,
+}
+
+impl HwCost {
+    /// Total SRAM bits.
+    pub fn total_bits(&self) -> u64 {
+        self.st_sram_bits + self.at_sram_bits + self.rp_sram_bits
+    }
+
+    /// Total SRAM bytes (rounded up).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bits().div_ceil(8)
+    }
+}
+
+/// Computes the Section V-E upper bounds for a configuration.
+pub fn hw_cost(cfg: &PrefenderConfig) -> HwCost {
+    let st_sram_bits = if cfg.st.is_some() {
+        // Two 16-bit values (fva, sc) per architectural register.
+        NUM_REGS as u64 * 2 * ST_VALUE_BITS
+    } else {
+        0
+    };
+
+    let at_sram_bits = cfg.at.map_or(0, |at| {
+        let per_buffer = 64 // InstAddr
+            + at.entries_per_buffer as u64 * (AT_ENTRY_BITS + 1) // entries + valid
+            + AT_DIFFMIN_BITS
+            + 2; // buffer valid + protected flag
+        at.n_buffers as u64 * per_buffer
+    });
+
+    let rp_sram_bits = cfg.rp.map_or(0, |rp| {
+        let entry = RP_SC_BITS + RP_BLK_BITS; // 80 bits, as in the paper
+        let scale_buffer = rp.scale_buffer_entries as u64 * entry;
+        // One 80-bit protected-scale register per access buffer.
+        let protected_regs = cfg.at.map_or(0, |at| at.n_buffers as u64 * entry);
+        scale_buffer + protected_regs
+    });
+
+    HwCost {
+        st_sram_bits,
+        at_sram_bits,
+        rp_sram_bits,
+        rp_modulus_bits: if cfg.rp.is_some() { RP_MODULUS_BITS } else { 0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_budgets_hold() {
+        let c = hw_cost(&PrefenderConfig::full());
+        // ST: "hundreds of bytes in total for dozens of registers".
+        assert_eq!(c.st_sram_bits / 8, 128);
+        assert!(c.st_sram_bits / 8 < 1024);
+        // AT: "only <3KB SRAMs are required" for 32 buffers × 8 entries.
+        assert!(c.at_sram_bits / 8 < 3 * 1024, "AT bytes = {}", c.at_sram_bits / 8);
+        // RP: "400 bytes are needed" (8-entry scale buffer + 32 regs, 80 bits each).
+        assert_eq!(c.rp_sram_bits / 8, (8 + 32) * 80 / 8);
+        assert_eq!(c.rp_sram_bits / 8, 400);
+        assert_eq!(c.rp_modulus_bits, 9);
+    }
+
+    #[test]
+    fn disabled_units_cost_nothing() {
+        let c = hw_cost(&PrefenderConfig { st: None, at: None, rp: None });
+        assert_eq!(c.total_bits(), 0);
+        assert_eq!(c.total_bytes(), 0);
+    }
+
+    #[test]
+    fn totals_are_sums() {
+        let c = hw_cost(&PrefenderConfig::full());
+        assert_eq!(c.total_bits(), c.st_sram_bits + c.at_sram_bits + c.rp_sram_bits);
+        assert_eq!(c.total_bytes(), c.total_bits().div_ceil(8));
+    }
+}

@@ -1,0 +1,218 @@
+//! The Record Protector (RP): the scale buffer — paper Section IV-D.
+
+use prefender_sim::Cycle;
+
+use crate::config::RpConfig;
+
+/// One scale-buffer entry: an eviction-cacheline *pattern*
+/// `{ BlkAddr + k·sc | k ∈ ℤ }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleEntry {
+    /// The pattern's stride (a scale recorded from the Scale Tracker).
+    pub sc: u64,
+    /// A representative block address of the pattern.
+    pub blk: u64,
+}
+
+impl ScaleEntry {
+    /// `true` when `blk` is a member of this pattern.
+    pub fn matches(&self, blk: u64) -> bool {
+        let diff = blk as i128 - self.blk as i128;
+        diff.rem_euclid(self.sc as i128) == 0
+    }
+}
+
+/// The scale buffer linking Scale Tracker and Access Tracker.
+///
+/// * **Stage 1 — scale recording**: whenever the Scale Tracker prefetches
+///   for a victim load, `(sc, BlkAddr)` is recorded. A pattern that is a
+///   *subset* of an existing one replaces it when sparser (larger `sc`),
+///   and is dropped when denser — reducing redundancy exactly as the
+///   paper's Figure 7 step ① describes.
+/// * **Stage 2 — protection status updating**: every load access checks
+///   its block address against all patterns; a hit returns `(sc, BlkAddr)`
+///   so the Access Tracker can protect and guide the associated buffer.
+#[derive(Debug, Clone)]
+pub struct RecordProtector {
+    entries: Vec<Option<(ScaleEntry, u64)>>, // (entry, lru sequence)
+    cfg: RpConfig,
+    seq: u64,
+    records: u64,
+    hits: u64,
+}
+
+impl RecordProtector {
+    /// Creates an empty scale buffer.
+    pub fn new(cfg: RpConfig) -> Self {
+        RecordProtector {
+            entries: vec![None; cfg.scale_buffer_entries],
+            cfg,
+            seq: 0,
+            records: 0,
+            hits: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RpConfig {
+        &self.cfg
+    }
+
+    /// Valid entries, in arbitrary order (inspection).
+    pub fn entries(&self) -> Vec<ScaleEntry> {
+        self.entries.iter().flatten().map(|&(e, _)| e).collect()
+    }
+
+    /// Total stage-1 record operations.
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// Total stage-2 hits.
+    pub fn hit_count(&self) -> u64 {
+        self.hits
+    }
+
+    /// Stage 1: records the pattern `(sc, blk)` observed when the Scale
+    /// Tracker prefetched for a (presumed) victim load.
+    pub fn record(&mut self, sc: u64, blk: u64, _now: Cycle) {
+        debug_assert!(sc > 0, "a zero scale is never recorded");
+        self.records += 1;
+        self.seq += 1;
+        let seq = self.seq;
+        // Redundancy reduction: if the new pattern relates to an existing
+        // entry ((blk' - blk_i) % min(sc', sc_i) == 0), keep only the
+        // sparser (larger-scale) pattern.
+        for slot in self.entries.iter_mut() {
+            if let Some((e, lru)) = slot {
+                let m = sc.min(e.sc);
+                let diff = blk as i128 - e.blk as i128;
+                if diff.rem_euclid(m as i128) == 0 {
+                    if sc > e.sc {
+                        *e = ScaleEntry { sc, blk };
+                    }
+                    *lru = seq;
+                    return;
+                }
+            }
+        }
+        // Allocate an empty slot, else replace the LRU entry.
+        let slot = match self.entries.iter().position(|s| s.is_none()) {
+            Some(i) => i,
+            None => self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.map(|(_, lru)| lru).unwrap_or(0))
+                .map(|(i, _)| i)
+                .expect("scale buffer has at least one entry"),
+        };
+        self.entries[slot] = Some((ScaleEntry { sc, blk }, seq));
+    }
+
+    /// Stage 2: does `blk` hit any recorded pattern? Returns the hit
+    /// `(sc, BlkAddr)` for the Access Tracker's protection registers.
+    pub fn hit(&mut self, blk: u64) -> Option<(u64, u64)> {
+        self.seq += 1;
+        let seq = self.seq;
+        for slot in self.entries.iter_mut() {
+            if let Some((e, lru)) = slot {
+                if e.matches(blk) {
+                    *lru = seq;
+                    self.hits += 1;
+                    return Some((e.sc, e.blk));
+                }
+            }
+        }
+        None
+    }
+
+    /// Clears the scale buffer.
+    pub fn reset(&mut self) {
+        self.entries.fill(None);
+        self.seq = 0;
+        self.records = 0;
+        self.hits = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rp(entries: usize) -> RecordProtector {
+        RecordProtector::new(RpConfig { scale_buffer_entries: entries, ..RpConfig::paper() })
+    }
+
+    #[test]
+    fn record_then_hit() {
+        let mut r = rp(8);
+        r.record(0x200, 0x10_0000, Cycle::ZERO);
+        assert_eq!(r.hit(0x10_0400), Some((0x200, 0x10_0000)));
+        assert_eq!(r.hit(0x10_0300), None, "off-pattern block must miss");
+        assert_eq!(r.hit_count(), 1);
+    }
+
+    #[test]
+    fn pattern_matches_below_base() {
+        let mut r = rp(8);
+        r.record(0x200, 0x10_0000, Cycle::ZERO);
+        assert!(r.hit(0x0F_FE00).is_some(), "patterns extend in both directions");
+    }
+
+    #[test]
+    fn figure_7_subset_replacement() {
+        // Entry holds (0x100, 0x2000); recording (0x400, 0x1000) — whose
+        // pattern is a subset — replaces it with the sparser pattern.
+        let mut r = rp(8);
+        r.record(0x100, 0x2000, Cycle::ZERO);
+        r.record(0x400, 0x1000, Cycle::ZERO);
+        assert_eq!(r.entries(), vec![ScaleEntry { sc: 0x400, blk: 0x1000 }]);
+    }
+
+    #[test]
+    fn denser_pattern_dropped() {
+        let mut r = rp(8);
+        r.record(0x400, 0x1000, Cycle::ZERO);
+        r.record(0x100, 0x2000, Cycle::ZERO); // subset relation, smaller sc
+        assert_eq!(r.entries(), vec![ScaleEntry { sc: 0x400, blk: 0x1000 }]);
+    }
+
+    #[test]
+    fn unrelated_patterns_coexist() {
+        let mut r = rp(8);
+        r.record(0x200, 0x10_0000, Cycle::ZERO);
+        r.record(0x300, 0x20_0040, Cycle::ZERO);
+        assert_eq!(r.entries().len(), 2);
+    }
+
+    #[test]
+    fn lru_replacement_when_full() {
+        let mut r = rp(2);
+        r.record(0x200, 0x10_0000, Cycle::ZERO); // becomes LRU
+        r.record(0x300, 0x20_0040, Cycle::ZERO);
+        r.record(0x500, 0x30_0080, Cycle::ZERO); // evicts the 0x200 pattern
+        let scs: Vec<u64> = r.entries().iter().map(|e| e.sc).collect();
+        assert!(scs.contains(&0x300) && scs.contains(&0x500) && !scs.contains(&0x200));
+    }
+
+    #[test]
+    fn hit_refreshes_lru() {
+        let mut r = rp(2);
+        r.record(0x200, 0x10_0000, Cycle::ZERO);
+        r.record(0x300, 0x20_0040, Cycle::ZERO);
+        r.hit(0x10_0200); // refresh the 0x200 pattern
+        r.record(0x500, 0x30_0080, Cycle::ZERO); // now evicts the 0x300 one
+        let scs: Vec<u64> = r.entries().iter().map(|e| e.sc).collect();
+        assert!(scs.contains(&0x200) && scs.contains(&0x500));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut r = rp(4);
+        r.record(0x200, 0x1000, Cycle::ZERO);
+        r.reset();
+        assert!(r.entries().is_empty());
+        assert_eq!(r.record_count(), 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! PREFENDER prefetch attribution counters.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Counts of prefetches proposed by each PREFENDER unit.
+///
+/// These counters regenerate the paper's Figure 9 (attack timelines) and
+/// Figure 11 (per-benchmark totals). As in the paper, "RP prefetches" are
+/// the Access Tracker's prefetches *guided by* the Record Protector's hit
+/// scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrefenderStats {
+    /// Prefetches proposed by the Scale Tracker.
+    pub st_prefetches: u64,
+    /// Prefetches proposed by the Access Tracker from its own DiffMin.
+    pub at_prefetches: u64,
+    /// Access Tracker prefetches guided by the Record Protector.
+    pub rp_prefetches: u64,
+}
+
+impl PrefenderStats {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sum of all three units.
+    pub fn total(&self) -> u64 {
+        self.st_prefetches + self.at_prefetches + self.rp_prefetches
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl Add for PrefenderStats {
+    type Output = PrefenderStats;
+
+    fn add(self, rhs: PrefenderStats) -> PrefenderStats {
+        PrefenderStats {
+            st_prefetches: self.st_prefetches + rhs.st_prefetches,
+            at_prefetches: self.at_prefetches + rhs.at_prefetches,
+            rp_prefetches: self.rp_prefetches + rhs.rp_prefetches,
+        }
+    }
+}
+
+impl AddAssign for PrefenderStats {
+    fn add_assign(&mut self, rhs: PrefenderStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for PrefenderStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ST={} AT={} RP={} (total {})",
+            self.st_prefetches,
+            self.at_prefetches,
+            self.rp_prefetches,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_reset() {
+        let mut s = PrefenderStats { st_prefetches: 1, at_prefetches: 2, rp_prefetches: 3 };
+        assert_eq!(s.total(), 6);
+        s.reset();
+        assert_eq!(s, PrefenderStats::new());
+    }
+
+    #[test]
+    fn addition_fieldwise() {
+        let a = PrefenderStats { st_prefetches: 1, at_prefetches: 0, rp_prefetches: 2 };
+        let b = PrefenderStats { st_prefetches: 3, at_prefetches: 5, rp_prefetches: 0 };
+        let c = a + b;
+        assert_eq!(c, PrefenderStats { st_prefetches: 4, at_prefetches: 5, rp_prefetches: 2 });
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(PrefenderStats::new().to_string().contains("total 0"));
+    }
+}

@@ -1,0 +1,125 @@
+//! One CPU core: program, register file, program counter, readiness.
+
+use prefender_isa::Program;
+use prefender_sim::Cycle;
+
+use crate::regfile::RegFile;
+
+/// Execution status of a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreState {
+    /// No program loaded.
+    Idle,
+    /// Executing.
+    Running,
+    /// Executed `halt` (or ran off the end of the program).
+    Halted,
+}
+
+/// One in-order core.
+///
+/// Cores are owned and stepped by [`Machine`](crate::Machine); the public
+/// surface is read-only inspection plus register poking for test setup.
+#[derive(Debug, Clone)]
+pub struct Core {
+    id: usize,
+    pub(crate) regs: RegFile,
+    pub(crate) program: Option<Program>,
+    pub(crate) pc_index: usize,
+    pub(crate) state: CoreState,
+    pub(crate) ready_at: Cycle,
+    pub(crate) retired: u64,
+}
+
+impl Core {
+    pub(crate) fn new(id: usize) -> Self {
+        Core {
+            id,
+            regs: RegFile::new(),
+            program: None,
+            pc_index: 0,
+            state: CoreState::Idle,
+            ready_at: Cycle::ZERO,
+            retired: 0,
+        }
+    }
+
+    /// The core's index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Current execution status.
+    pub fn state(&self) -> CoreState {
+        self.state
+    }
+
+    /// The loaded program, if any.
+    pub fn program(&self) -> Option<&Program> {
+        self.program.as_ref()
+    }
+
+    /// Index of the next instruction to execute.
+    pub fn pc_index(&self) -> usize {
+        self.pc_index
+    }
+
+    /// PC (address) of the next instruction, if a program is loaded.
+    pub fn pc(&self) -> Option<u64> {
+        self.program.as_ref().map(|p| p.pc_of(self.pc_index))
+    }
+
+    /// The register file (for result inspection).
+    pub fn regs(&self) -> &RegFile {
+        &self.regs
+    }
+
+    /// Mutable register file access (test setup / ABI emulation).
+    pub fn regs_mut(&mut self) -> &mut RegFile {
+        &mut self.regs
+    }
+
+    /// When the core can execute its next instruction.
+    pub fn ready_at(&self) -> Cycle {
+        self.ready_at
+    }
+
+    /// Instructions retired since the program was loaded.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    pub(crate) fn load(&mut self, program: Program, start_at: Cycle) {
+        self.program = Some(program);
+        self.pc_index = 0;
+        self.state = CoreState::Running;
+        self.ready_at = start_at;
+        self.retired = 0;
+        // Registers intentionally persist across loads so a harness can
+        // pass arguments; call `regs_mut().reset()` for a cold start.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefender_isa::Program;
+
+    #[test]
+    fn fresh_core_is_idle() {
+        let c = Core::new(3);
+        assert_eq!(c.id(), 3);
+        assert_eq!(c.state(), CoreState::Idle);
+        assert_eq!(c.pc(), None);
+    }
+
+    #[test]
+    fn load_sets_running() {
+        let mut c = Core::new(0);
+        let p = Program::parse("halt\n").unwrap();
+        c.load(p, Cycle::new(10));
+        assert_eq!(c.state(), CoreState::Running);
+        assert_eq!(c.ready_at(), Cycle::new(10));
+        assert_eq!(c.pc(), Some(0x8000));
+    }
+}

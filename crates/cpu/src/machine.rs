@@ -1,0 +1,676 @@
+//! The multi-core machine: time-ordered execution with prefetcher plumbing.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use prefender_isa::{Instr, Reg};
+use prefender_prefetch::{AccessEvent, Prefetcher, RetireEvent};
+use prefender_sim::{AccessKind, Addr, Cycle, HierarchyConfig, MemorySystem};
+
+use crate::core_model::{Core, CoreState};
+use crate::trace::{MemTrace, TraceEntry};
+
+/// Per-instruction timing costs and execution limits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuConfig {
+    /// Cycles for simple ALU ops, moves, `li`, `rdtsc`, `nop`.
+    pub alu_cost: u64,
+    /// Cycles for multiplication.
+    pub mul_cost: u64,
+    /// Cycles for branches (taken or not).
+    pub branch_cost: u64,
+    /// Retire cost of a store (the cache access happens asynchronously
+    /// through a store buffer; only state effects are modelled).
+    pub store_cost: u64,
+    /// Base cost of a `flush`, added to the hierarchy's flush latency.
+    pub flush_cost: u64,
+    /// Model instruction fetch through the L1I (misses stall the core).
+    pub model_fetch: bool,
+    /// Safety cap on totally retired instructions per [`Machine::run`].
+    pub max_instructions: u64,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig {
+            alu_cost: 1,
+            mul_cost: 3,
+            branch_cost: 1,
+            store_cost: 1,
+            flush_cost: 1,
+            model_fetch: true,
+            max_instructions: 200_000_000,
+        }
+    }
+}
+
+/// What a [`Machine::run`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Wall-clock cycles: the latest `ready_at` over all cores.
+    pub cycles: u64,
+    /// Instructions retired across all cores during this run.
+    pub instructions: u64,
+    /// `true` when the run stopped at the instruction cap, not at `halt`.
+    pub truncated: bool,
+}
+
+impl RunSummary {
+    /// Instructions per cycle across the whole machine.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for RunSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} instructions in {} cycles (IPC {:.3})", self.instructions, self.cycles, self.ipc())
+    }
+}
+
+/// A multi-core machine: cores + hierarchy + per-core prefetchers + sparse
+/// data memory + access trace.
+///
+/// Cores execute in global time order: each [`Machine::step`] runs one
+/// instruction on the core whose `ready_at` is earliest, so two cores'
+/// memory accesses interleave exactly as their latencies dictate — the
+/// paper's cross-core attacks depend on this.
+pub struct Machine {
+    cfg: CpuConfig,
+    mem: MemorySystem,
+    cores: Vec<Core>,
+    prefetchers: Vec<Option<Box<dyn Prefetcher>>>,
+    data: HashMap<u64, u64>,
+    trace: MemTrace,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("cores", &self.cores.len())
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Builds a machine over a fresh hierarchy with default CPU timing.
+    pub fn new(hierarchy: HierarchyConfig) -> Self {
+        Self::with_cpu_config(hierarchy, CpuConfig::default())
+    }
+
+    /// Builds a machine with explicit CPU timing.
+    pub fn with_cpu_config(hierarchy: HierarchyConfig, cfg: CpuConfig) -> Self {
+        let n = hierarchy.n_cores;
+        Machine {
+            cfg,
+            mem: MemorySystem::new(hierarchy),
+            cores: (0..n).map(Core::new).collect(),
+            prefetchers: (0..n).map(|_| None).collect(),
+            data: HashMap::new(),
+            trace: MemTrace::new(),
+        }
+    }
+
+    /// The memory hierarchy (stats, probes).
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Mutable hierarchy access (warm-up fills, stat resets).
+    pub fn mem_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
+    /// A core, for inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core(&self, core: usize) -> &Core {
+        &self.cores[core]
+    }
+
+    /// Mutable core access (register setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_mut(&mut self, core: usize) -> &mut Core {
+        &mut self.cores[core]
+    }
+
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The access trace.
+    pub fn trace(&self) -> &MemTrace {
+        &self.trace
+    }
+
+    /// Mutable trace access (enable, clear).
+    pub fn trace_mut(&mut self) -> &mut MemTrace {
+        &mut self.trace
+    }
+
+    /// Attaches a prefetcher to `core`'s L1D, replacing any previous one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn set_prefetcher(&mut self, core: usize, p: Box<dyn Prefetcher>) {
+        self.prefetchers[core] = Some(p);
+    }
+
+    /// The prefetcher attached to `core`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn prefetcher(&self, core: usize) -> Option<&dyn Prefetcher> {
+        self.prefetchers[core].as_deref()
+    }
+
+    /// Mutable access to `core`'s prefetcher (stat queries on concrete types).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn prefetcher_mut(&mut self, core: usize) -> Option<&mut (dyn Prefetcher + '_)> {
+        match self.prefetchers[core].as_mut() {
+            Some(b) => Some(&mut **b),
+            None => None,
+        }
+    }
+
+    /// Loads `program` on `core`, starting when the core is next free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn load_program(&mut self, core: usize, program: prefender_isa::Program) {
+        let at = self.cores[core].ready_at;
+        self.cores[core].load(program, at);
+    }
+
+    /// Loads `program` on `core` to begin no earlier than `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn load_program_at(&mut self, core: usize, program: prefender_isa::Program, start: Cycle) {
+        let at = self.cores[core].ready_at.max(start);
+        self.cores[core].load(program, at);
+    }
+
+    /// Writes a 64-bit word of simulated data memory.
+    pub fn write_data(&mut self, addr: u64, value: u64) {
+        self.data.insert(addr, value);
+    }
+
+    /// Reads a 64-bit word of simulated data memory (unwritten = 0).
+    pub fn read_data(&self, addr: u64) -> u64 {
+        self.data.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Latest point in simulated time any core has reached.
+    pub fn now(&self) -> Cycle {
+        self.cores.iter().map(|c| c.ready_at).max().unwrap_or(Cycle::ZERO)
+    }
+
+    fn runnable(&self) -> Option<usize> {
+        self.cores
+            .iter()
+            .filter(|c| c.state == CoreState::Running)
+            .min_by_key(|c| c.ready_at)
+            .map(|c| c.id())
+    }
+
+    /// Executes one instruction on the earliest-ready running core.
+    ///
+    /// Returns `false` when no core is runnable.
+    pub fn step(&mut self) -> bool {
+        let Some(c) = self.runnable() else { return false };
+        self.step_core(c);
+        true
+    }
+
+    /// Runs until every core halts (or the instruction cap trips).
+    pub fn run(&mut self) -> RunSummary {
+        let start_retired: u64 = self.cores.iter().map(|c| c.retired).sum();
+        let mut executed = 0u64;
+        while executed < self.cfg.max_instructions {
+            if !self.step() {
+                let total: u64 = self.cores.iter().map(|c| c.retired).sum();
+                return RunSummary {
+                    cycles: self.now().raw(),
+                    instructions: total - start_retired,
+                    truncated: false,
+                };
+            }
+            executed += 1;
+        }
+        let total: u64 = self.cores.iter().map(|c| c.retired).sum();
+        RunSummary { cycles: self.now().raw(), instructions: total - start_retired, truncated: true }
+    }
+
+    /// Runs until `deadline` (useful for phase-structured attack drivers).
+    pub fn run_until(&mut self, deadline: Cycle) -> RunSummary {
+        let start_retired: u64 = self.cores.iter().map(|c| c.retired).sum();
+        let mut executed = 0u64;
+        while executed < self.cfg.max_instructions {
+            match self.runnable() {
+                Some(c) if self.cores[c].ready_at < deadline => {
+                    self.step_core(c);
+                    executed += 1;
+                }
+                _ => break,
+            }
+        }
+        let total: u64 = self.cores.iter().map(|c| c.retired).sum();
+        RunSummary {
+            cycles: self.now().raw(),
+            instructions: total - start_retired,
+            truncated: executed >= self.cfg.max_instructions,
+        }
+    }
+
+    fn step_core(&mut self, c: usize) {
+        let mut t = self.cores[c].ready_at;
+        let (instr, pc) = {
+            let core = &self.cores[c];
+            let prog = core.program.as_ref().expect("running core has a program");
+            match prog.instr(core.pc_index) {
+                Some(i) => (*i, prog.pc_of(core.pc_index)),
+                None => {
+                    self.cores[c].state = CoreState::Halted;
+                    return;
+                }
+            }
+        };
+
+        if self.cfg.model_fetch {
+            t += self.mem.fetch(c, Addr::new(pc), t);
+        }
+
+        let mut next = self.cores[c].pc_index + 1;
+        let cost = match instr {
+            Instr::LoadImm { rd, imm } => {
+                self.cores[c].regs.write(rd, imm as u64);
+                self.cfg.alu_cost
+            }
+            Instr::Load { rd, base, offset } => {
+                let addr = Addr::new(self.cores[c].regs.read(base).wrapping_add(offset as u64));
+                let outcome = self.mem.access(c, addr, AccessKind::Read, t);
+                let value = self.read_data(addr.raw());
+                self.cores[c].regs.write(rd, value);
+                self.trace.record(TraceEntry {
+                    core: c,
+                    pc,
+                    addr,
+                    kind: AccessKind::Read,
+                    latency: outcome.latency,
+                    served_by: outcome.served_by,
+                    at: t,
+                });
+                self.notify_access(c, pc, addr, Some(base), AccessKind::Read, outcome, t);
+                outcome.latency
+            }
+            Instr::Store { src, base, offset } => {
+                let addr = Addr::new(self.cores[c].regs.read(base).wrapping_add(offset as u64));
+                let outcome = self.mem.access(c, addr, AccessKind::Write, t);
+                let value = self.cores[c].regs.read(src);
+                self.data.insert(addr.raw(), value);
+                self.trace.record(TraceEntry {
+                    core: c,
+                    pc,
+                    addr,
+                    kind: AccessKind::Write,
+                    latency: outcome.latency,
+                    served_by: outcome.served_by,
+                    at: t,
+                });
+                self.notify_access(c, pc, addr, Some(base), AccessKind::Write, outcome, t);
+                self.cfg.store_cost
+            }
+            Instr::Add { rd, a, b } => {
+                let v = self.cores[c].regs.read(a).wrapping_add(self.cores[c].regs.value(b));
+                self.cores[c].regs.write(rd, v);
+                self.cfg.alu_cost
+            }
+            Instr::Sub { rd, a, b } => {
+                let v = self.cores[c].regs.read(a).wrapping_sub(self.cores[c].regs.value(b));
+                self.cores[c].regs.write(rd, v);
+                self.cfg.alu_cost
+            }
+            Instr::Mul { rd, a, b } => {
+                let v = self.cores[c].regs.read(a).wrapping_mul(self.cores[c].regs.value(b));
+                self.cores[c].regs.write(rd, v);
+                self.cfg.mul_cost
+            }
+            Instr::Shl { rd, a, b } => {
+                let sh = self.cores[c].regs.value(b) & 63;
+                let v = self.cores[c].regs.read(a).wrapping_shl(sh as u32);
+                self.cores[c].regs.write(rd, v);
+                self.cfg.alu_cost
+            }
+            Instr::Shr { rd, a, b } => {
+                let sh = self.cores[c].regs.value(b) & 63;
+                let v = self.cores[c].regs.read(a).wrapping_shr(sh as u32);
+                self.cores[c].regs.write(rd, v);
+                self.cfg.alu_cost
+            }
+            Instr::And { rd, a, b } => {
+                let v = self.cores[c].regs.read(a) & self.cores[c].regs.value(b);
+                self.cores[c].regs.write(rd, v);
+                self.cfg.alu_cost
+            }
+            Instr::Or { rd, a, b } => {
+                let v = self.cores[c].regs.read(a) | self.cores[c].regs.value(b);
+                self.cores[c].regs.write(rd, v);
+                self.cfg.alu_cost
+            }
+            Instr::Xor { rd, a, b } => {
+                let v = self.cores[c].regs.read(a) ^ self.cores[c].regs.value(b);
+                self.cores[c].regs.write(rd, v);
+                self.cfg.alu_cost
+            }
+            Instr::Mov { rd, rs } => {
+                let v = self.cores[c].regs.read(rs);
+                self.cores[c].regs.write(rd, v);
+                self.cfg.alu_cost
+            }
+            Instr::Flush { base, offset } => {
+                let addr = Addr::new(self.cores[c].regs.read(base).wrapping_add(offset as u64));
+                let lat = self.mem.flush(addr, t);
+                self.cfg.flush_cost + lat
+            }
+            Instr::Rdtsc { rd } => {
+                self.cores[c].regs.write(rd, t.raw());
+                self.cfg.alu_cost
+            }
+            Instr::Nop => self.cfg.alu_cost,
+            Instr::Jmp { target } => {
+                next = target;
+                self.cfg.branch_cost
+            }
+            Instr::Bnz { cond, target } => {
+                if self.cores[c].regs.read(cond) != 0 {
+                    next = target;
+                }
+                self.cfg.branch_cost
+            }
+            Instr::Beq { a, b, target } => {
+                if self.cores[c].regs.read(a) == self.cores[c].regs.read(b) {
+                    next = target;
+                }
+                self.cfg.branch_cost
+            }
+            Instr::Blt { a, b, target } => {
+                if self.cores[c].regs.read(a) < self.cores[c].regs.read(b) {
+                    next = target;
+                }
+                self.cfg.branch_cost
+            }
+            Instr::Halt => {
+                self.cores[c].state = CoreState::Halted;
+                0
+            }
+        };
+
+        if let Some(pf) = self.prefetchers[c].as_mut() {
+            pf.on_retire(&RetireEvent { core: c, pc, instr: &instr, now: t });
+        }
+
+        self.cores[c].pc_index = next;
+        self.cores[c].ready_at = t + cost;
+        self.cores[c].retired += 1;
+    }
+
+    fn notify_access(
+        &mut self,
+        c: usize,
+        pc: u64,
+        addr: Addr,
+        base: Option<Reg>,
+        kind: AccessKind,
+        outcome: prefender_sim::AccessOutcome,
+        now: Cycle,
+    ) {
+        let Machine { mem, prefetchers, .. } = self;
+        let Some(pf) = prefetchers[c].as_mut() else { return };
+        let ev = AccessEvent { core: c, pc, vaddr: addr, base, kind, outcome, now };
+        let requests = pf.on_access(&ev, &|a| mem.probe_l1d(c, a));
+        for r in requests {
+            mem.prefetch(c, r.addr, r.source, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefender_isa::Program;
+    use prefender_prefetch::TaggedPrefetcher;
+
+    fn machine() -> Machine {
+        Machine::new(HierarchyConfig::paper_baseline(1).unwrap())
+    }
+
+    #[test]
+    fn arithmetic_program_computes() {
+        let mut m = machine();
+        m.load_program(
+            0,
+            Program::parse(
+                "
+                li r1, 6
+                li r2, 7
+                mul r3, r1, r2
+                add r3, r3, 0x100
+                halt
+                ",
+            )
+            .unwrap(),
+        );
+        m.run();
+        assert_eq!(m.core(0).regs().read(Reg::R3), 42 + 0x100);
+        assert_eq!(m.core(0).state(), CoreState::Halted);
+    }
+
+    #[test]
+    fn loads_return_stored_data() {
+        let mut m = machine();
+        m.write_data(0x5000, 0xDEAD);
+        m.load_program(0, Program::parse("li r1, 0x5000\nld r2, 0(r1)\nhalt\n").unwrap());
+        m.run();
+        assert_eq!(m.core(0).regs().read(Reg::R2), 0xDEAD);
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let mut m = machine();
+        m.load_program(
+            0,
+            Program::parse("li r1, 0x6000\nli r2, 99\nst r2, 8(r1)\nld r3, 8(r1)\nhalt\n").unwrap(),
+        );
+        m.run();
+        assert_eq!(m.core(0).regs().read(Reg::R3), 99);
+        assert_eq!(m.read_data(0x6008), 99);
+    }
+
+    #[test]
+    fn loop_executes_expected_iterations() {
+        let mut m = machine();
+        m.load_program(
+            0,
+            Program::parse(
+                "
+                li r1, 10
+                li r2, 0
+                top:
+                add r2, r2, 1
+                sub r1, r1, 1
+                bnz r1, top
+                halt
+                ",
+            )
+            .unwrap(),
+        );
+        let s = m.run();
+        assert_eq!(m.core(0).regs().read(Reg::R2), 10);
+        assert_eq!(s.instructions, 2 + 3 * 10 + 1);
+    }
+
+    #[test]
+    fn cold_load_costs_memory_latency() {
+        let mut m = machine();
+        m.trace_mut().set_enabled(true);
+        m.load_program(0, Program::parse("li r1, 0x9000\nld r2, 0(r1)\nld r3, 0(r1)\nhalt\n").unwrap());
+        m.run();
+        let t = m.trace().entries();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].latency, 200);
+        assert_eq!(t[1].latency, 4);
+    }
+
+    #[test]
+    fn rdtsc_measures_latency_difference() {
+        let mut m = machine();
+        // Warm r4's line, then time a hit and a (flushed) miss.
+        m.load_program(
+            0,
+            Program::parse(
+                "
+                li r1, 0x9000
+                ld r2, 0(r1)      ; warm
+                rdtsc r5
+                ld r2, 0(r1)      ; hit
+                rdtsc r6
+                flush 0(r1)
+                rdtsc r7
+                ld r2, 0(r1)      ; miss
+                rdtsc r8
+                halt
+                ",
+            )
+            .unwrap(),
+        );
+        m.run();
+        let hit = m.core(0).regs().read(Reg::R6) - m.core(0).regs().read(Reg::R5);
+        let miss = m.core(0).regs().read(Reg::R8) - m.core(0).regs().read(Reg::R7);
+        assert!(miss > hit + 100, "hit {hit} vs miss {miss}");
+    }
+
+    #[test]
+    fn flush_forces_next_load_to_memory() {
+        let mut m = machine();
+        m.trace_mut().set_enabled(true);
+        m.load_program(
+            0,
+            Program::parse("li r1, 0x9000\nld r2, 0(r1)\nflush 0(r1)\nld r2, 0(r1)\nhalt\n").unwrap(),
+        );
+        m.run();
+        let t = m.trace().entries();
+        assert_eq!(t[1].latency, 200);
+    }
+
+    #[test]
+    fn prefetcher_receives_events_and_prefetches() {
+        let mut m = machine();
+        m.set_prefetcher(0, Box::new(TaggedPrefetcher::new(64, 1)));
+        m.trace_mut().set_enabled(true);
+        // Miss on 0x9000 triggers next-line prefetch of 0x9040; a later
+        // access to 0x9040 should be (at least partially) covered.
+        m.load_program(
+            0,
+            Program::parse(
+                "
+                li r1, 0x9000
+                ld r2, 0(r1)
+                li r3, 1000
+                spin:
+                sub r3, r3, 1
+                bnz r3, spin
+                ld r2, 64(r1)
+                halt
+                ",
+            )
+            .unwrap(),
+        );
+        m.run();
+        assert_eq!(m.prefetcher(0).unwrap().issued(), 2, "miss + chained tag-bit use");
+        let entries = m.trace().entries();
+        let covered = entries.iter().find(|e| e.addr.raw() == 0x9040).unwrap();
+        assert!(covered.latency <= 4, "prefetched line should be an L1 hit");
+    }
+
+    #[test]
+    fn two_cores_interleave_in_time() {
+        let mut m = Machine::new(HierarchyConfig::paper_baseline(2).unwrap());
+        m.trace_mut().set_enabled(true);
+        m.load_program(0, Program::parse("li r1, 0x9000\nld r2, 0(r1)\nhalt\n").unwrap());
+        m.load_program(1, Program::parse("li r1, 0xA000\nld r2, 0(r1)\nhalt\n").unwrap());
+        m.run();
+        assert_eq!(m.core(0).state(), CoreState::Halted);
+        assert_eq!(m.core(1).state(), CoreState::Halted);
+        assert_eq!(m.trace().by_core(0).count(), 1);
+        assert_eq!(m.trace().by_core(1).count(), 1);
+    }
+
+    #[test]
+    fn cross_core_sharing_through_l2() {
+        let mut m = Machine::new(HierarchyConfig::paper_baseline(2).unwrap());
+        m.trace_mut().set_enabled(true);
+        m.load_program(0, Program::parse("li r1, 0x9000\nld r2, 0(r1)\nhalt\n").unwrap());
+        m.run();
+        m.load_program(1, Program::parse("li r1, 0x9000\nld r2, 0(r1)\nhalt\n").unwrap());
+        m.run();
+        let second = m.trace().by_core(1).next().unwrap();
+        assert_eq!(second.served_by, prefender_sim::Level::L2);
+    }
+
+    #[test]
+    fn instruction_cap_truncates() {
+        let mut m = Machine::with_cpu_config(
+            HierarchyConfig::paper_baseline(1).unwrap(),
+            CpuConfig { max_instructions: 10, ..CpuConfig::default() },
+        );
+        m.load_program(0, Program::parse("top: jmp top\n").unwrap());
+        let s = m.run();
+        assert!(s.truncated);
+        assert_eq!(s.instructions, 10);
+    }
+
+    #[test]
+    fn running_off_the_end_halts() {
+        let mut m = machine();
+        m.load_program(0, Program::parse("nop\n").unwrap());
+        let s = m.run();
+        assert!(!s.truncated);
+        assert_eq!(m.core(0).state(), CoreState::Halted);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut m = machine();
+        m.load_program(0, Program::parse("top: nop\njmp top\n").unwrap());
+        // 5000 cycles is far past the cold-fetch warm-up, so the overshoot
+        // is at most one instruction's cost.
+        m.run_until(Cycle::new(5000));
+        assert!(m.now().raw() >= 4990 && m.now().raw() <= 5010, "now = {}", m.now());
+        assert_eq!(m.core(0).state(), CoreState::Running);
+    }
+
+    #[test]
+    fn summary_display() {
+        let s = RunSummary { cycles: 100, instructions: 50, truncated: false };
+        assert!(s.to_string().contains("IPC 0.500"));
+    }
+}

@@ -1,0 +1,100 @@
+//! The architectural register file.
+
+use prefender_isa::{Operand, Reg, NUM_REGS};
+
+/// 32 × 64-bit architectural registers, all starting at zero.
+///
+/// # Examples
+///
+/// ```
+/// use prefender_cpu::RegFile;
+/// use prefender_isa::{Reg, Operand};
+///
+/// let mut rf = RegFile::new();
+/// rf.write(Reg::R3, 42);
+/// assert_eq!(rf.read(Reg::R3), 42);
+/// assert_eq!(rf.value(Operand::Reg(Reg::R3)), 42);
+/// assert_eq!(rf.value(Operand::Imm(-1)), u64::MAX);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegFile {
+    regs: [u64; NUM_REGS],
+}
+
+impl RegFile {
+    /// A zeroed register file.
+    pub fn new() -> Self {
+        RegFile { regs: [0; NUM_REGS] }
+    }
+
+    /// Reads a register.
+    #[inline]
+    pub fn read(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register.
+    #[inline]
+    pub fn write(&mut self, r: Reg, v: u64) {
+        self.regs[r.index()] = v;
+    }
+
+    /// Resolves an operand: register content or sign-extended immediate.
+    #[inline]
+    pub fn value(&self, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => self.read(r),
+            Operand::Imm(i) => i as u64,
+        }
+    }
+
+    /// Zeroes every register.
+    pub fn reset(&mut self) {
+        self.regs = [0; NUM_REGS];
+    }
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_zeroed() {
+        let rf = RegFile::new();
+        for r in Reg::all() {
+            assert_eq!(rf.read(r), 0);
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut rf = RegFile::new();
+        for (i, r) in Reg::all().enumerate() {
+            rf.write(r, i as u64 * 3);
+        }
+        for (i, r) in Reg::all().enumerate() {
+            assert_eq!(rf.read(r), i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn immediates_sign_extend() {
+        let rf = RegFile::new();
+        assert_eq!(rf.value(Operand::Imm(-2)), u64::MAX - 1);
+        assert_eq!(rf.value(Operand::Imm(7)), 7);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut rf = RegFile::new();
+        rf.write(Reg::R9, 1);
+        rf.reset();
+        assert_eq!(rf.read(Reg::R9), 0);
+    }
+}

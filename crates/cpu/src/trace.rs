@@ -1,0 +1,166 @@
+//! Memory access tracing for attack analysis.
+
+use prefender_sim::{AccessKind, Addr, Cycle, Level};
+
+/// One traced memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Core that issued the access.
+    pub core: usize,
+    /// PC of the load/store instruction.
+    pub pc: u64,
+    /// Accessed address.
+    pub addr: Addr,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Observed load-to-use latency in cycles — the attacker's measurement.
+    pub latency: u64,
+    /// Level that served the access.
+    pub served_by: Level,
+    /// When the access was issued.
+    pub at: Cycle,
+}
+
+/// A bounded in-memory log of demand accesses.
+///
+/// The attack harness reads an attacker's probe latencies out of the trace
+/// instead of emitting `rdtsc` pairs around every probe (both work; the
+/// trace keeps attack programs shorter). Disabled traces cost nothing.
+#[derive(Debug, Clone)]
+pub struct MemTrace {
+    entries: Vec<TraceEntry>,
+    enabled: bool,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl MemTrace {
+    /// Default maximum retained entries.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// Creates a disabled trace (enable with [`MemTrace::set_enabled`]).
+    pub fn new() -> Self {
+        MemTrace {
+            entries: Vec::new(),
+            enabled: false,
+            capacity: Self::DEFAULT_CAPACITY,
+            dropped: 0,
+        }
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// `true` when recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Caps retained entries (older entries are kept, new ones dropped).
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+    }
+
+    /// Appends an entry when enabled and under capacity.
+    pub fn record(&mut self, e: TraceEntry) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(e);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// All retained entries in program order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries issued by one load/store PC (the usual attack query).
+    pub fn by_pc(&self, pc: u64) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter().filter(move |e| e.pc == pc)
+    }
+
+    /// Entries issued by one core.
+    pub fn by_core(&self, core: usize) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter().filter(move |e| e.core == core)
+    }
+
+    /// Number of entries dropped after hitting capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears all entries (keeps enablement and capacity).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.dropped = 0;
+    }
+}
+
+impl Default for MemTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(pc: u64, core: usize) -> TraceEntry {
+        TraceEntry {
+            core,
+            pc,
+            addr: Addr::new(0x1000),
+            kind: AccessKind::Read,
+            latency: 4,
+            served_by: Level::L1,
+            at: Cycle::ZERO,
+        }
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = MemTrace::new();
+        t.record(entry(1, 0));
+        assert!(t.entries().is_empty());
+    }
+
+    #[test]
+    fn enabled_records() {
+        let mut t = MemTrace::new();
+        t.set_enabled(true);
+        t.record(entry(1, 0));
+        t.record(entry(2, 1));
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.by_pc(1).count(), 1);
+        assert_eq!(t.by_core(1).count(), 1);
+    }
+
+    #[test]
+    fn capacity_drops_new_entries() {
+        let mut t = MemTrace::new();
+        t.set_enabled(true);
+        t.set_capacity(1);
+        t.record(entry(1, 0));
+        t.record(entry(2, 0));
+        assert_eq!(t.entries().len(), 1);
+        assert_eq!(t.entries()[0].pc, 1);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = MemTrace::new();
+        t.set_enabled(true);
+        t.record(entry(1, 0));
+        t.clear();
+        assert!(t.entries().is_empty());
+        assert!(t.is_enabled());
+    }
+}

@@ -1,0 +1,40 @@
+//! # prefender-isa — a small RISC-like ISA
+//!
+//! The instruction set executed by `prefender-cpu` and *observed* by the
+//! PREFENDER Scale Tracker. The paper's Table III defines dataflow-tracking
+//! rules over exactly this vocabulary: immediate loads, memory loads,
+//! addition/subtraction, multiplication/shifts, plus the `clflush`-style
+//! flush and a cycle counter read that cache side-channel attacks need.
+//!
+//! Programs are built three ways:
+//!
+//! * directly as a `Vec<Instr>`,
+//! * through [`ProgramBuilder`] (labels, loops, forward references),
+//! * by assembling text with [`Program::parse`].
+//!
+//! ```
+//! use prefender_isa::{Program, Reg};
+//!
+//! let p = Program::parse(
+//!     "
+//!     li   r1, 0x200
+//!     li   r2, 5
+//!     mul  r3, r2, r1      ; r3 = 5 * 0x200
+//!     ld   r4, 0(r3)       ; load array[5 * 0x200]
+//!     halt
+//!     ",
+//! ).unwrap();
+//! assert_eq!(p.len(), 5);
+//! assert!(p.to_string().contains("mul r3, r2, r1"));
+//! # let _ = Reg::R0;
+//! ```
+
+mod asm;
+mod instr;
+mod program;
+mod reg;
+
+pub use asm::ParseError;
+pub use instr::{Instr, Operand};
+pub use program::{BuildError, Label, Program, ProgramBuilder};
+pub use reg::{Reg, NUM_REGS};

@@ -1,0 +1,477 @@
+//! Programs and the label-aware builder.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::asm;
+use crate::instr::{Instr, Operand};
+use crate::reg::Reg;
+
+/// Default code base address: instruction `i` has PC `base + 4*i`.
+///
+/// PCs matter — the Access Tracker associates access buffers with *load
+/// instruction addresses*, and the C3 noise attack thrashes them with many
+/// distinct load PCs.
+pub const DEFAULT_BASE_PC: u64 = 0x8000;
+
+/// Errors from [`ProgramBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// A label was created and referenced but never bound.
+    UnboundLabel {
+        /// The label's internal id.
+        id: usize,
+    },
+    /// A raw branch target pointed outside the program.
+    TargetOutOfRange {
+        /// Index of the offending instruction.
+        at: usize,
+        /// The out-of-range target.
+        target: usize,
+        /// Program length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel { id } => write!(f, "label {id} referenced but never bound"),
+            BuildError::TargetOutOfRange { at, target, len } => {
+                write!(f, "instruction {at} branches to {target}, but program has {len} instructions")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// An opaque branch target handle created by a [`ProgramBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(pub(crate) usize);
+
+/// An immutable, validated instruction sequence.
+///
+/// # Examples
+///
+/// ```
+/// use prefender_isa::{Program, ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg::R1, 4);
+/// let top = b.label();
+/// b.sub(Reg::R1, Reg::R1, 1);
+/// b.bnz(Reg::R1, top);
+/// b.halt();
+/// let p: Program = b.build().unwrap();
+/// assert_eq!(p.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    base_pc: u64,
+    name: String,
+}
+
+impl Program {
+    /// Wraps raw instructions, validating branch targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::TargetOutOfRange`] when a branch points past
+    /// the end of the program.
+    pub fn from_instrs(instrs: Vec<Instr>) -> Result<Self, BuildError> {
+        let len = instrs.len();
+        for (at, i) in instrs.iter().enumerate() {
+            if let Some(target) = i.branch_target() {
+                if target >= len {
+                    return Err(BuildError::TargetOutOfRange { at, target, len });
+                }
+            }
+        }
+        Ok(Program { instrs, base_pc: DEFAULT_BASE_PC, name: String::new() })
+    }
+
+    /// Assembles a textual program. See the crate docs for the syntax.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`](crate::ParseError) pointing at the first
+    /// offending source line.
+    pub fn parse(src: &str) -> Result<Self, crate::ParseError> {
+        asm::parse(src)
+    }
+
+    /// Names the program (used by stats output and the workload catalog).
+    #[must_use]
+    pub fn with_name(mut self, name: &str) -> Self {
+        self.name = name.to_owned();
+        self
+    }
+
+    /// Relocates the synthetic code base (distinct PCs across programs).
+    #[must_use]
+    pub fn with_base_pc(mut self, base_pc: u64) -> Self {
+        self.base_pc = base_pc;
+        self
+    }
+
+    /// The program's name (possibly empty).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Synthetic code base address.
+    pub fn base_pc(&self) -> u64 {
+        self.base_pc
+    }
+
+    /// The PC of instruction `idx`.
+    pub fn pc_of(&self, idx: usize) -> u64 {
+        self.base_pc + 4 * idx as u64
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// `true` for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instruction at `idx`, if any.
+    pub fn instr(&self, idx: usize) -> Option<&Instr> {
+        self.instrs.get(idx)
+    }
+
+    /// All instructions in order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+}
+
+impl fmt::Display for Program {
+    /// Disassembles into text that [`Program::parse`] accepts, generating
+    /// `L<n>` labels for branch targets.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut targets: Vec<usize> =
+            self.instrs.iter().filter_map(|i| i.branch_target()).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        let label_of = |t: usize| -> Option<usize> { targets.binary_search(&t).ok() };
+        for (idx, instr) in self.instrs.iter().enumerate() {
+            if let Some(l) = label_of(idx) {
+                writeln!(f, "L{l}:")?;
+            }
+            match instr.branch_target() {
+                Some(t) => {
+                    let l = label_of(t).expect("every target was collected");
+                    let txt = instr.to_string();
+                    let head = txt.split('@').next().expect("split yields at least one part");
+                    writeln!(f, "    {head}L{l}")?;
+                }
+                None => writeln!(f, "    {instr}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental program construction with labels and forward references.
+///
+/// All emit methods return the instruction's index; label methods return
+/// [`Label`] handles usable before they are bound.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    labels: Vec<Option<usize>>,
+    patches: Vec<(usize, usize)>,
+    base_pc: Option<u64>,
+    name: String,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Names the resulting program.
+    pub fn name(&mut self, name: &str) -> &mut Self {
+        self.name = name.to_owned();
+        self
+    }
+
+    /// Sets the synthetic code base address.
+    pub fn base_pc(&mut self, base: u64) -> &mut Self {
+        self.base_pc = Some(base);
+        self
+    }
+
+    /// Current instruction count (the index the next emit will get).
+    pub fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Creates a label bound to the current position.
+    pub fn label(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    /// Creates an unbound label for forward references.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound (a logic error in the caller).
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.instrs.len());
+    }
+
+    fn emit(&mut self, i: Instr) -> usize {
+        self.instrs.push(i);
+        self.instrs.len() - 1
+    }
+
+    fn emit_branch(&mut self, i: Instr, label: Label) -> usize {
+        let at = self.emit(i);
+        self.patches.push((at, label.0));
+        at
+    }
+
+    /// `rd <- imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) -> usize {
+        self.emit(Instr::LoadImm { rd, imm })
+    }
+
+    /// `rd <- mem[base + offset]`.
+    pub fn ld(&mut self, rd: Reg, offset: i64, base: Reg) -> usize {
+        self.emit(Instr::Load { rd, base, offset })
+    }
+
+    /// `mem[base + offset] <- src`.
+    pub fn st(&mut self, src: Reg, offset: i64, base: Reg) -> usize {
+        self.emit(Instr::Store { src, base, offset })
+    }
+
+    /// `rd <- a + b`.
+    pub fn add(&mut self, rd: Reg, a: Reg, b: impl Into<Operand>) -> usize {
+        self.emit(Instr::Add { rd, a, b: b.into() })
+    }
+
+    /// `rd <- a - b`.
+    pub fn sub(&mut self, rd: Reg, a: Reg, b: impl Into<Operand>) -> usize {
+        self.emit(Instr::Sub { rd, a, b: b.into() })
+    }
+
+    /// `rd <- a * b`.
+    pub fn mul(&mut self, rd: Reg, a: Reg, b: impl Into<Operand>) -> usize {
+        self.emit(Instr::Mul { rd, a, b: b.into() })
+    }
+
+    /// `rd <- a << b`.
+    pub fn shl(&mut self, rd: Reg, a: Reg, b: impl Into<Operand>) -> usize {
+        self.emit(Instr::Shl { rd, a, b: b.into() })
+    }
+
+    /// `rd <- a >> b`.
+    pub fn shr(&mut self, rd: Reg, a: Reg, b: impl Into<Operand>) -> usize {
+        self.emit(Instr::Shr { rd, a, b: b.into() })
+    }
+
+    /// `rd <- a & b`.
+    pub fn and(&mut self, rd: Reg, a: Reg, b: impl Into<Operand>) -> usize {
+        self.emit(Instr::And { rd, a, b: b.into() })
+    }
+
+    /// `rd <- a | b`.
+    pub fn or(&mut self, rd: Reg, a: Reg, b: impl Into<Operand>) -> usize {
+        self.emit(Instr::Or { rd, a, b: b.into() })
+    }
+
+    /// `rd <- a ^ b`.
+    pub fn xor(&mut self, rd: Reg, a: Reg, b: impl Into<Operand>) -> usize {
+        self.emit(Instr::Xor { rd, a, b: b.into() })
+    }
+
+    /// `rd <- rs`.
+    pub fn mov(&mut self, rd: Reg, rs: Reg) -> usize {
+        self.emit(Instr::Mov { rd, rs })
+    }
+
+    /// `clflush [base + offset]`.
+    pub fn flush(&mut self, offset: i64, base: Reg) -> usize {
+        self.emit(Instr::Flush { base, offset })
+    }
+
+    /// `rd <- current cycle`.
+    pub fn rdtsc(&mut self, rd: Reg) -> usize {
+        self.emit(Instr::Rdtsc { rd })
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> usize {
+        self.emit(Instr::Nop)
+    }
+
+    /// Unconditional jump.
+    pub fn jmp(&mut self, label: Label) -> usize {
+        self.emit_branch(Instr::Jmp { target: 0 }, label)
+    }
+
+    /// Branch when `cond != 0`.
+    pub fn bnz(&mut self, cond: Reg, label: Label) -> usize {
+        self.emit_branch(Instr::Bnz { cond, target: 0 }, label)
+    }
+
+    /// Branch when `a == b`.
+    pub fn beq(&mut self, a: Reg, b: Reg, label: Label) -> usize {
+        self.emit_branch(Instr::Beq { a, b, target: 0 }, label)
+    }
+
+    /// Branch when `a < b` (unsigned).
+    pub fn blt(&mut self, a: Reg, b: Reg, label: Label) -> usize {
+        self.emit_branch(Instr::Blt { a, b, target: 0 }, label)
+    }
+
+    /// Stop the core.
+    pub fn halt(&mut self) -> usize {
+        self.emit(Instr::Halt)
+    }
+
+    /// Appends every instruction of `other` (labels are not imported).
+    pub fn extend_raw(&mut self, other: &[Instr]) -> &mut Self {
+        self.instrs.extend_from_slice(other);
+        self
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnboundLabel`] if a referenced label was never
+    /// bound.
+    pub fn build(&self) -> Result<Program, BuildError> {
+        let mut instrs = self.instrs.clone();
+        for &(at, label_id) in &self.patches {
+            let pos = self.labels[label_id].ok_or(BuildError::UnboundLabel { id: label_id })?;
+            match &mut instrs[at] {
+                Instr::Jmp { target }
+                | Instr::Bnz { target, .. }
+                | Instr::Beq { target, .. }
+                | Instr::Blt { target, .. } => *target = pos,
+                other => unreachable!("patched a non-branch: {other:?}"),
+            }
+        }
+        let mut p = Program::from_instrs(instrs)?;
+        if let Some(b) = self.base_pc {
+            p = p.with_base_pc(b);
+        }
+        if !self.name.is_empty() {
+            p = p.with_name(&self.name);
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_backward_branch() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 3);
+        let top = b.label();
+        b.sub(Reg::R1, Reg::R1, 1);
+        b.bnz(Reg::R1, top);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.instr(2), Some(&Instr::Bnz { cond: Reg::R1, target: 1 }));
+    }
+
+    #[test]
+    fn builder_forward_branch() {
+        let mut b = ProgramBuilder::new();
+        let done = b.new_label();
+        b.li(Reg::R1, 0);
+        b.beq(Reg::R1, Reg::R1, done);
+        b.nop();
+        b.bind(done);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.instr(1), Some(&Instr::Beq { a: Reg::R1, b: Reg::R1, target: 3 }));
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.jmp(l);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, BuildError::UnboundLabel { id: 0 }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn from_instrs_validates_targets() {
+        let err = Program::from_instrs(vec![Instr::Jmp { target: 9 }]).unwrap_err();
+        assert!(matches!(err, BuildError::TargetOutOfRange { at: 0, target: 9, len: 1 }));
+    }
+
+    #[test]
+    fn pc_assignment() {
+        let mut b = ProgramBuilder::new();
+        b.base_pc(0x4000);
+        b.nop();
+        b.nop();
+        let p = b.build().unwrap();
+        assert_eq!(p.pc_of(0), 0x4000);
+        assert_eq!(p.pc_of(1), 0x4004);
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 4);
+        let top = b.label();
+        b.ld(Reg::R2, 0, Reg::R1);
+        b.sub(Reg::R1, Reg::R1, 1);
+        b.bnz(Reg::R1, top);
+        b.halt();
+        let p = b.build().unwrap();
+        let text = p.to_string();
+        let p2 = Program::parse(&text).unwrap();
+        assert_eq!(p.instrs(), p2.instrs());
+    }
+
+    #[test]
+    fn name_and_base_propagate() {
+        let mut b = ProgramBuilder::new();
+        b.name("demo").base_pc(0x100);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.name(), "demo");
+        assert_eq!(p.base_pc(), 0x100);
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.bind(l);
+        b.bind(l);
+    }
+}

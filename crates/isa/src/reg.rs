@@ -1,0 +1,99 @@
+//! Architectural registers.
+
+use std::fmt;
+
+/// Number of architectural registers.
+pub const NUM_REGS: usize = 32;
+
+/// An architectural register, `r0`–`r31`.
+///
+/// `r0` is an ordinary register (not hardwired to zero); the Scale Tracker
+/// keeps one `(fva, sc)` calculation-buffer entry per register.
+///
+/// # Examples
+///
+/// ```
+/// use prefender_isa::Reg;
+///
+/// let r = Reg::new(5).unwrap();
+/// assert_eq!(r.to_string(), "r5");
+/// assert_eq!(r.index(), 5);
+/// assert!(Reg::new(32).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+macro_rules! reg_consts {
+    ($($name:ident = $n:expr),* $(,)?) => {
+        impl Reg {
+            $(
+                #[doc = concat!("Register r", stringify!($n), ".")]
+                pub const $name: Reg = Reg($n);
+            )*
+        }
+    };
+}
+
+reg_consts! {
+    R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+    R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21, R22 = 22, R23 = 23,
+    R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28, R29 = 29, R30 = 30, R31 = 31,
+}
+
+impl Reg {
+    /// Creates register `n`, or `None` when `n >= NUM_REGS`.
+    pub const fn new(n: u8) -> Option<Reg> {
+        if (n as usize) < NUM_REGS {
+            Some(Reg(n))
+        } else {
+            None
+        }
+    }
+
+    /// The register's index in `0..NUM_REGS`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over all registers in order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds() {
+        assert_eq!(Reg::new(0), Some(Reg::R0));
+        assert_eq!(Reg::new(31), Some(Reg::R31));
+        assert_eq!(Reg::new(32), None);
+        assert_eq!(Reg::new(255), None);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for r in Reg::all() {
+            assert_eq!(Reg::new(r.index() as u8), Some(r));
+        }
+    }
+
+    #[test]
+    fn all_yields_32() {
+        assert_eq!(Reg::all().count(), NUM_REGS);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::R17.to_string(), "r17");
+    }
+}

@@ -1,0 +1,101 @@
+//! # prefender-prefetch — prefetcher interface and classic baselines
+//!
+//! Defines the [`Prefetcher`] trait through which the CPU model feeds two
+//! event streams to any prefetcher sitting at a core's L1D:
+//!
+//! * **retire events** — every executed instruction (PREFENDER's Scale
+//!   Tracker consumes these to track register dataflow);
+//! * **access events** — every demand L1D access with its observed latency
+//!   and hit level (all prefetchers consume these).
+//!
+//! Two classic baselines used by the paper's Tables IV–VI are provided:
+//! the [`TaggedPrefetcher`] (Smith, 1978) and the Baer–Chen
+//! [`StridePrefetcher`] (1991), plus a [`NullPrefetcher`] and a
+//! priority-ordered [`Chain`].
+//!
+//! ```
+//! use prefender_prefetch::{Prefetcher, TaggedPrefetcher, AccessEvent};
+//! use prefender_sim::{Addr, AccessOutcome, AccessKind, Cycle, Level};
+//!
+//! let mut t = TaggedPrefetcher::new(64, 1);
+//! let miss = AccessEvent {
+//!     core: 0,
+//!     pc: 0x8000,
+//!     vaddr: Addr::new(0x1000),
+//!     base: None,
+//!     kind: AccessKind::Read,
+//!     outcome: AccessOutcome {
+//!         latency: 200,
+//!         served_by: Level::Memory,
+//!         first_prefetch_use: false,
+//!         prefetch_source: None,
+//!     },
+//!     now: Cycle::ZERO,
+//! };
+//! let reqs = t.on_access(&miss, &|_| false);
+//! assert_eq!(reqs[0].addr, Addr::new(0x1040)); // next-line prefetch
+//! ```
+
+mod chain;
+mod event;
+mod null;
+mod stride;
+mod tagged;
+
+pub use chain::Chain;
+pub use event::{AccessEvent, PrefetchRequest, RetireEvent};
+pub use null::NullPrefetcher;
+pub use stride::{StrideEntry, StridePrefetcher, StrideState};
+pub use tagged::TaggedPrefetcher;
+
+use prefender_sim::Addr;
+
+/// A hardware prefetcher attached to one core's L1D cache.
+///
+/// Implementations receive retire and access events and return
+/// [`PrefetchRequest`]s; the machine model issues them into the hierarchy
+/// (deduplicated against lines already present or in flight).
+///
+/// The trait is object-safe: the machine stores `Box<dyn Prefetcher>`.
+pub trait Prefetcher {
+    /// Short name for stats output (e.g. `"stride"`).
+    fn name(&self) -> &str;
+
+    /// Observes one retired instruction. Default: ignore.
+    fn on_retire(&mut self, _ev: &RetireEvent<'_>) {}
+
+    /// Observes one demand L1D access and proposes prefetches.
+    ///
+    /// `resident` reports whether the line holding an address is already in
+    /// (or in flight to) this core's L1D — the "not currently in the L1D
+    /// cache" test of the paper.
+    fn on_access(
+        &mut self,
+        ev: &AccessEvent,
+        resident: &dyn Fn(Addr) -> bool,
+    ) -> Vec<PrefetchRequest>;
+
+    /// Total prefetch requests this prefetcher has proposed.
+    fn issued(&self) -> u64;
+
+    /// Clears internal learning state (buffers, tables) and counters.
+    fn reset(&mut self);
+
+    /// Downcast hook: implementations with richer statistics (PREFENDER's
+    /// per-unit counters) return `Some(self)` so harnesses can recover the
+    /// concrete type from a `Box<dyn Prefetcher>`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let b: Box<dyn Prefetcher> = Box::new(NullPrefetcher::new());
+        assert_eq!(b.name(), "null");
+    }
+}

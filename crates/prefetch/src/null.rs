@@ -1,0 +1,54 @@
+//! The do-nothing prefetcher (the paper's no-prefetch baseline).
+
+use prefender_sim::Addr;
+
+use crate::event::{AccessEvent, PrefetchRequest};
+use crate::Prefetcher;
+
+/// A prefetcher that never prefetches.
+///
+/// Used as the baseline configuration in Tables IV–VI (speedups are
+/// reported against a machine with no prefetchers at all).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullPrefetcher;
+
+impl NullPrefetcher {
+    /// Creates the null prefetcher.
+    pub fn new() -> Self {
+        NullPrefetcher
+    }
+}
+
+impl Prefetcher for NullPrefetcher {
+    fn name(&self) -> &str {
+        "null"
+    }
+
+    fn on_access(
+        &mut self,
+        _ev: &AccessEvent,
+        _resident: &dyn Fn(Addr) -> bool,
+    ) -> Vec<PrefetchRequest> {
+        Vec::new()
+    }
+
+    fn issued(&self) -> u64 {
+        0
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::test_access;
+
+    #[test]
+    fn never_prefetches() {
+        let mut p = NullPrefetcher::new();
+        let reqs = p.on_access(&test_access(0x8000, 0x1000, false), &|_| false);
+        assert!(reqs.is_empty());
+        assert_eq!(p.issued(), 0);
+    }
+}

@@ -1,0 +1,536 @@
+//! A single set-associative cache array with in-flight prefetch tracking.
+
+use std::collections::HashMap;
+
+use crate::addr::Addr;
+use crate::config::CacheConfig;
+use crate::line::CacheLine;
+use crate::replacement::ReplacementPolicy;
+use crate::stats::{CacheStats, PrefetchSource};
+use crate::time::Cycle;
+
+/// Result of a demand lookup in one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    /// The line was present.
+    Hit {
+        /// `true` when this was the first demand use of a prefetched line
+        /// (the Tagged prefetcher's tag-bit event).
+        first_prefetch_use: bool,
+        /// Who installed the line (meaningful when `first_prefetch_use`).
+        source: PrefetchSource,
+    },
+    /// The line is being prefetched but has not arrived yet; the demand
+    /// access pays the remaining latency until `ready_at`.
+    InFlight {
+        /// When the prefetch completes.
+        ready_at: Cycle,
+        /// Who issued the prefetch.
+        source: PrefetchSource,
+    },
+    /// The line is absent.
+    Miss,
+}
+
+/// A line displaced by a fill, reported upward for write-back and for the
+/// inclusive hierarchy's back-invalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Line-aligned address of the displaced line.
+    pub addr: Addr,
+    /// The line was dirty and must be written back.
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    ready_at: Cycle,
+    source: PrefetchSource,
+}
+
+/// One set-associative cache array.
+///
+/// `Cache` models presence, recency and dirtiness — never data. It is
+/// composed into a [`MemorySystem`](crate::MemorySystem) which drives the
+/// multi-level (inclusive) behaviour; `Cache` itself only answers lookups,
+/// picks victims and tracks in-flight prefetches.
+///
+/// # Examples
+///
+/// ```
+/// use prefender_sim::{Cache, CacheConfig, Addr, Cycle, LookupResult};
+///
+/// # fn main() -> Result<(), prefender_sim::ConfigError> {
+/// let mut c = Cache::new(CacheConfig::new("L1D", 1024, 2, 64, 4)?);
+/// let a = Addr::new(0x80);
+/// assert_eq!(c.demand_lookup(a, Cycle::ZERO), LookupResult::Miss);
+/// c.fill(a, Cycle::ZERO, None, false);
+/// assert!(matches!(c.demand_lookup(a, Cycle::new(1)), LookupResult::Hit { .. }));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<CacheLine>>,
+    inflight: HashMap<u64, InFlight>,
+    stats: CacheStats,
+    fill_seq: u64,
+    rng_state: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let n_sets = cfg.n_sets() as usize;
+        let assoc = cfg.associativity() as usize;
+        Cache {
+            cfg,
+            sets: vec![vec![CacheLine::empty(); assoc]; n_sets],
+            inflight: HashMap::new(),
+            stats: CacheStats::new(),
+            fill_seq: 0,
+            rng_state: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The cache's geometry and timing configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Read access to the event counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Mutable access to the event counters (the hierarchy adds latencies).
+    pub fn stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.stats
+    }
+
+    fn line_addr(&self, addr: Addr) -> u64 {
+        addr.line(self.cfg.line_size()).raw()
+    }
+
+    fn set_of(&self, addr: Addr) -> usize {
+        self.cfg.set_index(addr) as usize
+    }
+
+    /// Non-mutating presence check (installed lines only).
+    pub fn contains(&self, addr: Addr) -> bool {
+        let la = self.line_addr(addr);
+        self.sets[self.set_of(addr)].iter().any(|l| l.valid && l.tag == la)
+    }
+
+    /// Presence check that also counts lines still in flight from a
+    /// prefetch. PREFENDER's "not currently in the L1D cache" test uses
+    /// this, so a line is never prefetched twice.
+    pub fn contains_or_inflight(&self, addr: Addr) -> bool {
+        self.contains(addr) || self.inflight.contains_key(&self.line_addr(addr))
+    }
+
+    /// Number of valid lines currently installed (test/debug helper).
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().flatten().filter(|l| l.valid).count()
+    }
+
+    /// Materializes every in-flight prefetch whose completion time has
+    /// passed. Called by the hierarchy before each lookup so that lazy
+    /// completion is invisible to callers.
+    ///
+    /// Returns evicted lines (write-back / back-invalidation work for the
+    /// hierarchy).
+    pub fn expire_inflight(&mut self, now: Cycle) -> Vec<EvictedLine> {
+        let ready: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, f)| f.ready_at <= now)
+            .map(|(&la, _)| la)
+            .collect();
+        let mut evicted = Vec::new();
+        for la in ready {
+            let f = self.inflight.remove(&la).expect("key collected above");
+            if let Some(e) = self.fill(Addr::new(la), f.ready_at, Some(f.source), false) {
+                evicted.push(e);
+            }
+        }
+        evicted
+    }
+
+    /// Performs a demand lookup, updating recency and prefetch-use
+    /// bookkeeping. Does *not* update hit/miss counters — the hierarchy
+    /// does, because only it knows the final latency.
+    pub fn demand_lookup(&mut self, addr: Addr, now: Cycle) -> LookupResult {
+        let la = self.line_addr(addr);
+        let set = self.set_of(addr);
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == la {
+                line.last_touch = now;
+                let first_use = line.prefetched;
+                let source = line.source;
+                if first_use {
+                    line.prefetched = false;
+                    self.stats.prefetch_useful += 1;
+                }
+                return LookupResult::Hit { first_prefetch_use: first_use, source };
+            }
+        }
+        if let Some(f) = self.inflight.remove(&la) {
+            // Late prefetch: materialize at its completion time (the
+            // moment the demand access can actually use it); the caller
+            // charges the remaining latency.
+            self.stats.prefetch_late += 1;
+            let evicted = self.fill(addr, f.ready_at.max(now), Some(f.source), false);
+            debug_assert!(evicted.is_none() || evicted.unwrap().addr.raw() != la);
+            // The demand access is about to use it: clear the tag bit.
+            if let Some(line) = self.line_mut(addr) {
+                line.prefetched = false;
+            }
+            return LookupResult::InFlight { ready_at: f.ready_at, source: f.source };
+        }
+        LookupResult::Miss
+    }
+
+    fn line_mut(&mut self, addr: Addr) -> Option<&mut CacheLine> {
+        let la = self.line_addr(addr);
+        let set = self.set_of(addr);
+        self.sets[set].iter_mut().find(|l| l.valid && l.tag == la)
+    }
+
+    /// Marks an installed line dirty (store hit).
+    pub fn mark_dirty(&mut self, addr: Addr) {
+        if let Some(line) = self.line_mut(addr) {
+            line.dirty = true;
+        }
+    }
+
+    /// Refreshes a line's recency without demand-access bookkeeping.
+    ///
+    /// Used when a prefetch is served from this cache: the fill *reads*
+    /// the line, so its replacement state is updated exactly as a demand
+    /// hit would, but no hit/miss or tag-bit accounting applies.
+    pub fn touch(&mut self, addr: Addr, now: Cycle) {
+        if let Some(line) = self.line_mut(addr) {
+            line.last_touch = now;
+        }
+    }
+
+    /// Installs a line, evicting a victim if the set is full.
+    ///
+    /// `prefetch` attributes the fill to a prefetch source and sets the
+    /// tag bit; `write` installs the line dirty (write-allocate).
+    /// Filling an already-present line only refreshes recency.
+    pub fn fill(
+        &mut self,
+        addr: Addr,
+        now: Cycle,
+        prefetch: Option<PrefetchSource>,
+        write: bool,
+    ) -> Option<EvictedLine> {
+        let la = self.line_addr(addr);
+        // Already present: refresh.
+        if let Some(line) = self.line_mut(addr) {
+            line.last_touch = now;
+            if write {
+                line.dirty = true;
+            }
+            return None;
+        }
+        self.inflight.remove(&la);
+        let seq = self.fill_seq;
+        self.fill_seq += 1;
+        let set = self.set_of(addr);
+        let victim_way = self.pick_victim(set);
+        let victim = &mut self.sets[set][victim_way];
+        let evicted = if victim.valid {
+            self.stats.evictions += 1;
+            if victim.prefetched {
+                self.stats.prefetch_unused += 1;
+            }
+            Some(EvictedLine { addr: Addr::new(victim.tag), dirty: victim.dirty })
+        } else {
+            None
+        };
+        *victim = CacheLine {
+            tag: la,
+            valid: true,
+            dirty: write,
+            prefetched: prefetch.is_some(),
+            source: prefetch.unwrap_or(PrefetchSource::Other),
+            last_touch: now,
+            fill_seq: seq,
+        };
+        if prefetch.is_some() {
+            self.stats.prefetch_fills += 1;
+        }
+        evicted
+    }
+
+    /// Registers an in-flight prefetch completing at `ready_at`.
+    ///
+    /// No-op when the line is already installed or already in flight.
+    pub fn fill_inflight(&mut self, addr: Addr, ready_at: Cycle, source: PrefetchSource) {
+        let la = self.line_addr(addr);
+        if self.contains(addr) || self.inflight.contains_key(&la) {
+            return;
+        }
+        self.inflight.insert(la, InFlight { ready_at, source });
+    }
+
+    /// Removes a line (flush or back-invalidation). Also cancels any
+    /// in-flight prefetch of the line.
+    ///
+    /// Returns the line's state if it was present (so the hierarchy can
+    /// write back dirty data), `None` otherwise.
+    pub fn invalidate(&mut self, addr: Addr) -> Option<EvictedLine> {
+        let la = self.line_addr(addr);
+        self.inflight.remove(&la);
+        let set = self.set_of(addr);
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == la {
+                self.stats.invalidations += 1;
+                if line.prefetched {
+                    self.stats.prefetch_unused += 1;
+                }
+                let out = EvictedLine { addr: Addr::new(la), dirty: line.dirty };
+                *line = CacheLine::empty();
+                return Some(out);
+            }
+        }
+        None
+    }
+
+    /// All line-aligned addresses currently installed (test/debug helper).
+    pub fn resident_lines(&self) -> Vec<Addr> {
+        let mut v: Vec<Addr> = self
+            .sets
+            .iter()
+            .flatten()
+            .filter(|l| l.valid)
+            .map(|l| Addr::new(l.tag))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn pick_victim(&mut self, set: usize) -> usize {
+        let ways = &self.sets[set];
+        if let Some(i) = ways.iter().position(|l| !l.valid) {
+            return i;
+        }
+        match self.cfg.replacement() {
+            ReplacementPolicy::Lru => ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_touch)
+                .map(|(i, _)| i)
+                .expect("associativity >= 1"),
+            ReplacementPolicy::Fifo => ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.fill_seq)
+                .map(|(i, _)| i)
+                .expect("associativity >= 1"),
+            ReplacementPolicy::Random => {
+                // xorshift64*: deterministic, cheap, good enough to ablate.
+                let mut x = self.rng_state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                self.rng_state = x;
+                (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % ways.len() as u64) as usize
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(assoc: u32, policy: ReplacementPolicy) -> Cache {
+        // 512 B, `assoc`-way, 64 B lines => 8/assoc sets.
+        let cfg = CacheConfig::new("T", 512, assoc, 64, 4).unwrap().with_replacement(policy);
+        Cache::new(cfg)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny(2, ReplacementPolicy::Lru);
+        let a = Addr::new(0x100);
+        assert_eq!(c.demand_lookup(a, Cycle::ZERO), LookupResult::Miss);
+        assert!(c.fill(a, Cycle::ZERO, None, false).is_none());
+        assert!(c.contains(a));
+        match c.demand_lookup(a, Cycle::new(1)) {
+            LookupResult::Hit { first_prefetch_use, .. } => assert!(!first_prefetch_use),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hit_anywhere_in_line() {
+        let mut c = tiny(2, ReplacementPolicy::Lru);
+        c.fill(Addr::new(0x100), Cycle::ZERO, None, false);
+        assert!(c.contains(Addr::new(0x13F)));
+        assert!(!c.contains(Addr::new(0x140)));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(2, ReplacementPolicy::Lru);
+        // Set count = 4; 0x000 and 0x400 and 0x800 share set 0 (line/64 % 4).
+        let a = Addr::new(0x000);
+        let b = Addr::new(0x400);
+        let d = Addr::new(0x800);
+        c.fill(a, Cycle::new(0), None, false);
+        c.fill(b, Cycle::new(1), None, false);
+        // touch a so b becomes LRU
+        c.demand_lookup(a, Cycle::new(2));
+        let evicted = c.fill(d, Cycle::new(3), None, false).expect("set was full");
+        assert_eq!(evicted.addr, b);
+        assert!(c.contains(a) && c.contains(d) && !c.contains(b));
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_fill() {
+        let mut c = tiny(2, ReplacementPolicy::Fifo);
+        let a = Addr::new(0x000);
+        let b = Addr::new(0x400);
+        let d = Addr::new(0x800);
+        c.fill(a, Cycle::new(0), None, false);
+        c.fill(b, Cycle::new(1), None, false);
+        c.demand_lookup(a, Cycle::new(2)); // recency must NOT matter
+        let evicted = c.fill(d, Cycle::new(3), None, false).expect("set was full");
+        assert_eq!(evicted.addr, a);
+    }
+
+    #[test]
+    fn random_replacement_is_deterministic() {
+        let run = || {
+            let mut c = tiny(2, ReplacementPolicy::Random);
+            let mut evictions = Vec::new();
+            for i in 0..16u64 {
+                if let Some(e) = c.fill(Addr::new(i * 0x400), Cycle::new(i), None, false) {
+                    evictions.push(e.addr.raw());
+                }
+            }
+            evictions
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn prefetch_fill_sets_tag_bit_and_first_use_clears_it() {
+        let mut c = tiny(2, ReplacementPolicy::Lru);
+        let a = Addr::new(0x100);
+        c.fill(a, Cycle::ZERO, Some(PrefetchSource::ScaleTracker), false);
+        assert_eq!(c.stats().prefetch_fills, 1);
+        match c.demand_lookup(a, Cycle::new(1)) {
+            LookupResult::Hit { first_prefetch_use, source } => {
+                assert!(first_prefetch_use);
+                assert_eq!(source, PrefetchSource::ScaleTracker);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(c.stats().prefetch_useful, 1);
+        // Second use is an ordinary hit.
+        match c.demand_lookup(a, Cycle::new(2)) {
+            LookupResult::Hit { first_prefetch_use, .. } => assert!(!first_prefetch_use),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inflight_prefetch_arrives_on_time() {
+        let mut c = tiny(2, ReplacementPolicy::Lru);
+        let a = Addr::new(0x100);
+        c.fill_inflight(a, Cycle::new(100), PrefetchSource::AccessTracker);
+        assert!(c.contains_or_inflight(a));
+        assert!(!c.contains(a));
+        let evicted = c.expire_inflight(Cycle::new(100));
+        assert!(evicted.is_empty());
+        assert!(c.contains(a));
+        assert_eq!(c.stats().prefetch_fills, 1);
+    }
+
+    #[test]
+    fn demand_on_late_prefetch_reports_inflight() {
+        let mut c = tiny(2, ReplacementPolicy::Lru);
+        let a = Addr::new(0x100);
+        c.fill_inflight(a, Cycle::new(100), PrefetchSource::Basic);
+        match c.demand_lookup(a, Cycle::new(40)) {
+            LookupResult::InFlight { ready_at, source } => {
+                assert_eq!(ready_at, Cycle::new(100));
+                assert_eq!(source, PrefetchSource::Basic);
+            }
+            other => panic!("expected in-flight, got {other:?}"),
+        }
+        assert_eq!(c.stats().prefetch_late, 1);
+        // The line materialized and is present afterwards, not counted useful
+        // again.
+        assert!(c.contains(a));
+        assert_eq!(c.stats().prefetch_useful, 0);
+    }
+
+    #[test]
+    fn invalidate_removes_line_and_inflight() {
+        let mut c = tiny(2, ReplacementPolicy::Lru);
+        let a = Addr::new(0x100);
+        let b = Addr::new(0x200);
+        c.fill(a, Cycle::ZERO, None, false);
+        c.fill_inflight(b, Cycle::new(50), PrefetchSource::Basic);
+        assert!(c.invalidate(a).is_some());
+        assert!(c.invalidate(b).is_none(), "inflight line was never installed");
+        assert!(!c.contains(a));
+        assert!(!c.contains_or_inflight(b));
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback_needed() {
+        let mut c = tiny(2, ReplacementPolicy::Lru);
+        let a = Addr::new(0x000);
+        c.fill(a, Cycle::new(0), None, true); // write-allocate
+        c.fill(Addr::new(0x400), Cycle::new(1), None, false);
+        let e = c.fill(Addr::new(0x800), Cycle::new(2), None, false).unwrap();
+        assert_eq!(e.addr, a);
+        assert!(e.dirty);
+    }
+
+    #[test]
+    fn mark_dirty_on_store_hit() {
+        let mut c = tiny(2, ReplacementPolicy::Lru);
+        let a = Addr::new(0x100);
+        c.fill(a, Cycle::ZERO, None, false);
+        c.mark_dirty(a);
+        let e = c.invalidate(a).unwrap();
+        assert!(e.dirty);
+    }
+
+    #[test]
+    fn unused_prefetch_eviction_counted() {
+        let mut c = tiny(2, ReplacementPolicy::Lru);
+        c.fill(Addr::new(0x000), Cycle::new(0), Some(PrefetchSource::Basic), false);
+        c.fill(Addr::new(0x400), Cycle::new(1), None, false);
+        c.fill(Addr::new(0x800), Cycle::new(2), None, false); // evicts the prefetch
+        assert_eq!(c.stats().prefetch_unused, 1);
+    }
+
+    #[test]
+    fn refill_refreshes_instead_of_duplicating() {
+        let mut c = tiny(2, ReplacementPolicy::Lru);
+        let a = Addr::new(0x100);
+        c.fill(a, Cycle::new(0), None, false);
+        assert!(c.fill(a, Cycle::new(5), None, false).is_none());
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn resident_lines_sorted() {
+        let mut c = tiny(2, ReplacementPolicy::Lru);
+        c.fill(Addr::new(0x400), Cycle::ZERO, None, false);
+        c.fill(Addr::new(0x100), Cycle::ZERO, None, false);
+        assert_eq!(c.resident_lines(), vec![Addr::new(0x100), Addr::new(0x400)]);
+    }
+}

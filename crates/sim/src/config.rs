@@ -1,0 +1,337 @@
+//! Cache and hierarchy configuration.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::replacement::ReplacementPolicy;
+
+/// Errors produced when validating a cache or hierarchy configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A size or associativity parameter was zero or not a power of two.
+    NotPowerOfTwo {
+        /// Name of the offending parameter.
+        field: &'static str,
+        /// The rejected value.
+        value: u64,
+    },
+    /// The cache size is not divisible into `associativity` ways of whole sets.
+    Indivisible {
+        /// Total cache capacity in bytes.
+        size: u64,
+        /// Ways per set.
+        associativity: u32,
+        /// Line size in bytes.
+        line_size: u64,
+    },
+    /// The hierarchy was configured with zero cores.
+    NoCores,
+    /// L2 must be at least as large as every L1 for the inclusive hierarchy.
+    LlcSmallerThanL1 {
+        /// L2 capacity in bytes.
+        l2_size: u64,
+        /// The larger L1 capacity in bytes.
+        l1_size: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NotPowerOfTwo { field, value } => {
+                write!(f, "{field} must be a nonzero power of two, got {value}")
+            }
+            ConfigError::Indivisible { size, associativity, line_size } => write!(
+                f,
+                "cache of {size} bytes cannot be divided into {associativity}-way sets of {line_size}-byte lines"
+            ),
+            ConfigError::NoCores => write!(f, "hierarchy needs at least one core"),
+            ConfigError::LlcSmallerThanL1 { l2_size, l1_size } => write!(
+                f,
+                "inclusive L2 ({l2_size} bytes) must not be smaller than an L1 ({l1_size} bytes)"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Geometry and timing of a single cache.
+///
+/// # Examples
+///
+/// ```
+/// use prefender_sim::CacheConfig;
+///
+/// let l1d = CacheConfig::new("L1D", 64 * 1024, 2, 64, 4).unwrap();
+/// assert_eq!(l1d.n_sets(), 512);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    name: String,
+    size: u64,
+    associativity: u32,
+    line_size: u64,
+    hit_latency: u64,
+    replacement: ReplacementPolicy,
+}
+
+impl CacheConfig {
+    /// Creates a validated cache configuration.
+    ///
+    /// `size` and `line_size` are in bytes; `hit_latency` is the total
+    /// load-to-use latency in cycles when this cache hits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `size`, `associativity` or `line_size` is
+    /// zero or not a power of two, or if the geometry does not divide into
+    /// whole sets.
+    pub fn new(
+        name: &str,
+        size: u64,
+        associativity: u32,
+        line_size: u64,
+        hit_latency: u64,
+    ) -> Result<Self, ConfigError> {
+        if size == 0 || !size.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo { field: "size", value: size });
+        }
+        if line_size == 0 || !line_size.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo { field: "line_size", value: line_size });
+        }
+        if associativity == 0 || !associativity.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                field: "associativity",
+                value: associativity as u64,
+            });
+        }
+        let lines = size / line_size;
+        if lines == 0 || lines % associativity as u64 != 0 {
+            return Err(ConfigError::Indivisible { size, associativity, line_size });
+        }
+        Ok(CacheConfig {
+            name: name.to_owned(),
+            size,
+            associativity,
+            line_size,
+            hit_latency,
+            replacement: ReplacementPolicy::Lru,
+        })
+    }
+
+    /// Replaces the replacement policy (default: [`ReplacementPolicy::Lru`]).
+    #[must_use]
+    pub fn with_replacement(mut self, policy: ReplacementPolicy) -> Self {
+        self.replacement = policy;
+        self
+    }
+
+    /// The cache's human-readable name (used in stats output).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total capacity in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Ways per set.
+    pub fn associativity(&self) -> u32 {
+        self.associativity
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// Load-to-use latency in cycles when this cache hits.
+    pub fn hit_latency(&self) -> u64 {
+        self.hit_latency
+    }
+
+    /// The configured replacement policy.
+    pub fn replacement(&self) -> ReplacementPolicy {
+        self.replacement
+    }
+
+    /// Number of sets (`size / line_size / associativity`).
+    pub fn n_sets(&self) -> u64 {
+        self.size / self.line_size / self.associativity as u64
+    }
+
+    /// The set index an address maps to.
+    pub fn set_index(&self, addr: crate::Addr) -> u64 {
+        (addr.raw() / self.line_size) % self.n_sets()
+    }
+}
+
+/// Configuration of the full multi-core hierarchy.
+///
+/// The paper's baseline (Section V-A): per-core 32 KB L1I and 64 KB L1D,
+/// a shared 2 MB L2 (the LLC), 4 MSHRs merging up to 20 requests each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Number of cores, each with private L1I/L1D.
+    pub n_cores: usize,
+    /// Per-core instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// Per-core data cache geometry.
+    pub l1d: CacheConfig,
+    /// Shared last-level cache geometry.
+    pub l2: CacheConfig,
+    /// Total load-to-use latency of a DRAM access, in cycles.
+    pub memory_latency: u64,
+    /// Number of MSHR entries at the L2/memory boundary.
+    pub n_mshrs: usize,
+    /// Maximum requests merged into one MSHR entry.
+    pub mshr_merge_limit: u32,
+    /// Page size in bytes (bounds prefetching; the paper prefetches within a page).
+    pub page_size: u64,
+}
+
+impl HierarchyConfig {
+    /// The paper's gem5 baseline configuration for `n_cores` cores.
+    ///
+    /// 32 KB / 2-way L1I, 64 KB / 2-way L1D (Section V-E says the L1D is
+    /// 2-way), 2 MB / 16-way shared L2, 64-byte lines, 4 KB pages.
+    /// Latencies: L1 hit 4 cycles, L2 hit 20 cycles, memory 200 cycles
+    /// (total load-to-use, chosen so hits and misses separate cleanly
+    /// around the ~100-cycle hit threshold of the paper's Figure 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::NoCores`] when `n_cores` is zero; the fixed
+    /// geometries themselves always validate.
+    pub fn paper_baseline(n_cores: usize) -> Result<Self, ConfigError> {
+        let cfg = HierarchyConfig {
+            n_cores,
+            l1i: CacheConfig::new("L1I", 32 * 1024, 2, 64, 4)?,
+            l1d: CacheConfig::new("L1D", 64 * 1024, 2, 64, 4)?,
+            l2: CacheConfig::new("L2", 2 * 1024 * 1024, 16, 64, 20)?,
+            memory_latency: 200,
+            n_mshrs: 4,
+            mshr_merge_limit: 20,
+            page_size: 4096,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// A small hierarchy useful for fast unit tests: 1 KB / 2-way L1s,
+    /// 8 KB / 4-way L2, 64-byte lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::NoCores`] when `n_cores` is zero.
+    pub fn tiny(n_cores: usize) -> Result<Self, ConfigError> {
+        let cfg = HierarchyConfig {
+            n_cores,
+            l1i: CacheConfig::new("L1I", 1024, 2, 64, 4)?,
+            l1d: CacheConfig::new("L1D", 1024, 2, 64, 4)?,
+            l2: CacheConfig::new("L2", 8192, 4, 64, 20)?,
+            memory_latency: 200,
+            n_mshrs: 4,
+            mshr_merge_limit: 20,
+            page_size: 4096,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Validates cross-cache invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::NoCores`] for a zero-core hierarchy and
+    /// [`ConfigError::LlcSmallerThanL1`] when inclusion cannot hold.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n_cores == 0 {
+            return Err(ConfigError::NoCores);
+        }
+        let l1_max = self.l1i.size().max(self.l1d.size());
+        if self.l2.size() < l1_max {
+            return Err(ConfigError::LlcSmallerThanL1 { l2_size: self.l2.size(), l1_size: l1_max });
+        }
+        Ok(())
+    }
+
+    /// Line size shared by every level (the L1D's).
+    pub fn line_size(&self) -> u64 {
+        self.l1d.line_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Addr;
+
+    #[test]
+    fn l1d_geometry_matches_paper() {
+        let c = CacheConfig::new("L1D", 64 * 1024, 2, 64, 4).unwrap();
+        assert_eq!(c.n_sets(), 512);
+        assert_eq!(c.associativity(), 2);
+        assert_eq!(c.line_size(), 64);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_size() {
+        let err = CacheConfig::new("X", 3000, 2, 64, 1).unwrap_err();
+        assert!(matches!(err, ConfigError::NotPowerOfTwo { field: "size", .. }));
+    }
+
+    #[test]
+    fn rejects_zero_associativity() {
+        let err = CacheConfig::new("X", 1024, 0, 64, 1).unwrap_err();
+        assert!(matches!(err, ConfigError::NotPowerOfTwo { field: "associativity", .. }));
+    }
+
+    #[test]
+    fn rejects_line_larger_than_cache() {
+        let err = CacheConfig::new("X", 64, 2, 128, 1).unwrap_err();
+        assert!(matches!(err, ConfigError::Indivisible { .. }));
+    }
+
+    #[test]
+    fn set_index_wraps() {
+        let c = CacheConfig::new("L1D", 1024, 2, 64, 4).unwrap(); // 8 sets
+        assert_eq!(c.n_sets(), 8);
+        assert_eq!(c.set_index(Addr::new(0)), 0);
+        assert_eq!(c.set_index(Addr::new(64)), 1);
+        assert_eq!(c.set_index(Addr::new(64 * 8)), 0);
+        assert_eq!(c.set_index(Addr::new(64 * 9 + 63)), 1);
+    }
+
+    #[test]
+    fn paper_baseline_validates() {
+        let h = HierarchyConfig::paper_baseline(4).unwrap();
+        assert_eq!(h.n_cores, 4);
+        assert_eq!(h.l1d.size(), 64 * 1024);
+        assert_eq!(h.l2.size(), 2 * 1024 * 1024);
+        assert_eq!(h.n_mshrs, 4);
+        assert_eq!(h.mshr_merge_limit, 20);
+    }
+
+    #[test]
+    fn zero_cores_rejected() {
+        assert_eq!(HierarchyConfig::paper_baseline(0).unwrap_err(), ConfigError::NoCores);
+    }
+
+    #[test]
+    fn inclusive_violation_rejected() {
+        let mut h = HierarchyConfig::tiny(1).unwrap();
+        h.l2 = CacheConfig::new("L2", 512, 2, 64, 10).unwrap();
+        assert!(matches!(h.validate().unwrap_err(), ConfigError::LlcSmallerThanL1 { .. }));
+    }
+
+    #[test]
+    fn errors_display_readably() {
+        let e = ConfigError::NotPowerOfTwo { field: "size", value: 3 };
+        assert_eq!(e.to_string(), "size must be a nonzero power of two, got 3");
+        assert!(ConfigError::NoCores.to_string().contains("at least one core"));
+    }
+}

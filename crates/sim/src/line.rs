@@ -1,0 +1,68 @@
+//! A single cacheline's bookkeeping state.
+
+use crate::stats::PrefetchSource;
+use crate::time::Cycle;
+
+/// Metadata for one way of one cache set.
+///
+/// The simulator never stores data bytes — attacks and workloads only need
+/// presence, timing and dirtiness. The `prefetched` flag doubles as the
+/// Tagged prefetcher's *tag bit*: it is set on prefetch fill and cleared on
+/// the first demand use (that first use is reported upward so the Tagged
+/// prefetcher can chain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLine {
+    /// Line-aligned address tag (full address; the simulator trades bits for clarity).
+    pub tag: u64,
+    /// Whether this way currently holds a line.
+    pub valid: bool,
+    /// Whether the line has been written since fill.
+    pub dirty: bool,
+    /// Set on prefetch fill, cleared on first demand use.
+    pub prefetched: bool,
+    /// Who installed the line (valid only when `prefetched`).
+    pub source: PrefetchSource,
+    /// Last demand/fill touch, for LRU.
+    pub last_touch: Cycle,
+    /// Monotonic fill sequence number, for FIFO.
+    pub fill_seq: u64,
+}
+
+impl CacheLine {
+    /// An invalid (empty) way.
+    pub fn empty() -> Self {
+        CacheLine {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            prefetched: false,
+            source: PrefetchSource::Other,
+            last_touch: Cycle::ZERO,
+            fill_seq: 0,
+        }
+    }
+}
+
+impl Default for CacheLine {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_invalid() {
+        let l = CacheLine::empty();
+        assert!(!l.valid);
+        assert!(!l.dirty);
+        assert!(!l.prefetched);
+    }
+
+    #[test]
+    fn default_matches_empty() {
+        assert_eq!(CacheLine::default(), CacheLine::empty());
+    }
+}

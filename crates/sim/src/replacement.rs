@@ -1,0 +1,59 @@
+//! Replacement policies.
+
+use std::fmt;
+
+/// Victim-selection policy used inside every cache set.
+///
+/// The paper's gem5 baseline uses LRU; FIFO and a deterministic
+/// pseudo-random policy are provided for the replacement-policy ablation
+/// (`repro ablate-replacement`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used way (the default).
+    #[default]
+    Lru,
+    /// Evict the way that was filled earliest.
+    Fifo,
+    /// Evict a pseudo-random way (deterministic xorshift keyed by set state).
+    Random,
+}
+
+impl ReplacementPolicy {
+    /// All supported policies, for ablation sweeps.
+    pub const ALL: [ReplacementPolicy; 3] =
+        [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random];
+}
+
+impl fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReplacementPolicy::Lru => "LRU",
+            ReplacementPolicy::Fifo => "FIFO",
+            ReplacementPolicy::Random => "Random",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_lru() {
+        assert_eq!(ReplacementPolicy::default(), ReplacementPolicy::Lru);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ReplacementPolicy::Lru.to_string(), "LRU");
+        assert_eq!(ReplacementPolicy::Fifo.to_string(), "FIFO");
+        assert_eq!(ReplacementPolicy::Random.to_string(), "Random");
+    }
+
+    #[test]
+    fn all_lists_every_policy() {
+        assert_eq!(ReplacementPolicy::ALL.len(), 3);
+    }
+}

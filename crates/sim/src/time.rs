@@ -1,0 +1,134 @@
+//! Simulated time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in CPU clock cycles.
+///
+/// The whole simulator is driven by a single monotonically increasing cycle
+/// counter owned by the machine model; caches and prefetchers receive the
+/// current `Cycle` on every call and use it for LRU bookkeeping and for
+/// in-flight (prefetch / MSHR) completion times.
+///
+/// # Examples
+///
+/// ```
+/// use prefender_sim::Cycle;
+///
+/// let t = Cycle::new(100) + 40;
+/// assert_eq!(t.raw(), 140);
+/// assert_eq!(t - Cycle::new(100), 40);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Cycle zero — the beginning of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle timestamp.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Cycles elapsed since `earlier`, or zero if `earlier` is in the future.
+    #[inline]
+    pub fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Returns the later of two timestamps.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+
+    /// Saturating difference: a cycle difference can never be negative.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(raw: u64) -> Self {
+        Cycle(raw)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(c: Cycle) -> Self {
+        c.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Cycle::new(10);
+        assert_eq!((t + 5).raw(), 15);
+        assert_eq!(Cycle::new(20) - t, 10);
+        assert_eq!(t - Cycle::new(20), 0, "difference saturates at zero");
+    }
+
+    #[test]
+    fn add_assign_advances() {
+        let mut t = Cycle::ZERO;
+        t += 7;
+        t += 3;
+        assert_eq!(t, Cycle::new(10));
+    }
+
+    #[test]
+    fn since_saturates() {
+        assert_eq!(Cycle::new(5).since(Cycle::new(3)), 2);
+        assert_eq!(Cycle::new(3).since(Cycle::new(5)), 0);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        assert!(Cycle::new(1) < Cycle::new(2));
+        assert_eq!(Cycle::new(1).max(Cycle::new(2)), Cycle::new(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cycle::new(42).to_string(), "42 cyc");
+    }
+}

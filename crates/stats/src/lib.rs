@@ -1,0 +1,24 @@
+//! # prefender-stats — summaries, series and table rendering
+//!
+//! Small, dependency-free helpers the experiment harnesses share:
+//!
+//! * [`Summary`] — count/mean/min/max/stddev of a sample set;
+//! * [`geo_mean`] / [`speedup_pct`] — the paper's headline metrics;
+//! * [`Table`] — aligned plain-text tables matching the paper's layout;
+//! * [`Series`] — named `(x, y)` sequences with CSV export, for figures.
+//!
+//! ```
+//! use prefender_stats::{Table, speedup_pct};
+//!
+//! let mut t = Table::new(vec!["Benchmark".into(), "Speedup".into()]);
+//! t.row(vec!["429.mcf".into(), format!("{:+.3}%", speedup_pct(1000.0, 920.0))]);
+//! assert!(t.render().contains("+8.000%"));
+//! ```
+
+mod series;
+mod summary;
+mod table;
+
+pub use series::Series;
+pub use summary::{geo_mean, speedup_pct, Summary};
+pub use table::Table;

@@ -1,0 +1,116 @@
+//! Scalar sample summaries.
+
+use std::fmt;
+
+/// Percentage speedup of `new` over `base`, from cycle counts
+/// (positive = faster, the paper's Tables IV–VI convention).
+///
+/// # Examples
+///
+/// ```
+/// use prefender_stats::speedup_pct;
+/// assert_eq!(speedup_pct(1000.0, 900.0), 10.0);
+/// assert_eq!(speedup_pct(1000.0, 1100.0), -10.0);
+/// ```
+pub fn speedup_pct(base_cycles: f64, new_cycles: f64) -> f64 {
+    if base_cycles == 0.0 {
+        return 0.0;
+    }
+    (base_cycles - new_cycles) / base_cycles * 100.0
+}
+
+/// Geometric mean of positive values; `None` for an empty slice or any
+/// non-positive member.
+pub fn geo_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Count, mean, min, max and (population) standard deviation of samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean (0 for empty input).
+    pub mean: f64,
+    /// Minimum (0 for empty input).
+    pub min: f64,
+    /// Maximum (0 for empty input).
+    pub max: f64,
+    /// Population standard deviation (0 for empty input).
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Summarizes an iterator of samples.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Self {
+        let v: Vec<f64> = values.into_iter().collect();
+        if v.is_empty() {
+            return Summary { n: 0, mean: 0.0, min: 0.0, max: 0.0, stddev: 0.0 };
+        }
+        let n = v.len();
+        let mean = v.iter().sum::<f64>() / n as f64;
+        let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary { n, mean, min, max, stddev: var.sqrt() }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} min={:.3} max={:.3} sd={:.3}",
+            self.n, self.mean, self.min, self.max, self.stddev
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_signs() {
+        assert_eq!(speedup_pct(100.0, 50.0), 50.0);
+        assert_eq!(speedup_pct(100.0, 100.0), 0.0);
+        assert!(speedup_pct(100.0, 120.0) < 0.0);
+        assert_eq!(speedup_pct(0.0, 10.0), 0.0, "degenerate base");
+    }
+
+    #[test]
+    fn geo_mean_basics() {
+        assert_eq!(geo_mean(&[4.0, 1.0]), Some(2.0));
+        assert_eq!(geo_mean(&[]), None);
+        assert_eq!(geo_mean(&[1.0, 0.0]), None);
+        assert_eq!(geo_mean(&[2.0, -1.0]), None);
+        let g = geo_mean(&[8.0]).unwrap();
+        assert!((g - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_known_set() {
+        let s = Summary::of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of([]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(Summary::of([1.0]).to_string().contains("n=1"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # prefender-workloads — synthetic SPEC CPU-like kernels
+//!
+//! The paper evaluates performance on SPEC CPU 2006 and 2017. Those
+//! binaries and inputs cannot be redistributed, so this crate substitutes
+//! *synthetic kernels*: one [`Workload`] per benchmark the paper reports,
+//! each built from the dominant memory idiom of that benchmark —
+//! streaming, large-stride walks, pointer chasing, random access,
+//! *scaled indirect gathers* (the pattern PREFENDER's Scale Tracker
+//! accelerates), stencils, blocked GEMM and compute-bound loops.
+//!
+//! The substitution preserves what the paper's Tables IV–VI actually
+//! compare: *which prefetcher helps which access pattern, and by roughly
+//! how much*. Absolute percentages differ from the paper's gem5+SPEC
+//! numbers; EXPERIMENTS.md records both side by side.
+//!
+//! ```
+//! use prefender_workloads::{spec2006, Workload};
+//! use prefender_cpu::Machine;
+//! use prefender_sim::HierarchyConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let w: &Workload = &spec2006()[2];
+//! assert_eq!(w.name(), "429.mcf");
+//! let mut m = Machine::new(HierarchyConfig::paper_baseline(1)?);
+//! w.install(&mut m);
+//! let summary = m.run();
+//! assert!(summary.instructions > 1000);
+//! # Ok(())
+//! # }
+//! ```
+
+mod catalog;
+mod kernel;
+
+pub use catalog::{all, spec2006, spec2017, Suite, Workload};
+pub use kernel::Kernel;

@@ -1,0 +1,53 @@
+//! Performance sweep: run the synthetic SPEC-like workloads under every
+//! prefetcher and print a Table IV-style speedup summary — the
+//! performance half of the paper's claim ("security *and* performance").
+//!
+//! ```sh
+//! cargo run --release --example performance_sweep
+//! ```
+
+use prefender::{
+    spec2006, HierarchyConfig, Machine, Prefender, Prefetcher, StridePrefetcher,
+    TaggedPrefetcher, Workload,
+};
+use prefender::stats::{speedup_pct, Table};
+
+fn run_once(w: &Workload, prefetcher: Option<Box<dyn Prefetcher>>) -> u64 {
+    let mut m = Machine::new(HierarchyConfig::paper_baseline(1).expect("valid baseline"));
+    if let Some(p) = prefetcher {
+        m.set_prefetcher(0, p);
+    }
+    w.install(&mut m);
+    m.run().cycles
+}
+
+fn main() {
+    let configs: Vec<(&str, fn() -> Box<dyn Prefetcher>)> = vec![
+        ("Tagged", || Box::new(TaggedPrefetcher::new(64, 1))),
+        ("Stride", || Box::new(StridePrefetcher::default_config())),
+        ("Prefender", || Box::new(Prefender::builder(64, 4096).build())),
+        ("Prefender(Stride)", || {
+            Box::new(
+                Prefender::builder(64, 4096)
+                    .basic(Box::new(StridePrefetcher::default_config()))
+                    .build(),
+            )
+        }),
+    ];
+
+    let mut headers = vec!["Benchmark".to_string(), "Base cycles".to_string()];
+    headers.extend(configs.iter().map(|(n, _)| n.to_string()));
+    let mut table = Table::new(headers);
+
+    for w in spec2006() {
+        let base = run_once(&w, None);
+        let mut cells = vec![w.name().to_string(), base.to_string()];
+        for (_, build) in &configs {
+            let cycles = run_once(&w, Some(build()));
+            cells.push(format!("{:+.2}%", speedup_pct(base as f64, cycles as f64)));
+        }
+        table.row(cells);
+    }
+    println!("{table}");
+    println!("(speedup vs. a machine with no prefetcher; positive = faster)");
+}

@@ -1,0 +1,238 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use prefender::core::{AccessTracker, AtConfig, CalculationBuffer, RecordProtector, RpConfig};
+use prefender::isa::{Instr, Operand, Program, Reg};
+use prefender::sim::{AccessKind, Addr, Cache, CacheConfig, Cycle, MshrFile};
+
+// ---------- ISA: assembler/disassembler ----------
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|n| Reg::new(n).expect("in range"))
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![arb_reg().prop_map(Operand::Reg), (-0x10000i64..0x10000).prop_map(Operand::Imm)]
+}
+
+fn arb_linear_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (arb_reg(), -0x10_0000i64..0x10_0000).prop_map(|(rd, imm)| Instr::LoadImm { rd, imm }),
+        (arb_reg(), arb_reg(), -4096i64..4096)
+            .prop_map(|(rd, base, offset)| Instr::Load { rd, base, offset }),
+        (arb_reg(), arb_reg(), -4096i64..4096)
+            .prop_map(|(src, base, offset)| Instr::Store { src, base, offset }),
+        (arb_reg(), arb_reg(), arb_operand()).prop_map(|(rd, a, b)| Instr::Add { rd, a, b }),
+        (arb_reg(), arb_reg(), arb_operand()).prop_map(|(rd, a, b)| Instr::Sub { rd, a, b }),
+        (arb_reg(), arb_reg(), arb_operand()).prop_map(|(rd, a, b)| Instr::Mul { rd, a, b }),
+        (arb_reg(), arb_reg(), arb_operand()).prop_map(|(rd, a, b)| Instr::Shl { rd, a, b }),
+        (arb_reg(), arb_reg(), arb_operand()).prop_map(|(rd, a, b)| Instr::Shr { rd, a, b }),
+        (arb_reg(), arb_reg(), arb_operand()).prop_map(|(rd, a, b)| Instr::And { rd, a, b }),
+        (arb_reg(), arb_reg(), arb_operand()).prop_map(|(rd, a, b)| Instr::Or { rd, a, b }),
+        (arb_reg(), arb_reg(), arb_operand()).prop_map(|(rd, a, b)| Instr::Xor { rd, a, b }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::Mov { rd, rs }),
+        (arb_reg(), -4096i64..4096).prop_map(|(base, offset)| Instr::Flush { base, offset }),
+        arb_reg().prop_map(|rd| Instr::Rdtsc { rd }),
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+    ]
+}
+
+proptest! {
+    /// Disassembling then re-assembling any straight-line program yields
+    /// the identical instruction sequence.
+    #[test]
+    fn asm_round_trip(instrs in prop::collection::vec(arb_linear_instr(), 1..40)) {
+        let p = Program::from_instrs(instrs).expect("no branches, always valid");
+        let text = p.to_string();
+        let p2 = Program::parse(&text).expect("disassembly must re-assemble");
+        prop_assert_eq!(p.instrs(), p2.instrs());
+    }
+
+    /// The calculation buffer never tracks a non-positive scale, and a
+    /// register with a valid fixed value never carries a usable scale
+    /// larger than 1 needing prefetch (constants cannot select lines).
+    #[test]
+    fn calc_buffer_scale_invariants(instrs in prop::collection::vec(arb_linear_instr(), 0..200)) {
+        let mut buf = CalculationBuffer::new();
+        for i in &instrs {
+            buf.apply(i);
+            for r in Reg::all() {
+                let t = buf.get(r);
+                if let Some(sc) = t.sc {
+                    prop_assert!(sc > 0, "{r}: non-positive scale {sc} after {i}");
+                }
+            }
+        }
+    }
+
+    /// `mov` always copies the tracked state verbatim.
+    #[test]
+    fn calc_buffer_mov_copies(instrs in prop::collection::vec(arb_linear_instr(), 0..60),
+                              src in arb_reg(), dst in arb_reg()) {
+        let mut buf = CalculationBuffer::new();
+        for i in &instrs {
+            buf.apply(i);
+        }
+        let before = buf.get(src);
+        buf.apply(&Instr::Mov { rd: dst, rs: src });
+        prop_assert_eq!(buf.get(dst), before);
+    }
+}
+
+// ---------- Access Tracker: DiffMin is the true pairwise minimum ----------
+
+proptest! {
+    #[test]
+    fn diffmin_is_brute_force_minimum(blocks in prop::collection::vec(0u64..256, 1..20)) {
+        let mut at = AccessTracker::new(AtConfig::paper());
+        let mut decision = None;
+        for (k, b) in blocks.iter().enumerate() {
+            let blk = Addr::new(0x10_0000 + b * 64);
+            decision = Some(at.on_load(0x8000, blk, Cycle::new(k as u64), None, &|_| false));
+        }
+        let buf = at.buffer(decision.unwrap().buffer.unwrap());
+        // Brute-force expectation over the *recorded* blocks (the buffer
+        // holds at most 8 after LRU eviction).
+        let recorded = buf.blocks();
+        let mut expect = None;
+        for i in 0..recorded.len() {
+            for j in (i + 1)..recorded.len() {
+                let d = recorded[i].abs_diff(recorded[j]);
+                if d != 0 {
+                    expect = Some(expect.map_or(d, |m: u64| m.min(d)));
+                }
+            }
+        }
+        prop_assert_eq!(buf.diffmin(), expect);
+    }
+
+    /// The tracker never prefetches a line that is already recorded in
+    /// the activated buffer or resident in the cache.
+    #[test]
+    fn at_never_prefetches_recorded_or_resident(blocks in prop::collection::vec(0u64..64, 4..30)) {
+        let mut at = AccessTracker::new(AtConfig::paper());
+        let resident = |a: Addr| a.raw() % 128 == 0; // arbitrary residency rule
+        for (k, b) in blocks.iter().enumerate() {
+            let blk = Addr::new(0x10_0000 + b * 64);
+            let d = at.on_load(0x8000, blk, Cycle::new(k as u64), None, &resident);
+            if let Some((addr, _)) = d.prefetch {
+                prop_assert!(!resident(addr), "prefetched a resident line {addr}");
+                let buf = at.buffer(d.buffer.unwrap());
+                prop_assert!(!buf.blocks().contains(&addr.raw()), "prefetched a recorded line");
+            }
+        }
+    }
+}
+
+// ---------- Record Protector: pattern algebra ----------
+
+proptest! {
+    /// After recording (sc, blk), every address blk + k·sc hits, and the
+    /// replacement rule keeps the *sparser* of two related patterns.
+    #[test]
+    fn rp_pattern_membership(sc_idx in 0usize..4, blk in 0u64..1000, k in -50i64..50) {
+        let scales = [0x80u64, 0x100, 0x200, 0x400];
+        let sc = scales[sc_idx];
+        let blk = 0x100_0000 + blk * 64;
+        let mut rp = RecordProtector::new(RpConfig::paper());
+        rp.record(sc, blk, Cycle::ZERO);
+        let member = (blk as i64 + k * sc as i64).max(0) as u64;
+        prop_assert_eq!(rp.hit(member), Some((sc, blk)));
+    }
+
+    #[test]
+    fn rp_subset_keeps_sparser(base in 0u64..100, mult in 1u64..8) {
+        // Pattern A: sc, pattern B: sc*mult with matching phase — B ⊂ A.
+        let sc = 0x100u64;
+        let blk = 0x100_0000 + base * sc;
+        let mut rp = RecordProtector::new(RpConfig::paper());
+        rp.record(sc, blk, Cycle::ZERO);
+        rp.record(sc * mult, blk, Cycle::ZERO);
+        let entries = rp.entries();
+        prop_assert_eq!(entries.len(), 1, "related patterns must merge");
+        prop_assert_eq!(entries[0].sc, sc * mult.max(1));
+    }
+}
+
+// ---------- Cache: structural invariants ----------
+
+proptest! {
+    /// Occupancy never exceeds capacity, and a filled line is always
+    /// findable until evicted or invalidated.
+    #[test]
+    fn cache_occupancy_bounded(ops in prop::collection::vec((0u64..512, 0u8..3), 1..200)) {
+        let cfg = CacheConfig::new("T", 4096, 2, 64, 4).expect("valid");
+        let capacity = 4096 / 64;
+        let mut c = Cache::new(cfg);
+        for (k, (line, op)) in ops.iter().enumerate() {
+            let addr = Addr::new(line * 64);
+            let now = Cycle::new(k as u64);
+            match op {
+                0 => {
+                    c.fill(addr, now, None, false);
+                    prop_assert!(c.contains(addr));
+                }
+                1 => {
+                    c.invalidate(addr);
+                    prop_assert!(!c.contains(addr));
+                }
+                _ => {
+                    c.demand_lookup(addr, now);
+                }
+            }
+            prop_assert!(c.occupancy() <= capacity);
+        }
+    }
+
+    /// The MSHR file never reports more outstanding entries than its
+    /// capacity, and completion times never move backwards for merges.
+    #[test]
+    fn mshr_invariants(reqs in prop::collection::vec((0u64..16, 1u64..50), 1..100)) {
+        let mut m = MshrFile::new(4, 20);
+        let mut now = Cycle::ZERO;
+        for (line, gap) in reqs {
+            now += gap;
+            let out = m.request(line * 64, now, 200);
+            prop_assert!(out.ready_at() > now);
+            prop_assert!(m.occupancy(now) <= 4);
+        }
+    }
+}
+
+// ---------- Machine: determinism over arbitrary linear programs ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn machine_is_deterministic(instrs in prop::collection::vec(arb_linear_instr(), 1..60)) {
+        use prefender::{HierarchyConfig, Machine};
+        let p = Program::from_instrs(instrs).expect("linear program");
+        let run = || {
+            let mut m = Machine::new(HierarchyConfig::paper_baseline(1).expect("valid"));
+            m.load_program(0, p.clone());
+            let s = m.run();
+            (s.cycles, s.instructions, m.core(0).regs().clone())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Flushing a line always forces the next access to memory, no matter
+    /// what happened before.
+    #[test]
+    fn flush_always_forces_memory(lines in prop::collection::vec(0u64..64, 1..30), victim in 0u64..64) {
+        use prefender::{HierarchyConfig, MemorySystem};
+        let mut mem = MemorySystem::new(HierarchyConfig::paper_baseline(1).expect("valid"));
+        let mut now = Cycle::ZERO;
+        for l in lines {
+            mem.access(0, Addr::new(0x10_0000 + l * 64), AccessKind::Read, now);
+            now += 300;
+        }
+        let target = Addr::new(0x10_0000 + victim * 64);
+        mem.flush(target, now);
+        now += 300;
+        let out = mem.access(0, target, AccessKind::Read, now);
+        prop_assert_eq!(out.served_by, prefender::sim::Level::Memory);
+    }
+}

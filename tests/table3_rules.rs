@@ -1,0 +1,205 @@
+//! The paper's Table III, row by row, as an executable specification.
+//!
+//! Each test name cites the table row it checks: the conditions columns
+//! (instruction, argument kinds, `fva` validity of the sources) and the
+//! results columns (`fva_d`, `sc_d`).
+
+use prefender::core::{CalculationBuffer, RegTrack};
+use prefender::isa::{Instr, Operand, Reg};
+
+const RD: Reg = Reg::R10;
+const RS0: Reg = Reg::R1;
+const RS1: Reg = Reg::R2;
+
+fn buf_with(s0: Option<RegTrack>, s1: Option<RegTrack>) -> CalculationBuffer {
+    let mut b = CalculationBuffer::new();
+    if let Some(t) = s0 {
+        b.set(RS0, t);
+    }
+    if let Some(t) = s1 {
+        b.set(RS1, t);
+    }
+    b
+}
+
+const fn valid(fva: i64) -> RegTrack {
+    RegTrack { fva: Some(fva), sc: Some(1) }
+}
+
+const fn na_with_scale(sc: i64) -> RegTrack {
+    RegTrack { fva: None, sc: Some(sc) }
+}
+
+// ---- load rows ----
+
+/// Row: `load rd a=imm0` ⇒ `fva_d = imm0, sc_d = 1`.
+#[test]
+fn load_immediate_row() {
+    let mut b = CalculationBuffer::new();
+    b.apply(&Instr::LoadImm { rd: RD, imm: 0x200 });
+    assert_eq!(b.get(RD), RegTrack { fva: Some(0x200), sc: Some(1) });
+}
+
+/// Row: `load rd imm(rs0)` ⇒ `fva_d = NA, sc_d = 1` (reinitialize).
+#[test]
+fn load_memory_row() {
+    let mut b = buf_with(Some(valid(7)), None);
+    b.set(RD, valid(99));
+    b.apply(&Instr::Load { rd: RD, base: RS0, offset: 0 });
+    assert_eq!(b.get(RD), RegTrack { fva: None, sc: Some(1) });
+}
+
+// ---- add rows (also subtraction) ----
+
+/// Row: `add rd rs0 imm0`, `fva_s0 = NA` ⇒ `fva_d = NA, sc_d = sc_s0`.
+#[test]
+fn add_imm_na_source_row() {
+    let mut b = buf_with(Some(na_with_scale(0x200)), None);
+    b.apply(&Instr::Add { rd: RD, a: RS0, b: Operand::Imm(0x40) });
+    assert_eq!(b.get(RD), na_with_scale(0x200));
+}
+
+/// Row: `add rd rs0 imm0`, `fva_s0` valid ⇒ `fva_d = fva_s0 + imm0, sc_d = 1`.
+#[test]
+fn add_imm_valid_source_row() {
+    let mut b = buf_with(Some(valid(0x100)), None);
+    b.apply(&Instr::Add { rd: RD, a: RS0, b: Operand::Imm(0x40) });
+    assert_eq!(b.get(RD), RegTrack { fva: Some(0x140), sc: Some(1) });
+}
+
+/// Row: `add rd rs0 rs1`, both valid ⇒ `fva_d = sum, sc_d = NA`.
+#[test]
+fn add_reg_valid_valid_row() {
+    let mut b = buf_with(Some(valid(0x100)), Some(valid(0x30)));
+    b.apply(&Instr::Add { rd: RD, a: RS0, b: Operand::Reg(RS1) });
+    assert_eq!(b.get(RD), RegTrack { fva: Some(0x130), sc: None });
+}
+
+/// Row: `add rd rs0 rs1`, `fva_s0 = NA`, `fva_s1` valid ⇒ `sc_d = sc_s0`.
+#[test]
+fn add_reg_na_valid_row() {
+    let mut b = buf_with(Some(na_with_scale(0x200)), Some(valid(0x1000)));
+    b.apply(&Instr::Add { rd: RD, a: RS0, b: Operand::Reg(RS1) });
+    assert_eq!(b.get(RD), na_with_scale(0x200));
+}
+
+/// Row: `add rd rs0 rs1`, `fva_s0` valid, `fva_s1 = NA` ⇒ `sc_d = sc_s1`.
+#[test]
+fn add_reg_valid_na_row() {
+    let mut b = buf_with(Some(valid(0x1000)), Some(na_with_scale(0x180)));
+    b.apply(&Instr::Add { rd: RD, a: RS0, b: Operand::Reg(RS1) });
+    assert_eq!(b.get(RD), na_with_scale(0x180));
+}
+
+/// Row: `add rd rs0 rs1`, both NA ⇒ `sc_d = min(sc_s0, sc_s1)`.
+#[test]
+fn add_reg_na_na_row() {
+    let mut b = buf_with(Some(na_with_scale(0x80)), Some(na_with_scale(0x20)));
+    b.apply(&Instr::Add { rd: RD, a: RS0, b: Operand::Reg(RS1) });
+    assert_eq!(b.get(RD), na_with_scale(0x20));
+}
+
+/// Footnote †: the addition rules hold for subtraction with `+` → `−`.
+#[test]
+fn sub_uses_addition_rules() {
+    let mut b = buf_with(Some(valid(0x100)), None);
+    b.apply(&Instr::Sub { rd: RD, a: RS0, b: Operand::Imm(0x40) });
+    assert_eq!(b.get(RD), RegTrack { fva: Some(0xC0), sc: Some(1) });
+
+    let mut b = buf_with(Some(na_with_scale(0x200)), Some(na_with_scale(0x300)));
+    b.apply(&Instr::Sub { rd: RD, a: RS0, b: Operand::Reg(RS1) });
+    assert_eq!(b.get(RD), na_with_scale(0x200));
+}
+
+// ---- mul rows (also shifts) ----
+
+/// Row: `mul rd rs0 imm0`, `fva_s0 = NA` ⇒ `sc_d = sc_s0 × imm0`.
+#[test]
+fn mul_imm_na_source_row() {
+    let mut b = buf_with(Some(na_with_scale(2)), None);
+    b.apply(&Instr::Mul { rd: RD, a: RS0, b: Operand::Imm(0x100) });
+    assert_eq!(b.get(RD), na_with_scale(0x200));
+}
+
+/// Row: `mul rd rs0 imm0`, `fva_s0` valid ⇒ `fva_d = fva_s0 × imm0, sc_d = 1`.
+#[test]
+fn mul_imm_valid_source_row() {
+    let mut b = buf_with(Some(valid(6)), None);
+    b.apply(&Instr::Mul { rd: RD, a: RS0, b: Operand::Imm(7) });
+    assert_eq!(b.get(RD), RegTrack { fva: Some(42), sc: Some(1) });
+}
+
+/// Row: `mul rd rs0 rs1`, both valid ⇒ `fva_d = product, sc_d = NA`.
+#[test]
+fn mul_reg_valid_valid_row() {
+    let mut b = buf_with(Some(valid(6)), Some(valid(7)));
+    b.apply(&Instr::Mul { rd: RD, a: RS0, b: Operand::Reg(RS1) });
+    assert_eq!(b.get(RD), RegTrack { fva: Some(42), sc: None });
+}
+
+/// Row: `mul rd rs0 rs1`, `fva_s0 = NA`, `fva_s1` valid ⇒
+/// `sc_d = sc_s0 × fva_s1` (the paper's Figure 5, line 5).
+#[test]
+fn mul_reg_na_valid_row() {
+    let mut b = buf_with(Some(na_with_scale(1)), Some(valid(0x200)));
+    b.apply(&Instr::Mul { rd: RD, a: RS0, b: Operand::Reg(RS1) });
+    assert_eq!(b.get(RD), na_with_scale(0x200));
+}
+
+/// Row: `mul rd rs0 rs1`, `fva_s0` valid, `fva_s1 = NA` ⇒
+/// `sc_d = fva_s0 × sc_s1`.
+#[test]
+fn mul_reg_valid_na_row() {
+    let mut b = buf_with(Some(valid(0x80)), Some(na_with_scale(4)));
+    b.apply(&Instr::Mul { rd: RD, a: RS0, b: Operand::Reg(RS1) });
+    assert_eq!(b.get(RD), na_with_scale(0x200));
+}
+
+/// Row: `mul rd rs0 rs1`, both NA ⇒ `sc_d = sc_s0 × sc_s1` (the paper's
+/// `(128·i0·i1·i2 + …)` multi-variable example).
+#[test]
+fn mul_reg_na_na_row() {
+    let mut b = buf_with(Some(na_with_scale(16)), Some(na_with_scale(32)));
+    b.apply(&Instr::Mul { rd: RD, a: RS0, b: Operand::Reg(RS1) });
+    assert_eq!(b.get(RD), na_with_scale(512));
+}
+
+/// Footnote ‡: multiplication rules hold for shifting (× → `<<`).
+#[test]
+fn shl_uses_multiplication_rules() {
+    let mut b = buf_with(Some(na_with_scale(4)), None);
+    b.apply(&Instr::Shl { rd: RD, a: RS0, b: Operand::Imm(7) });
+    assert_eq!(b.get(RD), na_with_scale(4 << 7));
+
+    let mut b = buf_with(Some(valid(3)), None);
+    b.apply(&Instr::Shl { rd: RD, a: RS0, b: Operand::Imm(4) });
+    assert_eq!(b.get(RD), RegTrack { fva: Some(48), sc: Some(1) });
+}
+
+// ---- otherwise row ----
+
+/// Row: "Otherwise" ⇒ `fva_d = NA, sc_d = 1` (reinitialize).
+#[test]
+fn otherwise_row_reinitializes() {
+    for op in [
+        Instr::And { rd: RD, a: RS0, b: Operand::Imm(0xFF) },
+        Instr::Or { rd: RD, a: RS0, b: Operand::Imm(1) },
+        Instr::Xor { rd: RD, a: RS0, b: Operand::Reg(RS1) },
+        Instr::Rdtsc { rd: RD },
+    ] {
+        let mut b = buf_with(Some(na_with_scale(0x200)), Some(na_with_scale(0x100)));
+        b.set(RD, na_with_scale(0x400));
+        b.apply(&op);
+        assert_eq!(b.get(RD), RegTrack::INIT, "op {op} must reinitialize rd");
+    }
+}
+
+/// Initialization: "When a program is started, the fixed and scale values
+/// are initialized to NA and 1, respectively."
+#[test]
+fn initialization_row() {
+    let b = CalculationBuffer::new();
+    for r in Reg::all() {
+        assert_eq!(b.get(r), RegTrack { fva: None, sc: Some(1) });
+    }
+}
