@@ -74,13 +74,7 @@ pub fn classify(
     samples.sort_by_key(|s| s.index);
     let anomalies: Vec<usize> = samples
         .iter()
-        .filter(|s| {
-            if anomaly_is_hit {
-                s.latency < threshold
-            } else {
-                s.latency >= threshold
-            }
-        })
+        .filter(|s| if anomaly_is_hit { s.latency < threshold } else { s.latency >= threshold })
         .map(|s| s.index)
         .collect();
     let leaked = anomalies.len() == 1 && anomalies[0] == secret;

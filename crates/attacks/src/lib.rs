@@ -44,6 +44,6 @@ pub use programs::{
     reload_probe_program, victim_program, ProbeProgram,
 };
 pub use runner::{
-    run_attack, run_attack_with_timeline, AttackError, AttackKind, AttackSpec, DefenseConfig,
-    NoiseSpec, TimelinePoint,
+    run_attack, run_attack_full, run_attack_with_timeline, AttackError, AttackKind, AttackSpec,
+    Basic, DefenseConfig, NoiseSpec, RunMetrics, TimelinePoint,
 };

@@ -305,7 +305,12 @@ mod tests {
         let mut m = machine();
         // Warm two eviction lines first.
         for i in [50usize, 65] {
-            m.mem_mut().prefetch(0, l.index_addr(i), prefender_sim::PrefetchSource::Other, prefender_sim::Cycle::ZERO);
+            m.mem_mut().prefetch(
+                0,
+                l.index_addr(i),
+                prefender_sim::PrefetchSource::Other,
+                prefender_sim::Cycle::ZERO,
+            );
         }
         m.load_program(0, flush_program(&l));
         m.run();
@@ -339,7 +344,12 @@ mod tests {
         let mut m = machine();
         // Load the whole window first so the lines are resident.
         for i in l.indices() {
-            m.mem_mut().access(0, l.index_addr(i), prefender_sim::AccessKind::Read, prefender_sim::Cycle::ZERO);
+            m.mem_mut().access(
+                0,
+                l.index_addr(i),
+                prefender_sim::AccessKind::Read,
+                prefender_sim::Cycle::ZERO,
+            );
         }
         m.load_program(0, evict_program(&l));
         m.run();
@@ -362,8 +372,7 @@ mod tests {
         let probe = reload_probe_program(&l, targets.len(), false);
         m.load_program(0, probe.program.clone());
         m.run();
-        let seen: Vec<u64> =
-            m.trace().by_pc(probe.probe_pcs[0]).map(|e| e.addr.raw()).collect();
+        let seen: Vec<u64> = m.trace().by_pc(probe.probe_pcs[0]).map(|e| e.addr.raw()).collect();
         assert_eq!(seen, targets.iter().map(|t| t.raw()).collect::<Vec<_>>());
     }
 
@@ -421,8 +430,7 @@ mod tests {
         let probe = prime_probe_probe_program(&l, false, false, false);
         m.load_program(0, probe.program.clone());
         m.run();
-        let probed: usize =
-            probe.probe_pcs.iter().map(|&pc| m.trace().by_pc(pc).count()).sum();
+        let probed: usize = probe.probe_pcs.iter().map(|&pc| m.trace().by_pc(pc).count()).sum();
         assert_eq!(probed, 2 * l.n_indices);
     }
 
@@ -434,8 +442,7 @@ mod tests {
         let probe = prime_probe_probe_program(&l, false, false, true);
         m.load_program(0, probe.program.clone());
         m.run();
-        let addrs: Vec<u64> =
-            m.trace().by_pc(probe.probe_pcs[0]).map(|e| e.addr.raw()).collect();
+        let addrs: Vec<u64> = m.trace().by_pc(probe.probe_pcs[0]).map(|e| e.addr.raw()).collect();
         assert_eq!(addrs.len(), 2 * l.n_indices);
         // Even positions on-set, odd positions in the C4 noise region,
         // cycling over its lines.

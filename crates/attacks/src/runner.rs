@@ -9,7 +9,8 @@ use rand::SeedableRng;
 use prefender_core::{Prefender, PrefenderStats};
 use prefender_cpu::Machine;
 use prefender_isa::ProgramBuilder;
-use prefender_sim::{Addr, ConfigError, HierarchyConfig};
+use prefender_prefetch::{Prefetcher, StridePrefetcher, TaggedPrefetcher};
+use prefender_sim::{Addr, CacheStats, ConfigError, HierarchyConfig};
 
 use crate::analysis::{classify, AttackOutcome, ProbeSample};
 use crate::layout::AttackLayout;
@@ -37,6 +38,43 @@ impl fmt::Display for AttackKind {
             AttackKind::PrimeProbe => "Prime+Probe",
         };
         f.write_str(s)
+    }
+}
+
+/// The conventional (basic) prefetcher of a configuration — either alone
+/// or chained under PREFENDER (paper Tables IV–VI columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Basic {
+    /// No basic prefetcher.
+    #[default]
+    None,
+    /// Tagged next-line prefetcher (paper reference [15]).
+    Tagged,
+    /// Baer–Chen stride prefetcher (paper reference [16]).
+    Stride,
+}
+
+impl Basic {
+    /// All variants, in table-column order.
+    pub const ALL: [Basic; 3] = [Basic::None, Basic::Tagged, Basic::Stride];
+
+    /// Builds the basic prefetcher instance, or `None`.
+    pub fn build(self) -> Option<Box<dyn Prefetcher>> {
+        match self {
+            Basic::None => None,
+            Basic::Tagged => Some(Box::new(TaggedPrefetcher::new(64, 1))),
+            Basic::Stride => Some(Box::new(StridePrefetcher::default_config())),
+        }
+    }
+}
+
+impl fmt::Display for Basic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Basic::None => f.write_str("-"),
+            Basic::Tagged => f.write_str("Tagged"),
+            Basic::Stride => f.write_str("Stride"),
+        }
     }
 }
 
@@ -90,8 +128,31 @@ impl DefenseConfig {
     ];
 
     /// Builds the per-core PREFENDER instance, or `None` for the baseline.
-    pub fn build_prefender(self, line_size: u64, page_size: u64, buffers: usize) -> Option<Prefender> {
-        let b = Prefender::builder(line_size, page_size);
+    pub fn build_prefender(
+        self,
+        line_size: u64,
+        page_size: u64,
+        buffers: usize,
+    ) -> Option<Prefender> {
+        self.build_prefender_over(line_size, page_size, buffers, Basic::None)
+    }
+
+    /// Like [`DefenseConfig::build_prefender`], but with a basic
+    /// prefetcher chained underneath (the paper's "PREFENDER over
+    /// Tagged/Stride" columns). With [`DefenseConfig::None`] the result is
+    /// `None` regardless of `basic` — use [`Basic::build`] directly for a
+    /// basic-only core.
+    pub fn build_prefender_over(
+        self,
+        line_size: u64,
+        page_size: u64,
+        buffers: usize,
+        basic: Basic,
+    ) -> Option<Prefender> {
+        let mut b = Prefender::builder(line_size, page_size);
+        if let Some(p) = basic.build() {
+            b = b.basic(p);
+        }
         let b = match self {
             DefenseConfig::None => return None,
             DefenseConfig::St => b.access_tracker(false).record_protector(false),
@@ -102,12 +163,28 @@ impl DefenseConfig {
             // The paper's "AT+RP": the Record Protector is *defined* as
             // linking ST and AT, so the Scale Tracker keeps tracking and
             // feeding the scale buffer but issues no prefetches itself.
-            DefenseConfig::AtRp => {
-                b.scale_tracker_prefetching(false).access_buffers(buffers)
-            }
+            DefenseConfig::AtRp => b.scale_tracker_prefetching(false).access_buffers(buffers),
             DefenseConfig::Full => b.access_buffers(buffers),
         };
         Some(b.build())
+    }
+
+    /// The complete per-core prefetcher for a (defense, basic) point:
+    /// PREFENDER with `basic` chained underneath, `basic` alone for
+    /// [`DefenseConfig::None`], or nothing at all. This is the one
+    /// factory the attack runner, the sweep engine and the performance
+    /// tables all build cores from.
+    pub fn build_prefetcher(
+        self,
+        line_size: u64,
+        page_size: u64,
+        buffers: usize,
+        basic: Basic,
+    ) -> Option<Box<dyn Prefetcher>> {
+        match self.build_prefender_over(line_size, page_size, buffers, basic) {
+            Some(p) => Some(Box::new(p)),
+            None => basic.build(),
+        }
     }
 }
 
@@ -176,6 +253,11 @@ pub struct AttackSpec {
     pub buffers: usize,
     /// Probe order shuffle seed (reload-style attacks).
     pub seed: u64,
+    /// Basic prefetcher on every core (alone, or under the defense).
+    pub basic: Basic,
+    /// Cache-hierarchy override; `None` uses the paper baseline. The
+    /// core count is always forced to match `cross_core`.
+    pub hierarchy: Option<HierarchyConfig>,
 }
 
 impl AttackSpec {
@@ -189,6 +271,8 @@ impl AttackSpec {
             layout: AttackLayout::paper(),
             buffers: 32,
             seed: 0xC0FFEE,
+            basic: Basic::None,
+            hierarchy: None,
         }
     }
 
@@ -211,6 +295,70 @@ impl AttackSpec {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Adds a basic prefetcher to every core.
+    #[must_use]
+    pub fn with_basic(mut self, basic: Basic) -> Self {
+        self.basic = basic;
+        self
+    }
+
+    /// Overrides the cache hierarchy (core count is still derived from
+    /// `cross_core`).
+    #[must_use]
+    pub fn with_hierarchy(mut self, hierarchy: HierarchyConfig) -> Self {
+        self.hierarchy = Some(hierarchy);
+        self
+    }
+}
+
+/// Machine-level metrics of one attack run, for sweep aggregation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Wall-clock cycles over all phases.
+    pub cycles: u64,
+    /// Instructions retired across all cores.
+    pub instructions: u64,
+    /// L1D statistics summed over all cores.
+    pub l1d: CacheStats,
+    /// Prefetches issued by every per-core prefetcher, summed.
+    pub prefetch_issued: u64,
+    /// PREFENDER per-unit counts summed over all cores (zero for
+    /// non-PREFENDER configurations).
+    pub prefender: PrefenderStats,
+}
+
+impl RunMetrics {
+    /// Instructions per cycle across the whole machine.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+fn run_metrics(m: &Machine) -> RunMetrics {
+    let mut l1d = CacheStats::new();
+    let mut issued = 0u64;
+    let mut prefender = PrefenderStats::new();
+    for c in 0..m.n_cores() {
+        l1d += *m.mem().l1d(c).stats();
+        if let Some(p) = m.prefetcher(c) {
+            issued += p.issued();
+        }
+        if let Some(ps) = prefender_stats(m, c) {
+            prefender += ps;
+        }
+    }
+    RunMetrics {
+        cycles: m.now().raw(),
+        instructions: (0..m.n_cores()).map(|c| m.core(c).retired()).sum(),
+        l1d,
+        prefetch_issued: issued,
+        prefender,
     }
 }
 
@@ -262,8 +410,20 @@ fn total_stats(m: &Machine) -> (PrefenderStats, u64) {
 /// to validate (it cannot for in-range core counts) and
 /// [`AttackError::Truncated`] if a phase hits the instruction cap.
 pub fn run_attack(spec: &AttackSpec) -> Result<AttackOutcome, AttackError> {
-    let (outcome, _) = run_inner(spec, None)?;
+    let (outcome, _, _) = run_inner(spec, None)?;
     Ok(outcome)
+}
+
+/// Runs one attack experiment and also returns machine-level metrics
+/// (cycles, IPC, L1D stats, prefetch counts) — the sweep engine's entry
+/// point.
+///
+/// # Errors
+///
+/// See [`run_attack`].
+pub fn run_attack_full(spec: &AttackSpec) -> Result<(AttackOutcome, RunMetrics), AttackError> {
+    let (outcome, _, metrics) = run_inner(spec, None)?;
+    Ok((outcome, metrics))
 }
 
 /// Runs one attack experiment, sampling prefetch counters every
@@ -276,17 +436,25 @@ pub fn run_attack_with_timeline(
     spec: &AttackSpec,
     bucket_cycles: u64,
 ) -> Result<(AttackOutcome, Vec<TimelinePoint>), AttackError> {
-    let (outcome, timeline) = run_inner(spec, Some(bucket_cycles))?;
+    let (outcome, timeline, _) = run_inner(spec, Some(bucket_cycles))?;
     Ok((outcome, timeline))
 }
 
 fn run_inner(
     spec: &AttackSpec,
     bucket: Option<u64>,
-) -> Result<(AttackOutcome, Vec<TimelinePoint>), AttackError> {
+) -> Result<(AttackOutcome, Vec<TimelinePoint>, RunMetrics), AttackError> {
     let l = &spec.layout;
     let n_cores = if spec.cross_core { 2 } else { 1 };
-    let hierarchy = HierarchyConfig::paper_baseline(n_cores)?;
+    let hierarchy = match &spec.hierarchy {
+        Some(h) => {
+            let mut h = h.clone();
+            h.n_cores = n_cores;
+            h.validate()?;
+            h
+        }
+        None => HierarchyConfig::paper_baseline(n_cores)?,
+    };
     let line = hierarchy.line_size();
     let page = hierarchy.page_size;
     // Instruction fetch is not modelled for attack runs: a code line
@@ -296,8 +464,8 @@ fn run_inner(
     let mut m = Machine::with_cpu_config(hierarchy, cpu);
     m.trace_mut().set_enabled(true);
     for core in 0..n_cores {
-        if let Some(p) = spec.defense.build_prefender(line, page, spec.buffers) {
-            m.set_prefetcher(core, Box::new(p));
+        if let Some(p) = spec.defense.build_prefetcher(line, page, spec.buffers, spec.basic) {
+            m.set_prefetcher(core, p);
         }
     }
     m.write_data(l.secret_addr, l.secret as u64);
@@ -324,7 +492,8 @@ fn run_inner(
         AttackKind::PrimeProbe if spec.cross_core => (l.hit_threshold, false),
         AttackKind::PrimeProbe => (l.l1_hit_threshold, false),
     };
-    Ok((classify(samples, threshold, anomaly_is_hit, l.secret), timeline))
+    let metrics = run_metrics(&m);
+    Ok((classify(samples, threshold, anomaly_is_hit, l.secret), timeline, metrics))
 }
 
 /// The probe-order pointer table: all eviction lines shuffled
@@ -456,9 +625,7 @@ fn run_cross_core(
         AttackKind::FlushReload | AttackKind::EvictReload => {
             reload_probe_program(l, n_reload_probes, spec.noise.c3)
         }
-        AttackKind::PrimeProbe => {
-            prime_probe_probe_program(l, true, spec.noise.c3, spec.noise.c4)
-        }
+        AttackKind::PrimeProbe => prime_probe_probe_program(l, true, spec.noise.c3, spec.noise.c4),
     };
     m.load_program_at(0, probe.program.clone(), m.now());
     run_phase(m, bucket, timeline)?;
@@ -501,10 +668,7 @@ fn collect_samples(spec: &AttackSpec, m: &Machine, probe_pcs: &[u64]) -> Vec<Pro
                     }
                 }
             }
-            per_index
-                .into_iter()
-                .map(|(index, latency)| ProbeSample { index, latency })
-                .collect()
+            per_index.into_iter().map(|(index, latency)| ProbeSample { index, latency }).collect()
         }
     }
 }
@@ -550,21 +714,18 @@ mod tests {
 
     #[test]
     fn c4_adds_front_loaded_noise() {
-        let spec = AttackSpec::new(AttackKind::FlushReload, DefenseConfig::None)
-            .with_noise(NoiseSpec::C4);
+        let spec =
+            AttackSpec::new(AttackKind::FlushReload, DefenseConfig::None).with_noise(NoiseSpec::C4);
         let l = &spec.layout;
         let t = build_reload_targets(&spec);
         assert_eq!(t.len(), l.n_c4_lines + l.n_indices + l.n_indices / 2);
         // The first accesses are all noise (DiffMin corrupts immediately).
-        for k in 0..l.n_c4_lines {
-            assert_eq!(t[k], l.c4_noise_addr(k));
+        for (k, addr) in t.iter().take(l.n_c4_lines).enumerate() {
+            assert_eq!(*addr, l.c4_noise_addr(k));
         }
         // Every eviction line still appears exactly once.
-        let mut ev: Vec<u64> = t
-            .iter()
-            .filter(|a| l.addr_index(**a).is_some())
-            .map(|a| a.raw())
-            .collect();
+        let mut ev: Vec<u64> =
+            t.iter().filter(|a| l.addr_index(**a).is_some()).map(|a| a.raw()).collect();
         ev.sort_unstable();
         let expected: Vec<u64> = l.indices().map(|i| l.index_addr(i).raw()).collect();
         assert_eq!(ev, expected);

@@ -4,7 +4,11 @@
 
 use prefender_attacks::{run_attack, AttackKind, AttackSpec, DefenseConfig, NoiseSpec};
 
-fn outcome(kind: AttackKind, defense: DefenseConfig, noise: NoiseSpec) -> prefender_attacks::AttackOutcome {
+fn outcome(
+    kind: AttackKind,
+    defense: DefenseConfig,
+    noise: NoiseSpec,
+) -> prefender_attacks::AttackOutcome {
     run_attack(&AttackSpec::new(kind, defense).with_noise(noise)).expect("attack run")
 }
 
@@ -234,8 +238,8 @@ fn cross_core_pp_base_leaks_and_at_defends() {
 
 #[test]
 fn runs_are_deterministic() {
-    let spec = AttackSpec::new(AttackKind::FlushReload, DefenseConfig::Full)
-        .with_noise(NoiseSpec::C3C4);
+    let spec =
+        AttackSpec::new(AttackKind::FlushReload, DefenseConfig::Full).with_noise(NoiseSpec::C3C4);
     let a = run_attack(&spec).unwrap();
     let b = run_attack(&spec).unwrap();
     assert_eq!(a, b);

@@ -5,13 +5,13 @@ use prefender_core::{AtConfig, Prefender, RpConfig};
 use prefender_cpu::{CpuConfig, Machine};
 use prefender_sim::{CacheConfig, HierarchyConfig, ReplacementPolicy};
 use prefender_stats::{speedup_pct, Table};
+use prefender_sweep::{parallel_map, parallel_map_2d};
 use prefender_workloads::spec2006;
 
 use crate::perf::{run_perf, Basic, PerfColumn, PrefenderKind};
 
 /// Workloads used by the fast ablation sweeps (one per idiom family).
-const ABLATION_WORKLOADS: [&str; 4] =
-    ["462.libquantum", "429.mcf", "483.xalancbmk", "445.gobmk"];
+const ABLATION_WORKLOADS: [&str; 4] = ["462.libquantum", "429.mcf", "483.xalancbmk", "445.gobmk"];
 
 fn sweep_workloads() -> Vec<prefender_workloads::Workload> {
     spec2006().into_iter().filter(|w| ABLATION_WORKLOADS.contains(&w.name())).collect()
@@ -23,10 +23,8 @@ fn sweep_workloads() -> Vec<prefender_workloads::Workload> {
 pub fn custom_flush_reload(build: impl Fn() -> Prefender, c3_noise: bool) -> (Vec<usize>, bool) {
     let l = AttackLayout::paper();
     let cpu = CpuConfig { model_fetch: false, ..CpuConfig::default() };
-    let mut m = Machine::with_cpu_config(
-        HierarchyConfig::paper_baseline(1).expect("valid baseline"),
-        cpu,
-    );
+    let mut m =
+        Machine::with_cpu_config(HierarchyConfig::paper_baseline(1).expect("valid baseline"), cpu);
     m.set_prefetcher(0, Box::new(build()));
     m.trace_mut().set_enabled(true);
     m.write_data(l.secret_addr, l.secret as u64);
@@ -59,29 +57,29 @@ pub fn custom_flush_reload(build: impl Fn() -> Prefender, c3_noise: bool) -> (Ve
 
 /// Access-buffer count sweep: performance and C3-defense vs. buffer count.
 pub fn ablate_buffers() -> String {
-    let mut t = Table::new(vec![
-        "Buffers".into(),
-        "Avg speedup".into(),
-        "F+R C3 defense".into(),
-    ]);
+    let mut t = Table::new(vec!["Buffers".into(), "Avg speedup".into(), "F+R C3 defense".into()]);
     let workloads = sweep_workloads();
-    for buffers in [8usize, 16, 32, 64, 128] {
+    // Each buffer count is an independent campaign point — shard the
+    // whole sweep over the engine's deterministic parallel map.
+    let points = [8usize, 16, 32, 64, 128];
+    let rows = parallel_map(&points, 0, |&buffers| {
         let mut sum = 0.0;
         for w in &workloads {
             let base = run_perf(w, PerfColumn::BASELINE, None).cycles as f64;
-            let col = PerfColumn {
-                prefender: Some(PrefenderKind::Full { buffers }),
-                basic: Basic::None,
-            };
+            let col =
+                PerfColumn { prefender: Some(PrefenderKind::Full { buffers }), basic: Basic::None };
             sum += speedup_pct(base, run_perf(w, col, None).cycles as f64);
         }
         let (_, leaked) = custom_flush_reload(
             || Prefender::builder(64, 4096).access_buffers(buffers).build(),
             true,
         );
+        (buffers, sum / workloads.len() as f64, leaked)
+    });
+    for (buffers, speedup, leaked) in rows {
         t.row(vec![
             buffers.to_string(),
-            format!("{:+.3}%", sum / workloads.len() as f64),
+            format!("{speedup:+.3}%"),
             if leaked { "LEAKED".into() } else { "defended".into() },
         ]);
     }
@@ -91,13 +89,11 @@ pub fn ablate_buffers() -> String {
 /// DiffMin prefetch-threshold sweep: lower thresholds prefetch earlier
 /// but from flimsier evidence.
 pub fn ablate_threshold() -> String {
-    let mut t = Table::new(vec![
-        "Threshold".into(),
-        "F+R (AT only) anomalies".into(),
-        "Verdict".into(),
-    ]);
-    for threshold in [2usize, 3, 4, 6, 8] {
-        let (anomalies, leaked) = custom_flush_reload(
+    let mut t =
+        Table::new(vec!["Threshold".into(), "F+R (AT only) anomalies".into(), "Verdict".into()]);
+    let points = [2usize, 3, 4, 6, 8];
+    let rows = parallel_map(&points, 0, |&threshold| {
+        custom_flush_reload(
             || {
                 Prefender::builder(64, 4096)
                     .scale_tracker(false)
@@ -106,7 +102,9 @@ pub fn ablate_threshold() -> String {
                     .build()
             },
             false,
-        );
+        )
+    });
+    for (threshold, (anomalies, leaked)) in points.iter().zip(rows) {
         t.row(vec![
             threshold.to_string(),
             anomalies.len().to_string(),
@@ -119,13 +117,11 @@ pub fn ablate_threshold() -> String {
 /// Record Protector unprotect-threshold sweep under C3 noise: too-eager
 /// unprotection re-exposes the access buffer to LRU thrash.
 pub fn ablate_unprotect() -> String {
-    let mut t = Table::new(vec![
-        "Unprotect after".into(),
-        "F+R C3 anomalies".into(),
-        "Verdict".into(),
-    ]);
-    for after in [1u32, 4, 16, 64, 256] {
-        let (anomalies, leaked) = custom_flush_reload(
+    let mut t =
+        Table::new(vec!["Unprotect after".into(), "F+R C3 anomalies".into(), "Verdict".into()]);
+    let points = [1u32, 4, 16, 64, 256];
+    let rows = parallel_map(&points, 0, |&after| {
+        custom_flush_reload(
             || {
                 Prefender::builder(64, 4096)
                     .rp_config(RpConfig {
@@ -135,7 +131,9 @@ pub fn ablate_unprotect() -> String {
                     .build()
             },
             true,
-        );
+        )
+    });
+    for (after, (anomalies, leaked)) in points.iter().zip(rows) {
         t.row(vec![
             after.to_string(),
             anomalies.len().to_string(),
@@ -152,21 +150,22 @@ pub fn ablate_replacement() -> String {
     let mut headers = vec!["Benchmark".to_string()];
     headers.extend(ReplacementPolicy::ALL.iter().map(|p| p.to_string()));
     let mut t = Table::new(headers);
-    for w in &workloads {
-        let mut cells = vec![w.name().to_string()];
-        for policy in ReplacementPolicy::ALL {
-            let mut h = HierarchyConfig::paper_baseline(1).expect("valid baseline");
-            h.l1d = CacheConfig::new("L1D", 64 * 1024, 2, 64, 4)
-                .expect("valid L1D")
-                .with_replacement(policy);
-            h.l2 = CacheConfig::new("L2", 2 * 1024 * 1024, 16, 64, 20)
-                .expect("valid L2")
-                .with_replacement(policy);
-            let mut m = Machine::new(h);
-            w.install(&mut m);
-            let s = m.run();
-            cells.push(s.cycles.to_string());
-        }
+    let cycles = parallel_map_2d(workloads.len(), ReplacementPolicy::ALL.len(), 0, |w, p| {
+        let policy = ReplacementPolicy::ALL[p];
+        let mut h = HierarchyConfig::paper_baseline(1).expect("valid baseline");
+        h.l1d = CacheConfig::new("L1D", 64 * 1024, 2, 64, 4)
+            .expect("valid L1D")
+            .with_replacement(policy);
+        h.l2 = CacheConfig::new("L2", 2 * 1024 * 1024, 16, 64, 20)
+            .expect("valid L2")
+            .with_replacement(policy);
+        let mut m = Machine::new(h);
+        workloads[w].install(&mut m);
+        m.run().cycles
+    });
+    for (workload, row) in workloads.iter().zip(&cycles) {
+        let mut cells = vec![workload.name().to_string()];
+        cells.extend(row.iter().map(|c| c.to_string()));
         t.row(cells);
     }
     t.render()
@@ -191,8 +190,7 @@ mod tests {
         );
         assert!(leaked);
         assert_eq!(a, vec![65]);
-        let (_, leaked) =
-            custom_flush_reload(|| Prefender::builder(64, 4096).build(), true);
+        let (_, leaked) = custom_flush_reload(|| Prefender::builder(64, 4096).build(), true);
         assert!(!leaked);
     }
 

@@ -14,8 +14,13 @@
 //!   table6    Table VI  — SPEC 2017 speedups
 //!   hwcost    Section V-E — hardware resource budget
 //!   ablate-buffers | ablate-threshold | ablate-unprotect | ablate-replacement
+//!   sweep     full attack x defense grid through the sweep engine
 //!   all       everything above
 //! ```
+//!
+//! Every grid-shaped experiment is sharded across the sweep engine's
+//! worker pool; the dedicated `sweep` binary in `prefender-sweep` adds
+//! grid selection and JSON/CSV artifacts on top of the same engine.
 
 use std::env;
 use std::process::ExitCode;
@@ -83,11 +88,30 @@ fn run_one(name: &str) -> Result<(), String> {
             println!("=== Ablation: cache replacement policy ===\n");
             println!("{}", ablation::ablate_replacement());
         }
+        "sweep" => {
+            println!("=== Sweep: full attack x defense grid ===\n");
+            let report = prefender_sweep::run_sweep(
+                &prefender_sweep::SweepGrid::security_full(),
+                &prefender_sweep::SweepOptions::default(),
+            );
+            println!("{}", report.render_table());
+        }
         "all" => {
             for e in [
-                "fig8", "fig9", "fig10", "fig11", "fig12", "table4", "table5", "table6",
-                "hwcost", "ablate-buffers", "ablate-threshold", "ablate-unprotect",
+                "fig8",
+                "fig9",
+                "fig10",
+                "fig11",
+                "fig12",
+                "table4",
+                "table5",
+                "table6",
+                "hwcost",
+                "ablate-buffers",
+                "ablate-threshold",
+                "ablate-unprotect",
                 "ablate-replacement",
+                "sweep",
             ] {
                 run_one(e)?;
             }
@@ -101,7 +125,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <fig8|fig9|fig10|fig11|fig12|table4|table5|table6|hwcost|ablate-*|all> ..."
+            "usage: repro <fig8|fig9|fig10|fig11|fig12|table4|table5|table6|hwcost|ablate-*|sweep|all> ..."
         );
         return ExitCode::FAILURE;
     }

@@ -152,7 +152,8 @@ pub fn figure12(only: Option<&[&str]>, buckets: usize) -> Vec<Series> {
                 continue;
             }
         }
-        let col = PerfColumn { prefender: Some(PrefenderKind::Full { buffers: 32 }), basic: Basic::None };
+        let col =
+            PerfColumn { prefender: Some(PrefenderKind::Full { buffers: 32 }), basic: Basic::None };
         // Pick the sample interval from a quick baseline cycle estimate so
         // every workload yields roughly `buckets` points.
         let cycles = run_perf(&w, PerfColumn::BASELINE, None).cycles;

@@ -1,239 +1,9 @@
 //! Shared performance-run machinery for Tables IV–VI and Figures 10–12.
+//!
+//! The implementation moved to [`prefender_sweep::perf`] when the sweep
+//! engine became the substrate every harness runs on; this module remains
+//! as the bench-local name for it.
 
-use std::fmt;
-
-use prefender_core::{Prefender, PrefenderStats};
-use prefender_cpu::Machine;
-use prefender_prefetch::{Prefetcher, StridePrefetcher, TaggedPrefetcher};
-use prefender_sim::{CacheStats, HierarchyConfig};
-use prefender_workloads::Workload;
-
-/// The basic (conventional) prefetcher of a configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Basic {
-    /// No basic prefetcher.
-    None,
-    /// Tagged next-line prefetcher (paper reference [15]).
-    Tagged,
-    /// Baer–Chen stride prefetcher (paper reference [16]).
-    Stride,
-}
-
-impl Basic {
-    fn build(self) -> Option<Box<dyn Prefetcher>> {
-        match self {
-            Basic::None => None,
-            Basic::Tagged => Some(Box::new(TaggedPrefetcher::new(64, 1))),
-            Basic::Stride => Some(Box::new(StridePrefetcher::default_config())),
-        }
-    }
-}
-
-impl fmt::Display for Basic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Basic::None => f.write_str("-"),
-            Basic::Tagged => f.write_str("Tagged"),
-            Basic::Stride => f.write_str("Stride"),
-        }
-    }
-}
-
-/// Which PREFENDER flavour a column uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum PrefenderKind {
-    /// Scale Tracker + Access Tracker (Table IV's rows).
-    StAt {
-        /// Access-buffer count (the 16/32/64 sweep).
-        buffers: usize,
-    },
-    /// ST + AT + Record Protector (Table V's rows).
-    Full {
-        /// Access-buffer count.
-        buffers: usize,
-    },
-}
-
-/// One column of a performance table: an optional PREFENDER stacked on an
-/// optional basic prefetcher.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct PerfColumn {
-    /// The PREFENDER flavour, or `None` for baseline/basic-only columns.
-    pub prefender: Option<PrefenderKind>,
-    /// The basic prefetcher.
-    pub basic: Basic,
-}
-
-impl PerfColumn {
-    /// The no-prefetcher baseline all speedups are measured against.
-    pub const BASELINE: PerfColumn = PerfColumn { prefender: None, basic: Basic::None };
-
-    /// Builds the per-core prefetcher for this column, `None` for baseline.
-    pub fn build(&self) -> Option<Box<dyn Prefetcher>> {
-        match self.prefender {
-            None => self.basic.build(),
-            Some(kind) => {
-                let (buffers, rp) = match kind {
-                    PrefenderKind::StAt { buffers } => (buffers, false),
-                    PrefenderKind::Full { buffers } => (buffers, true),
-                };
-                let mut b = Prefender::builder(64, 4096)
-                    .access_buffers(buffers)
-                    .record_protector(rp);
-                if let Some(basic) = self.basic.build() {
-                    b = b.basic(basic);
-                }
-                Some(Box::new(b.build()))
-            }
-        }
-    }
-
-    /// Column label in the paper's style.
-    pub fn label(&self) -> String {
-        match (self.prefender, self.basic) {
-            (None, Basic::None) => "Baseline".to_string(),
-            (None, b) => b.to_string(),
-            (Some(PrefenderKind::StAt { buffers }), Basic::None) => {
-                format!("P-ST+AT/{buffers}")
-            }
-            (Some(PrefenderKind::Full { buffers }), Basic::None) => format!("Prefender/{buffers}"),
-            (Some(PrefenderKind::StAt { buffers }), b) => format!("P-ST+AT/{buffers}({b})"),
-            (Some(PrefenderKind::Full { buffers }), b) => format!("Prefender/{buffers}({b})"),
-        }
-    }
-}
-
-/// The measurements of one workload under one column.
-#[derive(Debug, Clone)]
-pub struct PerfResult {
-    /// Total cycles to completion.
-    pub cycles: u64,
-    /// Instructions retired.
-    pub instructions: u64,
-    /// L1D statistics (Figure 10 reads `demand_miss_latency`).
-    pub l1d: CacheStats,
-    /// PREFENDER per-unit prefetch counts, when a PREFENDER ran.
-    pub prefender: Option<PrefenderStats>,
-    /// Sampled `(cycle, protected-buffer-count)` series, when requested
-    /// (Figure 12).
-    pub protected_series: Vec<(u64, u64)>,
-}
-
-/// Runs `workload` under `column` on the paper-baseline single-core
-/// machine. `sample_every` turns on the Figure 12 protected-buffer
-/// sampling at the given cycle granularity.
-pub fn run_perf(workload: &Workload, column: PerfColumn, sample_every: Option<u64>) -> PerfResult {
-    let mut m = Machine::new(HierarchyConfig::paper_baseline(1).expect("valid baseline"));
-    if let Some(p) = column.build() {
-        m.set_prefetcher(0, p);
-    }
-    workload.install(&mut m);
-
-    let mut protected_series = Vec::new();
-    match sample_every {
-        None => {
-            let s = m.run();
-            assert!(!s.truncated, "workload {} truncated", workload.name());
-        }
-        Some(bucket) => {
-            let mut next = bucket;
-            while m.step() {
-                if m.now().raw() >= next {
-                    protected_series.push((m.now().raw(), protected_count(&m)));
-                    next += bucket;
-                }
-            }
-            protected_series.push((m.now().raw(), protected_count(&m)));
-        }
-    }
-
-    PerfResult {
-        cycles: m.now().raw(),
-        instructions: m.core(0).retired(),
-        l1d: *m.mem().l1d(0).stats(),
-        prefender: prefender_stats(&m, 0),
-        protected_series,
-    }
-}
-
-/// Reads PREFENDER per-unit stats from a machine core (downcast through
-/// the `Prefetcher::as_any` hook).
-pub fn prefender_stats(m: &Machine, core: usize) -> Option<PrefenderStats> {
-    m.prefetcher(core)?.as_any()?.downcast_ref::<Prefender>().map(|p| p.stats())
-}
-
-fn protected_count(m: &Machine) -> u64 {
-    m.prefetcher(0)
-        .and_then(|p| p.as_any())
-        .and_then(|a| a.downcast_ref::<Prefender>())
-        .map_or(0, |p| p.protected_count() as u64)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use prefender_workloads::spec2006;
-
-    #[test]
-    fn column_labels() {
-        assert_eq!(PerfColumn::BASELINE.label(), "Baseline");
-        let c = PerfColumn { prefender: None, basic: Basic::Tagged };
-        assert_eq!(c.label(), "Tagged");
-        let c = PerfColumn {
-            prefender: Some(PrefenderKind::StAt { buffers: 32 }),
-            basic: Basic::Stride,
-        };
-        assert_eq!(c.label(), "P-ST+AT/32(Stride)");
-        let c = PerfColumn { prefender: Some(PrefenderKind::Full { buffers: 16 }), basic: Basic::None };
-        assert_eq!(c.label(), "Prefender/16");
-    }
-
-    #[test]
-    fn baseline_builds_no_prefetcher() {
-        assert!(PerfColumn::BASELINE.build().is_none());
-    }
-
-    #[test]
-    fn streaming_workload_gains_from_tagged() {
-        let w = spec2006().into_iter().find(|w| w.name() == "462.libquantum").unwrap();
-        let base = run_perf(&w, PerfColumn::BASELINE, None);
-        let tagged = run_perf(&w, PerfColumn { prefender: None, basic: Basic::Tagged }, None);
-        assert!(
-            tagged.cycles < base.cycles,
-            "tagged must speed up streaming: {} vs {}",
-            tagged.cycles,
-            base.cycles
-        );
-    }
-
-    #[test]
-    fn gather_workload_gains_from_prefender() {
-        let w = prefender_workloads::spec2017()
-            .into_iter()
-            .find(|w| w.name() == "510.parest_r")
-            .unwrap();
-        let base = run_perf(&w, PerfColumn::BASELINE, None);
-        let p = run_perf(
-            &w,
-            PerfColumn { prefender: Some(PrefenderKind::StAt { buffers: 32 }), basic: Basic::None },
-            None,
-        );
-        assert!(
-            p.cycles < base.cycles,
-            "PREFENDER must speed up scaled gathers: {} vs {}",
-            p.cycles,
-            base.cycles
-        );
-        assert!(p.prefender.unwrap().st_prefetches > 0, "the ST must have fired");
-    }
-
-    #[test]
-    fn sampling_produces_series() {
-        let w = spec2006().into_iter().find(|w| w.name() == "999.specrand").unwrap();
-        let col = PerfColumn { prefender: Some(PrefenderKind::Full { buffers: 32 }), basic: Basic::None };
-        let r = run_perf(&w, col, Some(5_000));
-        assert!(!r.protected_series.is_empty());
-        // specrand performs no loads: never any protected buffer.
-        assert!(r.protected_series.iter().all(|&(_, p)| p == 0));
-    }
-}
+pub use prefender_sweep::perf::{
+    prefender_stats, run_perf, Basic, PerfColumn, PerfResult, PrefenderKind,
+};

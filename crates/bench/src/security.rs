@@ -1,9 +1,11 @@
 //! Figures 8 and 9: the security evaluation.
 
 use prefender_attacks::{
-    run_attack, run_attack_with_timeline, AttackKind, AttackSpec, DefenseConfig, NoiseSpec,
+    run_attack, run_attack_with_timeline, AttackKind, AttackOutcome, AttackSpec, DefenseConfig,
+    NoiseSpec,
 };
 use prefender_stats::{Series, Table};
+use prefender_sweep::{parallel_map, parallel_map_2d};
 
 /// The paper's Figure 8 panel grid: three attacks × four challenge sets.
 pub const PANELS: [(&str, AttackKind, NoiseSpec); 12] = [
@@ -59,13 +61,10 @@ impl Figure8Panel {
     }
 }
 
-/// Regenerates one Figure 8 panel across all six defense configurations.
-pub fn figure8_panel(title: &str, kind: AttackKind, noise: NoiseSpec) -> Figure8Panel {
+fn panel_from_outcomes(title: &str, outcomes: &[AttackOutcome]) -> Figure8Panel {
     let mut series = Vec::new();
     let mut verdicts = Vec::new();
-    for defense in DefenseConfig::ALL {
-        let spec = AttackSpec::new(kind, defense).with_noise(noise);
-        let o = run_attack(&spec).expect("attack run");
+    for (defense, o) in DefenseConfig::ALL.iter().zip(outcomes) {
         let mut s = Series::new(&defense.to_string());
         for p in &o.samples {
             s.push(p.index as f64, p.latency as f64);
@@ -76,11 +75,30 @@ pub fn figure8_panel(title: &str, kind: AttackKind, noise: NoiseSpec) -> Figure8
     Figure8Panel { title: title.to_string(), series, verdicts }
 }
 
+/// Regenerates one Figure 8 panel across all six defense configurations,
+/// sharded over the sweep engine's worker pool.
+pub fn figure8_panel(title: &str, kind: AttackKind, noise: NoiseSpec) -> Figure8Panel {
+    let outcomes = parallel_map(&DefenseConfig::ALL, 0, |&defense| {
+        run_attack(&AttackSpec::new(kind, defense).with_noise(noise)).expect("attack run")
+    });
+    panel_from_outcomes(title, &outcomes)
+}
+
 /// Regenerates all twelve Figure 8 panels.
+///
+/// The full 12 × 6 grid is flattened into one work-list and sharded
+/// across the sweep engine's worker pool — results are identical to the
+/// old one-attack-at-a-time loop at any thread count.
 pub fn figure8() -> Vec<Figure8Panel> {
+    let outcomes = parallel_map_2d(PANELS.len(), DefenseConfig::ALL.len(), 0, |p, d| {
+        let (_, kind, noise) = PANELS[p];
+        run_attack(&AttackSpec::new(kind, DefenseConfig::ALL[d]).with_noise(noise))
+            .expect("attack run")
+    });
     PANELS
         .iter()
-        .map(|&(title, kind, noise)| figure8_panel(title, kind, noise))
+        .zip(&outcomes)
+        .map(|(&(title, ..), row)| panel_from_outcomes(title, row))
         .collect()
 }
 
@@ -120,12 +138,42 @@ impl Figure9Panel {
 pub fn figure9(bucket_cycles: u64) -> Vec<Figure9Panel> {
     let mut out = Vec::new();
     let cases = [
-        ("(a) Flush+Reload (C1+C2), ST+AT", AttackKind::FlushReload, NoiseSpec::NONE, DefenseConfig::StAt),
-        ("(b) Evict+Reload (C1+C2), ST+AT", AttackKind::EvictReload, NoiseSpec::NONE, DefenseConfig::StAt),
-        ("(c) Prime+Probe (C1+C2), ST+AT", AttackKind::PrimeProbe, NoiseSpec::NONE, DefenseConfig::StAt),
-        ("(d) Flush+Reload (all), Prefender", AttackKind::FlushReload, NoiseSpec::C3C4, DefenseConfig::Full),
-        ("(e) Evict+Reload (all), Prefender", AttackKind::EvictReload, NoiseSpec::C3C4, DefenseConfig::Full),
-        ("(f) Prime+Probe (all), Prefender", AttackKind::PrimeProbe, NoiseSpec::C3C4, DefenseConfig::Full),
+        (
+            "(a) Flush+Reload (C1+C2), ST+AT",
+            AttackKind::FlushReload,
+            NoiseSpec::NONE,
+            DefenseConfig::StAt,
+        ),
+        (
+            "(b) Evict+Reload (C1+C2), ST+AT",
+            AttackKind::EvictReload,
+            NoiseSpec::NONE,
+            DefenseConfig::StAt,
+        ),
+        (
+            "(c) Prime+Probe (C1+C2), ST+AT",
+            AttackKind::PrimeProbe,
+            NoiseSpec::NONE,
+            DefenseConfig::StAt,
+        ),
+        (
+            "(d) Flush+Reload (all), Prefender",
+            AttackKind::FlushReload,
+            NoiseSpec::C3C4,
+            DefenseConfig::Full,
+        ),
+        (
+            "(e) Evict+Reload (all), Prefender",
+            AttackKind::EvictReload,
+            NoiseSpec::C3C4,
+            DefenseConfig::Full,
+        ),
+        (
+            "(f) Prime+Probe (all), Prefender",
+            AttackKind::PrimeProbe,
+            NoiseSpec::C3C4,
+            DefenseConfig::Full,
+        ),
     ];
     for (title, kind, noise, defense) in cases {
         let spec = AttackSpec::new(kind, defense).with_noise(noise);

@@ -1,6 +1,7 @@
 //! Tables IV, V and VI: SPEC speedup tables.
 
 use prefender_stats::{speedup_pct, Table};
+use prefender_sweep::parallel_map_2d;
 use prefender_workloads::{spec2006, spec2017, Workload};
 
 use crate::perf::{run_perf, Basic, PerfColumn, PrefenderKind};
@@ -49,18 +50,25 @@ impl SpeedupTable {
 fn build(workloads: &[Workload], columns: &[PerfColumn]) -> SpeedupTable {
     let mut headers = vec!["Benchmark".to_string()];
     headers.extend(columns.iter().map(PerfColumn::label));
+    // One work cell per (workload, column) — column 0 is the per-workload
+    // baseline — sharded over the sweep engine's worker pool. Cells are
+    // pure and the map is order-preserving, so the table is identical to
+    // the old serial nested loop at any thread count.
+    let cycles = parallel_map_2d(workloads.len(), columns.len() + 1, 0, |w, c| {
+        let column = if c == 0 { PerfColumn::BASELINE } else { columns[c - 1] };
+        run_perf(&workloads[w], column, None).cycles as f64
+    });
     let mut rows = Vec::with_capacity(workloads.len());
     let mut sums = vec![0.0f64; columns.len()];
-    for w in workloads {
-        let base = run_perf(w, PerfColumn::BASELINE, None).cycles as f64;
+    for (workload, row) in workloads.iter().zip(&cycles) {
+        let base = row[0];
         let mut vals = Vec::with_capacity(columns.len());
-        for (i, c) in columns.iter().enumerate() {
-            let cycles = run_perf(w, *c, None).cycles as f64;
-            let s = speedup_pct(base, cycles);
-            sums[i] += s;
+        for (sum, cell) in sums.iter_mut().zip(&row[1..]) {
+            let s = speedup_pct(base, *cell);
+            *sum += s;
             vals.push(s);
         }
-        rows.push((w.name().to_string(), vals));
+        rows.push((workload.name().to_string(), vals));
     }
     let n = workloads.len().max(1) as f64;
     let avg = sums.into_iter().map(|s| s / n).collect();

@@ -421,7 +421,7 @@ mod tests {
         probe(&mut t, 0x8000, 0x1000, 0);
         probe(&mut t, 0x8010, 0x2000, 1);
         probe(&mut t, 0x8000, 0x1100, 2); // touch 0x8000's buffer
-        // A third PC steals the LRU buffer (0x8010's).
+                                          // A third PC steals the LRU buffer (0x8010's).
         probe(&mut t, 0x8020, 0x3000, 3);
         let pcs: Vec<u64> = (0..2).map(|i| t.buffer(i).inst_addr()).collect();
         assert!(pcs.contains(&0x8000) && pcs.contains(&0x8020));
@@ -459,7 +459,13 @@ mod tests {
         let mut t = at(4);
         t.set_protection_params(&RpConfig::paper());
         for (i, blk) in [0x8000u64, 0x8200, 0x8400, 0x8600].into_iter().enumerate() {
-            t.on_load(0x8008, Addr::new(blk), Cycle::new(i as u64), Some((0x200, 0x8000)), &NOT_RESIDENT);
+            t.on_load(
+                0x8008,
+                Addr::new(blk),
+                Cycle::new(i as u64),
+                Some((0x200, 0x8000)),
+                &NOT_RESIDENT,
+            );
         }
         // Noisy access to a non-eviction line corrupts DiffMin (no rp hit).
         let d = probe(&mut t, 0x8008, 0x8100, 4);
@@ -467,7 +473,13 @@ mod tests {
         assert_eq!(buf.diffmin(), Some(0x100), "DiffMin was corrupted by the noise");
         // Next eviction-line access hits the protected scale and is guided
         // by 0x200, not 0x100.
-        let d = t.on_load(0x8008, Addr::new(0x8800), Cycle::new(5), Some((0x200, 0x8000)), &NOT_RESIDENT);
+        let d = t.on_load(
+            0x8008,
+            Addr::new(0x8800),
+            Cycle::new(5),
+            Some((0x200, 0x8000)),
+            &NOT_RESIDENT,
+        );
         assert_eq!(d.prefetch, Some((Addr::new(0x8A00), PrefetchSource::RecordProtector)));
     }
 
@@ -485,10 +497,7 @@ mod tests {
     #[test]
     fn guided_prefetch_count_unprotects() {
         let mut t = at(4);
-        t.set_protection_params(&RpConfig {
-            unprotect_prefetch_threshold: 2,
-            ..RpConfig::paper()
-        });
+        t.set_protection_params(&RpConfig { unprotect_prefetch_threshold: 2, ..RpConfig::paper() });
         t.on_load(0x8008, Addr::new(0x1000), Cycle::new(0), Some((0x200, 0x1000)), &NOT_RESIDENT);
         // Each access prefetches via the protected scale; after exceeding
         // the threshold the buffer unprotects.

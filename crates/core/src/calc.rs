@@ -219,9 +219,7 @@ impl CalculationBuffer {
                         None => RegTrack::INIT,
                     },
                     // NA × Valid ⇒ (NA, sc_s0 × fva_s1).
-                    (None, Some(f1)) => {
-                        RegTrack { fva: None, sc: mul_sc(s0.sc, kind.factor(f1)) }
-                    }
+                    (None, Some(f1)) => RegTrack { fva: None, sc: mul_sc(s0.sc, kind.factor(f1)) },
                     // Valid × NA ⇒ (NA, fva_s0 × sc_s1).
                     (Some(f0), None) => match kind {
                         MulKind::Mul => RegTrack { fva: None, sc: mul_sc(Some(f0), s1.sc) },
@@ -373,9 +371,8 @@ mod tests {
 
     #[test]
     fn add_variable_and_constant_takes_variable_scale() {
-        let buf = run(
-            "ld r1, 0(r0)\nli r2, 0x400\nmul r3, r1, r2\nli r4, 0x100000\nadd r5, r4, r3\n",
-        );
+        let buf =
+            run("ld r1, 0(r0)\nli r2, 0x400\nmul r3, r1, r2\nli r4, 0x100000\nadd r5, r4, r3\n");
         // r4 valid + r3 NA ⇒ scale of r3.
         assert_eq!(buf.get(Reg::R5), RegTrack { fva: None, sc: Some(0x400) });
     }
@@ -383,8 +380,7 @@ mod tests {
     #[test]
     fn add_two_variables_takes_min_scale() {
         // 128*i + 32*j: either index stepping moves the sum; min = 32.
-        let buf = run(
-            "
+        let buf = run("
             ld r1, 0(r0)
             ld r2, 8(r0)
             li r3, 128
@@ -392,8 +388,7 @@ mod tests {
             mul r5, r1, r3
             mul r6, r2, r4
             add r7, r5, r6
-            ",
-        );
+            ");
         assert_eq!(buf.get(Reg::R7), RegTrack { fva: None, sc: Some(32) });
     }
 
@@ -433,15 +428,13 @@ mod tests {
 
     #[test]
     fn mul_two_variables_multiplies_scales() {
-        let buf = run(
-            "
+        let buf = run("
             ld r1, 0(r0)
             ld r2, 8(r0)
             mul r3, r1, 16    ; sc 16
             mul r4, r2, 8     ; sc 8
             mul r5, r3, r4    ; sc 128
-            ",
-        );
+            ");
         assert_eq!(buf.get(Reg::R5), RegTrack { fva: None, sc: Some(128) });
     }
 
@@ -476,7 +469,9 @@ mod tests {
 
     #[test]
     fn logic_ops_reinitialize() {
-        let buf = run("ld r1, 0(r0)\nmul r2, r1, 0x200\nand r3, r2, 0xff\nor r4, r2, 1\nxor r5, r2, r2\n");
+        let buf = run(
+            "ld r1, 0(r0)\nmul r2, r1, 0x200\nand r3, r2, 0xff\nor r4, r2, 1\nxor r5, r2, r2\n",
+        );
         assert_eq!(buf.get(Reg::R3), RegTrack::INIT);
         assert_eq!(buf.get(Reg::R4), RegTrack::INIT);
         assert_eq!(buf.get(Reg::R5), RegTrack::INIT);
@@ -494,16 +489,14 @@ mod tests {
     fn figure_5_example() {
         // load r0, 4(sp); load r1, 0(r0); load r2, arr_addr; load r3, 0x200;
         // mul r4, r1, r3; add r5, r2, r4; load r6, 0(r5)
-        let buf = run(
-            "
+        let buf = run("
             ld  r0, 4(r14)      ; r0 = secret's address (variable)
             ld  r1, 0(r0)       ; r1 = secret (variable)
             li  r2, 0x100000    ; r2 = arr_addr (immediate)
             li  r3, 0x200       ; r3 = 0x200 (immediate)
             mul r4, r1, r3      ; r4 = secret*0x200   -> sc 0x200, fva NA
             add r5, r2, r4      ; r5 = arr_addr + r4  -> sc 0x200, fva NA
-            ",
-        );
+            ");
         assert_eq!(buf.get(Reg::R0), RegTrack { fva: None, sc: Some(1) });
         assert_eq!(buf.get(Reg::R1), RegTrack { fva: None, sc: Some(1) });
         assert_eq!(buf.get(Reg::R2).fva, Some(0x100000));
@@ -515,16 +508,14 @@ mod tests {
     #[test]
     fn complicated_pattern_from_section_iv_b() {
         // 128*i + 32*j + imm: scales min(128, 32) = 32 survives the offset.
-        let buf = run(
-            "
+        let buf = run("
             ld r1, 0(r0)
             ld r2, 8(r0)
             mul r3, r1, 128
             mul r4, r2, 32
             add r5, r3, r4
             add r6, r5, 652
-            ",
-        );
+            ");
         assert_eq!(buf.get(Reg::R6), RegTrack { fva: None, sc: Some(32) });
     }
 
@@ -542,9 +533,8 @@ mod tests {
 
     #[test]
     fn overflowing_scale_collapses_to_na() {
-        let buf = run(
-            "ld r1, 0(r0)\nmul r2, r1, 0x4000000000000000\nmul r3, r2, 0x4000000000000000\n",
-        );
+        let buf =
+            run("ld r1, 0(r0)\nmul r2, r1, 0x4000000000000000\nmul r3, r2, 0x4000000000000000\n");
         assert_eq!(buf.get(Reg::R3).sc, None);
     }
 

@@ -64,8 +64,7 @@ impl Prefender {
 
     /// Builds directly from a [`PrefenderConfig`].
     pub fn from_config(cfg: PrefenderConfig) -> Self {
-        let line_size =
-            cfg.st.map(|s| s.line_size).or(cfg.at.map(|a| a.line_size)).unwrap_or(64);
+        let line_size = cfg.st.map(|s| s.line_size).or(cfg.at.map(|a| a.line_size)).unwrap_or(64);
         let mut at = cfg.at.map(AccessTracker::new);
         if let (Some(at), Some(rp)) = (at.as_mut(), cfg.rp.as_ref()) {
             at.set_protection_params(rp);
@@ -312,7 +311,8 @@ impl PrefenderBuilder {
 
     /// Builds the prefetcher.
     pub fn build(self) -> Prefender {
-        let mut p = Prefender::from_config(PrefenderConfig { st: self.st, at: self.at, rp: self.rp });
+        let mut p =
+            Prefender::from_config(PrefenderConfig { st: self.st, at: self.at, rp: self.rp });
         p.basic = self.basic;
         p.st_prefetching = self.st_prefetching;
         p
@@ -350,7 +350,8 @@ mod tests {
 
     #[test]
     fn st_prefetches_both_neighbours() {
-        let mut p = Prefender::builder(64, 4096).access_tracker(false).record_protector(false).build();
+        let mut p =
+            Prefender::builder(64, 4096).access_tracker(false).record_protector(false).build();
         retire_all(&mut p, "ld r1, 0(r0)\nmul r5, r1, 0x200\n");
         let reqs = p.on_access(&load_event(0x8000, 0x10_0800, Reg::R5), &|_| false);
         assert_eq!(
@@ -365,7 +366,8 @@ mod tests {
 
     #[test]
     fn st_silent_without_scale() {
-        let mut p = Prefender::builder(64, 4096).access_tracker(false).record_protector(false).build();
+        let mut p =
+            Prefender::builder(64, 4096).access_tracker(false).record_protector(false).build();
         retire_all(&mut p, "li r5, 0x10000\n");
         let reqs = p.on_access(&load_event(0x8000, 0x10000, Reg::R5), &|_| false);
         assert!(reqs.is_empty());
@@ -373,10 +375,13 @@ mod tests {
 
     #[test]
     fn at_learns_probe_stride() {
-        let mut p = Prefender::builder(64, 4096).scale_tracker(false).record_protector(false).build();
+        let mut p =
+            Prefender::builder(64, 4096).scale_tracker(false).record_protector(false).build();
         let mut all = Vec::new();
         for k in [0u64, 3, 1, 5, 2] {
-            all.extend(p.on_access(&load_event(0x9000, 0x20_0000 + k * 0x200, Reg::R1), &|_| false));
+            all.extend(
+                p.on_access(&load_event(0x9000, 0x20_0000 + k * 0x200, Reg::R1), &|_| false),
+            );
         }
         assert!(!all.is_empty());
         assert!(all.iter().all(|r| r.source == PrefetchSource::AccessTracker));
@@ -417,7 +422,8 @@ mod tests {
     #[test]
     fn basic_prefetcher_runs_at_lower_priority() {
         use prefender_prefetch::TaggedPrefetcher;
-        let mut p = Prefender::builder(64, 4096).basic(Box::new(TaggedPrefetcher::new(64, 1))).build();
+        let mut p =
+            Prefender::builder(64, 4096).basic(Box::new(TaggedPrefetcher::new(64, 1))).build();
         retire_all(&mut p, "ld r1, 0(r0)\nmul r5, r1, 0x200\n");
         let reqs = p.on_access(&load_event(0x8000, 0x10_0800, Reg::R5), &|_| false);
         // ST's two requests come first, then RP's guided prefetch (the
@@ -434,7 +440,8 @@ mod tests {
     #[test]
     fn issued_counts_all_units() {
         use prefender_prefetch::TaggedPrefetcher;
-        let mut p = Prefender::builder(64, 4096).basic(Box::new(TaggedPrefetcher::new(64, 1))).build();
+        let mut p =
+            Prefender::builder(64, 4096).basic(Box::new(TaggedPrefetcher::new(64, 1))).build();
         retire_all(&mut p, "ld r1, 0(r0)\nmul r5, r1, 0x200\n");
         let _ = p.on_access(&load_event(0x8000, 0x10_0800, Reg::R5), &|_| false);
         assert_eq!(p.issued(), p.stats().total() + p.basic().unwrap().issued());
@@ -453,10 +460,7 @@ mod tests {
 
     #[test]
     fn builder_unit_toggles() {
-        let p = Prefender::builder(64, 4096)
-            .scale_tracker(false)
-            .record_protector(false)
-            .build();
+        let p = Prefender::builder(64, 4096).scale_tracker(false).record_protector(false).build();
         assert!(p.scale_tracker().is_none());
         assert!(p.access_tracker().is_some());
         assert!(p.record_protector().is_none());

@@ -83,17 +83,15 @@ impl RecordProtector {
         // Redundancy reduction: if the new pattern relates to an existing
         // entry ((blk' - blk_i) % min(sc', sc_i) == 0), keep only the
         // sparser (larger-scale) pattern.
-        for slot in self.entries.iter_mut() {
-            if let Some((e, lru)) = slot {
-                let m = sc.min(e.sc);
-                let diff = blk as i128 - e.blk as i128;
-                if diff.rem_euclid(m as i128) == 0 {
-                    if sc > e.sc {
-                        *e = ScaleEntry { sc, blk };
-                    }
-                    *lru = seq;
-                    return;
+        for (e, lru) in self.entries.iter_mut().flatten() {
+            let m = sc.min(e.sc);
+            let diff = blk as i128 - e.blk as i128;
+            if diff.rem_euclid(m as i128) == 0 {
+                if sc > e.sc {
+                    *e = ScaleEntry { sc, blk };
                 }
+                *lru = seq;
+                return;
             }
         }
         // Allocate an empty slot, else replace the LRU entry.
@@ -115,13 +113,11 @@ impl RecordProtector {
     pub fn hit(&mut self, blk: u64) -> Option<(u64, u64)> {
         self.seq += 1;
         let seq = self.seq;
-        for slot in self.entries.iter_mut() {
-            if let Some((e, lru)) = slot {
-                if e.matches(blk) {
-                    *lru = seq;
-                    self.hits += 1;
-                    return Some((e.sc, e.blk));
-                }
+        for (e, lru) in self.entries.iter_mut().flatten() {
+            if e.matches(blk) {
+                *lru = seq;
+                self.hits += 1;
+                return Some((e.sc, e.blk));
             }
         }
         None

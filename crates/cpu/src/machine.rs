@@ -68,7 +68,13 @@ impl RunSummary {
 
 impl fmt::Display for RunSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} instructions in {} cycles (IPC {:.3})", self.instructions, self.cycles, self.ipc())
+        write!(
+            f,
+            "{} instructions in {} cycles (IPC {:.3})",
+            self.instructions,
+            self.cycles,
+            self.ipc()
+        )
     }
 }
 
@@ -257,7 +263,11 @@ impl Machine {
             executed += 1;
         }
         let total: u64 = self.cores.iter().map(|c| c.retired).sum();
-        RunSummary { cycles: self.now().raw(), instructions: total - start_retired, truncated: true }
+        RunSummary {
+            cycles: self.now().raw(),
+            instructions: total - start_retired,
+            truncated: true,
+        }
     }
 
     /// Runs until `deadline` (useful for phase-structured attack drivers).
@@ -433,6 +443,7 @@ impl Machine {
         self.cores[c].retired += 1;
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors AccessEvent's fields one-to-one
     fn notify_access(
         &mut self,
         c: usize,
@@ -532,7 +543,10 @@ mod tests {
     fn cold_load_costs_memory_latency() {
         let mut m = machine();
         m.trace_mut().set_enabled(true);
-        m.load_program(0, Program::parse("li r1, 0x9000\nld r2, 0(r1)\nld r3, 0(r1)\nhalt\n").unwrap());
+        m.load_program(
+            0,
+            Program::parse("li r1, 0x9000\nld r2, 0(r1)\nld r3, 0(r1)\nhalt\n").unwrap(),
+        );
         m.run();
         let t = m.trace().entries();
         assert_eq!(t.len(), 2);
@@ -574,7 +588,8 @@ mod tests {
         m.trace_mut().set_enabled(true);
         m.load_program(
             0,
-            Program::parse("li r1, 0x9000\nld r2, 0(r1)\nflush 0(r1)\nld r2, 0(r1)\nhalt\n").unwrap(),
+            Program::parse("li r1, 0x9000\nld r2, 0(r1)\nflush 0(r1)\nld r2, 0(r1)\nhalt\n")
+                .unwrap(),
         );
         m.run();
         let t = m.trace().entries();

@@ -90,9 +90,7 @@ fn strip_comment(line: &str) -> &str {
 fn is_label_def(tok: &str) -> bool {
     tok.ends_with(':')
         && tok.len() > 1
-        && tok[..tok.len() - 1]
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && tok[..tok.len() - 1].chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
 }
 
 /// Assembles `src` into a [`Program`].
@@ -152,11 +150,8 @@ fn parse_instr(
         Some(i) => (&text[..i], text[i..].trim()),
         None => (text, ""),
     };
-    let ops: Vec<&str> = if ops_text.is_empty() {
-        Vec::new()
-    } else {
-        ops_text.split(',').map(str::trim).collect()
-    };
+    let ops: Vec<&str> =
+        if ops_text.is_empty() { Vec::new() } else { ops_text.split(',').map(str::trim).collect() };
     let err = |kind| ParseError { line, kind };
     let arity = |expected: usize| -> Result<(), ParseError> {
         if ops.len() == expected {
@@ -186,7 +181,8 @@ fn parse_instr(
         }
     };
     let mem = |t: &str| -> Result<(i64, Reg), ParseError> {
-        let open = t.find('(').ok_or_else(|| err(ParseErrorKind::BadMemoryOperand(t.to_owned())))?;
+        let open =
+            t.find('(').ok_or_else(|| err(ParseErrorKind::BadMemoryOperand(t.to_owned())))?;
         if !t.ends_with(')') {
             return Err(err(ParseErrorKind::BadMemoryOperand(t.to_owned())));
         }
@@ -199,10 +195,7 @@ fn parse_instr(
         if let Some(raw) = t.strip_prefix('@') {
             raw.parse::<usize>().map_err(|_| err(ParseErrorKind::BadNumber(t.to_owned())))
         } else {
-            labels
-                .get(t)
-                .copied()
-                .ok_or_else(|| err(ParseErrorKind::UnknownLabel(t.to_owned())))
+            labels.get(t).copied().ok_or_else(|| err(ParseErrorKind::UnknownLabel(t.to_owned())))
         }
     };
 

@@ -303,7 +303,10 @@ mod tests {
     #[test]
     fn display_syntax() {
         assert_eq!(Instr::LoadImm { rd: Reg::R1, imm: 0x200 }.to_string(), "li r1, 0x200");
-        assert_eq!(Instr::Load { rd: Reg::R2, base: Reg::R1, offset: -8 }.to_string(), "ld r2, -8(r1)");
+        assert_eq!(
+            Instr::Load { rd: Reg::R2, base: Reg::R1, offset: -8 }.to_string(),
+            "ld r2, -8(r1)"
+        );
         assert_eq!(
             Instr::Add { rd: Reg::R3, a: Reg::R1, b: Operand::Imm(4) }.to_string(),
             "add r3, r1, 4"

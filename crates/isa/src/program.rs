@@ -39,7 +39,10 @@ impl fmt::Display for BuildError {
         match self {
             BuildError::UnboundLabel { id } => write!(f, "label {id} referenced but never bound"),
             BuildError::TargetOutOfRange { at, target, len } => {
-                write!(f, "instruction {at} branches to {target}, but program has {len} instructions")
+                write!(
+                    f,
+                    "instruction {at} branches to {target}, but program has {len} instructions"
+                )
             }
         }
     }

@@ -64,6 +64,9 @@ impl PrefetchRequest {
 }
 
 #[cfg(test)]
+pub(crate) use tests::access as test_access;
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use prefender_sim::Level;
@@ -99,6 +102,3 @@ mod tests {
         assert_eq!(r.source, PrefetchSource::Basic);
     }
 }
-
-#[cfg(test)]
-pub(crate) use tests::access as test_access;

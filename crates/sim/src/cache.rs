@@ -142,12 +142,18 @@ impl Cache {
     /// Returns evicted lines (write-back / back-invalidation work for the
     /// hierarchy).
     pub fn expire_inflight(&mut self, now: Cycle) -> Vec<EvictedLine> {
-        let ready: Vec<u64> = self
+        let mut ready: Vec<(Cycle, u64)> = self
             .inflight
             .iter()
             .filter(|(_, f)| f.ready_at <= now)
-            .map(|(&la, _)| la)
+            .map(|(&la, f)| (f.ready_at, la))
             .collect();
+        // Fill in completion order (ties by address): the map's iteration
+        // order is hash-randomized per process, and when two expiring
+        // fills target the same set the fill order picks the eviction
+        // victim — sorting keeps whole-machine runs bit-deterministic.
+        ready.sort_unstable();
+        let ready: Vec<u64> = ready.into_iter().map(|(_, la)| la).collect();
         let mut evicted = Vec::new();
         for la in ready {
             let f = self.inflight.remove(&la).expect("key collected above");
@@ -303,13 +309,8 @@ impl Cache {
 
     /// All line-aligned addresses currently installed (test/debug helper).
     pub fn resident_lines(&self) -> Vec<Addr> {
-        let mut v: Vec<Addr> = self
-            .sets
-            .iter()
-            .flatten()
-            .filter(|l| l.valid)
-            .map(|l| Addr::new(l.tag))
-            .collect();
+        let mut v: Vec<Addr> =
+            self.sets.iter().flatten().filter(|l| l.valid).map(|l| Addr::new(l.tag)).collect();
         v.sort_unstable();
         v
     }

@@ -108,7 +108,7 @@ impl CacheConfig {
             });
         }
         let lines = size / line_size;
-        if lines == 0 || lines % associativity as u64 != 0 {
+        if lines == 0 || !lines.is_multiple_of(associativity as u64) {
             return Err(ConfigError::Indivisible { size, associativity, line_size });
         }
         Ok(CacheConfig {

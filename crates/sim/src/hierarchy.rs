@@ -196,7 +196,13 @@ impl MemorySystem {
     /// # Panics
     ///
     /// Panics if `core` is out of range.
-    pub fn access(&mut self, core: usize, addr: Addr, kind: AccessKind, now: Cycle) -> AccessOutcome {
+    pub fn access(
+        &mut self,
+        core: usize,
+        addr: Addr,
+        kind: AccessKind,
+        now: Cycle,
+    ) -> AccessOutcome {
         self.settle(now);
         let is_write = kind == AccessKind::Write;
         self.l1d[core].stats_mut().demand_accesses += 1;
@@ -245,7 +251,12 @@ impl MemorySystem {
                 if is_write {
                     self.invalidate_other_l1ds(core, addr);
                 }
-                AccessOutcome { latency, served_by, first_prefetch_use: false, prefetch_source: source }
+                AccessOutcome {
+                    latency,
+                    served_by,
+                    first_prefetch_use: false,
+                    prefetch_source: source,
+                }
             }
         }
     }
@@ -334,7 +345,13 @@ impl MemorySystem {
     /// # Panics
     ///
     /// Panics if `core` is out of range.
-    pub fn prefetch(&mut self, core: usize, addr: Addr, source: PrefetchSource, now: Cycle) -> bool {
+    pub fn prefetch(
+        &mut self,
+        core: usize,
+        addr: Addr,
+        source: PrefetchSource,
+        now: Cycle,
+    ) -> bool {
         self.settle(now);
         if self.l1d[core].contains_or_inflight(addr) {
             return false;
@@ -417,7 +434,7 @@ mod tests {
         // Evict `a` from the 2-way L1D set 0 by touching two conflicting lines.
         let l1_way_stride = 64 * 1024 / 2; // sets * line = 32 KB
         m.access(0, Addr::new(l1_way_stride), AccessKind::Read, Cycle::new(300));
-        m.access(0, Addr::new(2 * l1_way_stride as u64), AccessKind::Read, Cycle::new(600));
+        m.access(0, Addr::new(2 * l1_way_stride), AccessKind::Read, Cycle::new(600));
         let out = m.access(0, a, AccessKind::Read, Cycle::new(900));
         assert_eq!(out.served_by, Level::L2, "line must still be in the inclusive L2");
         assert_eq!(out.latency, 20);

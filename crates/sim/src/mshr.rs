@@ -78,7 +78,13 @@ impl MshrFile {
     /// Creates an MSHR file with `capacity` entries each merging at most
     /// `merge_limit` requests (the paper: 4 and 20).
     pub fn new(capacity: usize, merge_limit: u32) -> Self {
-        MshrFile { entries: Vec::with_capacity(capacity), capacity, merge_limit, stalls: 0, merges: 0 }
+        MshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            merge_limit,
+            stalls: 0,
+            merges: 0,
+        }
     }
 
     /// Number of entries still outstanding at `now`.

@@ -75,9 +75,8 @@ impl Series {
         }
         const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
         let ys: Vec<f64> = self.points.iter().map(|&(_, y)| y).collect();
-        let (lo, hi) = ys.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &y| {
-            (l.min(y), h.max(y))
-        });
+        let (lo, hi) =
+            ys.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &y| (l.min(y), h.max(y)));
         let span = if hi > lo { hi - lo } else { 1.0 };
         (0..width)
             .map(|i| {

@@ -57,9 +57,9 @@ impl Table {
         }
         let fmt_row = |row: &[String]| -> String {
             let mut out = String::new();
-            for i in 0..n_cols {
+            for (i, width) in widths.iter().enumerate() {
                 let cell = row.get(i).map(String::as_str).unwrap_or("");
-                let pad = widths[i] - cell.chars().count();
+                let pad = width - cell.chars().count();
                 out.push_str(cell);
                 if i + 1 < n_cols {
                     out.extend(std::iter::repeat_n(' ', pad + 2));

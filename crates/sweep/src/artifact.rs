@@ -1,0 +1,292 @@
+//! Machine-readable sweep artifacts: `sweep.json` and `sweep.csv`.
+//!
+//! Both writers are hand-rolled (the build environment vendors no serde)
+//! and emit fields in a fixed order with deterministic number formatting,
+//! so byte-identity across runs reduces to value-identity of the results.
+
+use std::fmt::Write as _;
+
+use prefender_stats::Table;
+
+use crate::scenario::ScenarioResult;
+
+/// Bumped whenever the JSON/CSV field set changes.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// An executed campaign: the seed it ran under plus every scenario's
+/// result, in scenario-index order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// The campaign seed all per-scenario seeds were derived from.
+    pub campaign_seed: u64,
+    /// Per-scenario results, ordered by scenario index.
+    pub results: Vec<ScenarioResult>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt_bool(v: Option<bool>) -> String {
+    match v {
+        Some(true) => "true".into(),
+        Some(false) => "false".into(),
+        None => "null".into(),
+    }
+}
+
+fn json_opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| x.to_string())
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), json_f64)
+}
+
+fn hist_json(hist: &[(u64, u64)]) -> String {
+    let entries: Vec<String> = hist.iter().map(|&(lat, n)| format!("[{lat},{n}]")).collect();
+    format!("[{}]", entries.join(","))
+}
+
+fn hist_csv(hist: &[(u64, u64)]) -> String {
+    hist.iter().map(|&(lat, n)| format!("{lat}:{n}")).collect::<Vec<_>>().join("|")
+}
+
+impl SweepReport {
+    /// The result with the given scenario id.
+    pub fn by_id(&self, id: &str) -> Option<&ScenarioResult> {
+        self.results.iter().find(|r| r.id == id)
+    }
+
+    /// Results whose scenario id starts with `prefix` (e.g. `"atk:fr/"`).
+    pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a ScenarioResult> {
+        self.results.iter().filter(move |r| r.id.starts_with(prefix))
+    }
+
+    /// Serializes the whole campaign as JSON.
+    ///
+    /// Fields are emitted in a fixed order and floats through Rust's
+    /// shortest-round-trip formatter, so equal campaigns serialize to
+    /// identical bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.results.len() * 512);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {REPORT_SCHEMA_VERSION},");
+        let _ = writeln!(out, "  \"campaign_seed\": {},", self.campaign_seed);
+        let _ = writeln!(out, "  \"n_scenarios\": {},", self.results.len());
+        out.push_str("  \"scenarios\": [\n");
+        for (k, r) in self.results.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"index\": {}, \"id\": \"{}\", \"seed\": {}, \"leaked\": {}, \
+                 \"anomalies\": {}, \"truncated\": {}, \"cycles\": {}, \"instructions\": {}, \
+                 \"ipc\": {}, \"demand_accesses\": {}, \"demand_misses\": {}, \
+                 \"demand_miss_latency\": {}, \"prefetch_issued\": {}, \"prefetch_fills\": {}, \
+                 \"prefetch_useful\": {}, \"prefetch_accuracy\": {}, \"st_prefetches\": {}, \
+                 \"at_prefetches\": {}, \"rp_prefetches\": {}, \"latency_hist\": {}}}",
+                r.index,
+                json_escape(&r.id),
+                r.seed,
+                json_opt_bool(r.leaked),
+                json_opt_u64(r.anomalies),
+                r.truncated,
+                r.cycles,
+                r.instructions,
+                json_f64(r.ipc),
+                r.demand_accesses,
+                r.demand_misses,
+                r.demand_miss_latency,
+                r.prefetch_issued,
+                r.prefetch_fills,
+                r.prefetch_useful,
+                json_opt_f64(r.prefetch_accuracy),
+                r.st_prefetches,
+                r.at_prefetches,
+                r.rp_prefetches,
+                hist_json(&r.latency_hist),
+            );
+            out.push_str(if k + 1 < self.results.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Serializes the campaign as CSV (histogram packed as
+    /// `latency:count|latency:count`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(128 + self.results.len() * 256);
+        out.push_str(
+            "index,id,seed,leaked,anomalies,truncated,cycles,instructions,ipc,\
+             demand_accesses,demand_misses,demand_miss_latency,prefetch_issued,\
+             prefetch_fills,prefetch_useful,prefetch_accuracy,st_prefetches,\
+             at_prefetches,rp_prefetches,latency_hist\n",
+        );
+        for r in &self.results {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                r.index,
+                r.id,
+                r.seed,
+                r.leaked.map_or(String::new(), |b| b.to_string()),
+                r.anomalies.map_or(String::new(), |a| a.to_string()),
+                r.truncated,
+                r.cycles,
+                r.instructions,
+                json_f64(r.ipc),
+                r.demand_accesses,
+                r.demand_misses,
+                r.demand_miss_latency,
+                r.prefetch_issued,
+                r.prefetch_fills,
+                r.prefetch_useful,
+                r.prefetch_accuracy.map_or(String::new(), json_f64),
+                r.st_prefetches,
+                r.at_prefetches,
+                r.rp_prefetches,
+                hist_csv(&r.latency_hist),
+            );
+        }
+        out
+    }
+
+    /// Renders a human summary table via `prefender-stats`.
+    pub fn render_table(&self) -> String {
+        let mut t = Table::new(vec![
+            "Scenario".into(),
+            "Verdict".into(),
+            "Anom".into(),
+            "Cycles".into(),
+            "IPC".into(),
+            "Issued".into(),
+            "Accuracy".into(),
+        ]);
+        for r in &self.results {
+            t.row(vec![
+                r.id.clone(),
+                match r.leaked {
+                    Some(true) => "LEAKED".into(),
+                    Some(false) => "defended".into(),
+                    None => {
+                        if r.truncated {
+                            "truncated".into()
+                        } else {
+                            "ok".into()
+                        }
+                    }
+                },
+                r.anomalies.map_or(String::new(), |a| a.to_string()),
+                r.cycles.to_string(),
+                format!("{:.3}", r.ipc),
+                r.prefetch_issued.to_string(),
+                r.prefetch_accuracy.map_or_else(|| "-".into(), |a| format!("{:.2}", a)),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioResult;
+
+    fn result(index: usize, id: &str) -> ScenarioResult {
+        ScenarioResult {
+            index,
+            id: id.into(),
+            seed: 7,
+            leaked: Some(index.is_multiple_of(2)),
+            anomalies: Some(index as u64),
+            latency_hist: vec![(4, 60), (200, 1)],
+            truncated: false,
+            cycles: 1000 + index as u64,
+            instructions: 500,
+            ipc: 0.5,
+            demand_accesses: 61,
+            demand_misses: 1,
+            demand_miss_latency: 200,
+            prefetch_issued: 3,
+            prefetch_fills: 3,
+            prefetch_useful: 2,
+            prefetch_accuracy: Some(2.0 / 3.0),
+            st_prefetches: 1,
+            at_prefetches: 2,
+            rp_prefetches: 0,
+        }
+    }
+
+    fn report() -> SweepReport {
+        SweepReport {
+            campaign_seed: 42,
+            results: vec![
+                result(0, "atk:fr/base/none/paper/s0"),
+                result(1, "wl:429.mcf/full32/none/paper/s0"),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_is_stable_and_contains_fields() {
+        let r = report();
+        assert_eq!(r.to_json(), r.clone().to_json());
+        let j = r.to_json();
+        assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.contains("\"campaign_seed\": 42"));
+        assert!(j.contains("\"latency_hist\": [[4,60],[200,1]]"));
+        assert!(j.contains("\"ipc\": 0.5"));
+        assert!(j.contains("\"leaked\": true") && j.contains("\"leaked\": false"));
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_scenario() {
+        let c = report().to_csv();
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("index,id,seed,leaked"));
+        assert!(lines[1].contains("4:60|200:1"));
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let r = report();
+        assert!(r.by_id("atk:fr/base/none/paper/s0").is_some());
+        assert!(r.by_id("nope").is_none());
+        assert_eq!(r.with_prefix("wl:").count(), 1);
+    }
+
+    #[test]
+    fn table_renders_verdicts() {
+        let t = report().render_table();
+        assert!(t.contains("LEAKED") && t.contains("defended"));
+    }
+
+    #[test]
+    fn escaping_and_nonfinite_floats() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.25), "1.25");
+    }
+}

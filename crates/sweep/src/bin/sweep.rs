@@ -1,0 +1,273 @@
+//! `sweep` — run a scenario grid in parallel and emit artifacts.
+//!
+//! ```text
+//! sweep [options]
+//!
+//! grid selection:
+//!   --attacks LIST      fr,er,pp | all | none            [default: all]
+//!   --noise LIST        none,c3,c4,c3c4                  [default: all four]
+//!   --cross-core MODE   single | cross | both            [default: single]
+//!   --defenses LIST     base,st,at,stat,atrp,full | all  [default: all]
+//!   --buffers LIST      access-buffer counts             [default: 32]
+//!   --basics LIST       none,tagged,stride               [default: none]
+//!   --hierarchies LIST  paper,bigl2,sml1d,fifo | all     [default: paper]
+//!   --workloads LIST    names | spec2006 | spec2017 | all | none [default: none]
+//!   --seeds N           seed repetitions per grid point  [default: 1]
+//!
+//! execution / output:
+//!   --threads N         worker threads (0 = all CPUs)    [default: 0]
+//!   --seed HEX|DEC      campaign seed                    [default: 0xC0FFEE]
+//!   --out DIR           write DIR/sweep.json + DIR/sweep.csv [default: .]
+//!   --bench-json PATH   also write a throughput record (BENCH_sweep.json)
+//!   --quiet             no per-scenario table, summary only
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use prefender_sweep::{
+    run_sweep, AttackCase, AttackKind, Basic, DefenseConfig, DefensePoint, Hierarchy, NoiseSpec,
+    SweepGrid, SweepOptions,
+};
+
+struct Args {
+    grid: SweepGrid,
+    threads: usize,
+    campaign_seed: u64,
+    out: std::path::PathBuf,
+    bench_json: Option<std::path::PathBuf>,
+    quiet: bool,
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| format!("invalid number `{s}`"))
+}
+
+fn parse_list<'s, T>(
+    s: &'s str,
+    what: &str,
+    one: impl Fn(&'s str) -> Option<T>,
+) -> Result<Vec<T>, String> {
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| one(p.trim()).ok_or_else(|| format!("unknown {what} `{p}`")))
+        .collect()
+}
+
+fn workload_names(spec: &str) -> Result<Vec<String>, String> {
+    let names = |ws: Vec<prefender_workloads::Workload>| {
+        ws.into_iter().map(|w| w.name().to_string()).collect::<Vec<_>>()
+    };
+    match spec {
+        "none" => Ok(Vec::new()),
+        "all" => Ok(names(prefender_workloads::all())),
+        "spec2006" => Ok(names(prefender_workloads::spec2006())),
+        "spec2017" => Ok(names(prefender_workloads::spec2017())),
+        list => {
+            let all = names(prefender_workloads::all());
+            parse_list(list, "workload", |n| all.iter().any(|w| w == n).then(|| n.to_string()))
+        }
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut attacks_sel = "all".to_string();
+    let mut noise_sel = "none,c3,c4,c3c4".to_string();
+    let mut cross_sel = "single".to_string();
+    let mut defenses_sel = "all".to_string();
+    let mut buffers_sel = "32".to_string();
+    let mut basics_sel = "none".to_string();
+    let mut hier_sel = "paper".to_string();
+    let mut workloads_sel = "none".to_string();
+    let mut seeds = 1u32;
+    let mut args = Args {
+        grid: SweepGrid::empty(),
+        threads: 0,
+        campaign_seed: 0xC0FFEE,
+        out: ".".into(),
+        bench_json: None,
+        quiet: false,
+    };
+
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().map(|s| s.to_string()).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--attacks" => attacks_sel = val("--attacks")?,
+            "--noise" => noise_sel = val("--noise")?,
+            "--cross-core" => cross_sel = val("--cross-core")?,
+            "--defenses" => defenses_sel = val("--defenses")?,
+            "--buffers" => buffers_sel = val("--buffers")?,
+            "--basics" => basics_sel = val("--basics")?,
+            "--hierarchies" => hier_sel = val("--hierarchies")?,
+            "--workloads" => workloads_sel = val("--workloads")?,
+            "--seeds" => {
+                seeds = val("--seeds")?.parse().map_err(|_| "invalid --seeds".to_string())?
+            }
+            "--threads" => {
+                args.threads =
+                    val("--threads")?.parse().map_err(|_| "invalid --threads".to_string())?
+            }
+            "--seed" => args.campaign_seed = parse_u64(&val("--seed")?)?,
+            "--out" => args.out = val("--out")?.into(),
+            "--bench-json" => args.bench_json = Some(val("--bench-json")?.into()),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+
+    let kinds: Vec<AttackKind> = match attacks_sel.as_str() {
+        "none" => Vec::new(),
+        "all" => vec![AttackKind::FlushReload, AttackKind::EvictReload, AttackKind::PrimeProbe],
+        list => parse_list(list, "attack", |s| match s {
+            "fr" => Some(AttackKind::FlushReload),
+            "er" => Some(AttackKind::EvictReload),
+            "pp" => Some(AttackKind::PrimeProbe),
+            _ => None,
+        })?,
+    };
+    let noises: Vec<NoiseSpec> = parse_list(&noise_sel, "noise", |s| match s {
+        "none" => Some(NoiseSpec::NONE),
+        "c3" => Some(NoiseSpec::C3),
+        "c4" => Some(NoiseSpec::C4),
+        "c3c4" => Some(NoiseSpec::C3C4),
+        _ => None,
+    })?;
+    let crosses: Vec<bool> = match cross_sel.as_str() {
+        "single" => vec![false],
+        "cross" => vec![true],
+        "both" => vec![false, true],
+        other => return Err(format!("unknown --cross-core mode `{other}`")),
+    };
+    args.grid.attacks.clear();
+    for &kind in &kinds {
+        for &noise in &noises {
+            for &cross_core in &crosses {
+                args.grid.attacks.push(AttackCase { kind, noise, cross_core });
+            }
+        }
+    }
+
+    let configs: Vec<DefenseConfig> = match defenses_sel.as_str() {
+        "all" => DefenseConfig::ALL.to_vec(),
+        list => parse_list(list, "defense", |s| match s {
+            "base" => Some(DefenseConfig::None),
+            "st" => Some(DefenseConfig::St),
+            "at" => Some(DefenseConfig::At),
+            "stat" => Some(DefenseConfig::StAt),
+            "atrp" => Some(DefenseConfig::AtRp),
+            "full" => Some(DefenseConfig::Full),
+            _ => None,
+        })?,
+    };
+    let buffers: Vec<usize> = parse_list(&buffers_sel, "buffer count", |s| s.parse().ok())?;
+    args.grid.defenses = configs
+        .iter()
+        .flat_map(|&config| buffers.iter().map(move |&buffers| DefensePoint { config, buffers }))
+        .collect();
+
+    args.grid.basics = parse_list(&basics_sel, "basic prefetcher", |s| match s {
+        "none" => Some(Basic::None),
+        "tagged" => Some(Basic::Tagged),
+        "stride" => Some(Basic::Stride),
+        _ => None,
+    })?;
+    args.grid.hierarchies = match hier_sel.as_str() {
+        "all" => Hierarchy::ALL.to_vec(),
+        list => parse_list(list, "hierarchy", |s| {
+            Hierarchy::ALL.iter().copied().find(|h| h.tag() == s)
+        })?,
+    };
+    args.grid.workloads = workload_names(&workloads_sel)?;
+    args.grid.seeds = seeds.max(1);
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("sweep: {e}");
+            }
+            eprintln!("usage: sweep [--attacks L] [--noise L] [--cross-core M] [--defenses L]");
+            eprintln!("             [--buffers L] [--basics L] [--hierarchies L] [--workloads L]");
+            eprintln!("             [--seeds N] [--threads N] [--seed S] [--out DIR]");
+            eprintln!("             [--bench-json PATH] [--quiet]");
+            return if e == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+    if args.grid.is_empty() {
+        eprintln!("sweep: the selected grid is empty (no attacks and no workloads)");
+        return ExitCode::FAILURE;
+    }
+
+    let n = args.grid.len();
+    eprintln!(
+        "sweep: {n} scenarios ({} attack cases, {} workloads) x {} defenses x {} basics x {} hierarchies x {} seeds",
+        args.grid.attacks.len(),
+        args.grid.workloads.len(),
+        args.grid.defenses.len(),
+        args.grid.basics.len(),
+        args.grid.hierarchies.len(),
+        args.grid.seeds,
+    );
+    let opts = SweepOptions { threads: args.threads, campaign_seed: args.campaign_seed };
+    let start = Instant::now();
+    let report = run_sweep(&args.grid, &opts);
+    let elapsed = start.elapsed();
+    let per_sec = n as f64 / elapsed.as_secs_f64().max(1e-9);
+
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("sweep: creating {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    let json_path = args.out.join("sweep.json");
+    let csv_path = args.out.join("sweep.csv");
+    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+        eprintln!("sweep: writing {}: {e}", json_path.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&csv_path, report.to_csv()) {
+        eprintln!("sweep: writing {}: {e}", csv_path.display());
+        return ExitCode::FAILURE;
+    }
+
+    if !args.quiet {
+        println!("{}", report.render_table());
+    }
+    let leaked = report.results.iter().filter(|r| r.leaked == Some(true)).count();
+    let defended = report.results.iter().filter(|r| r.leaked == Some(false)).count();
+    println!(
+        "{n} scenarios in {:.2?} ({per_sec:.1} scenarios/s, threads={}): {leaked} leaked, {defended} defended, {} perf runs",
+        elapsed,
+        args.threads,
+        report.results.iter().filter(|r| r.leaked.is_none()).count(),
+    );
+    println!("wrote {} and {}", json_path.display(), csv_path.display());
+
+    if let Some(path) = args.bench_json {
+        let record = format!(
+            "{{\"bench\": \"sweep\", \"scenarios\": {n}, \"threads\": {}, \
+             \"elapsed_secs\": {:.6}, \"scenarios_per_sec\": {:.3}}}\n",
+            args.threads,
+            elapsed.as_secs_f64(),
+            per_sec
+        );
+        if let Err(e) = std::fs::write(&path, record) {
+            eprintln!("sweep: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

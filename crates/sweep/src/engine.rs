@@ -1,0 +1,152 @@
+//! The deterministic sharded executor.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::artifact::SweepReport;
+use crate::grid::SweepGrid;
+use crate::scenario::{run_scenario, ScenarioResult};
+
+/// Campaign-level execution options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Worker threads; `0` means one per available CPU.
+    pub threads: usize,
+    /// Campaign seed every per-scenario seed is derived from.
+    pub campaign_seed: u64,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions { threads: 0, campaign_seed: 0xC0FFEE }
+    }
+}
+
+fn effective_threads(requested: usize, items: usize) -> usize {
+    let t = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    };
+    t.clamp(1, items.max(1))
+}
+
+/// Applies `f` to every item on a worker pool and returns the results in
+/// item order.
+///
+/// Sharding is dynamic (an atomic cursor), but the output is **ordered by
+/// item index**, so as long as `f` itself is a pure function of its item
+/// the result vector is identical for every thread count — this is the
+/// primitive both [`run_sweep`] and the bench ablations build on. Workers
+/// share nothing mutable beyond the cursor and the result sink.
+///
+/// # Panics
+///
+/// Propagates the first worker panic after all workers stop.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = effective_threads(threads, items.len());
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let sink: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                // Each worker drains the cursor, keeping results local so
+                // the sink lock is touched once per worker.
+                let mut local = Vec::new();
+                loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= items.len() {
+                        break;
+                    }
+                    local.push((k, f(&items[k])));
+                }
+                sink.lock().expect("result sink").extend(local);
+            });
+        }
+    });
+    let mut pairs = sink.into_inner().expect("result sink");
+    pairs.sort_by_key(|&(k, _)| k);
+    assert_eq!(pairs.len(), items.len(), "every item produces exactly one result");
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Applies `f` to every `(row, col)` cell of a 2-D grid on the worker
+/// pool and returns the results as one `Vec` per row.
+///
+/// This owns the flatten-and-reslice arithmetic so callers sweeping a
+/// (workload × column)-shaped space never hand-roll stride indexing.
+/// Same determinism contract as [`parallel_map`].
+pub fn parallel_map_2d<R, F>(rows: usize, cols: usize, threads: usize, f: F) -> Vec<Vec<R>>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    let cells: Vec<(usize, usize)> =
+        (0..rows).flat_map(|r| (0..cols).map(move |c| (r, c))).collect();
+    let mut flat = parallel_map(&cells, threads, |&(r, c)| f(r, c));
+    let mut out = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let rest = flat.split_off(cols.min(flat.len()));
+        out.push(std::mem::replace(&mut flat, rest));
+    }
+    out
+}
+
+/// Enumerates `grid` and runs every scenario on the worker pool.
+///
+/// The report's result order is scenario-index order and every scenario's
+/// seed is derived from `opts.campaign_seed` + its index, so the same
+/// grid and campaign seed produce **bit-identical artifacts at any thread
+/// count**.
+pub fn run_sweep(grid: &SweepGrid, opts: &SweepOptions) -> SweepReport {
+    let scenarios = grid.enumerate();
+    let results: Vec<ScenarioResult> =
+        parallel_map(&scenarios, opts.threads, |s| run_scenario(s, opts.campaign_seed));
+    SweepReport { campaign_seed: opts.campaign_seed, results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for threads in [1, 2, 8, 64] {
+            let out = parallel_map(&items, threads, |&x| x * x);
+            assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_more_threads_than_items() {
+        let out = parallel_map(&[1u32, 2], 16, |&x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn parallel_map_2d_reshapes_by_row() {
+        let grid = parallel_map_2d(3, 4, 2, |r, c| r * 10 + c);
+        assert_eq!(grid.len(), 3);
+        assert_eq!(grid[0], vec![0, 1, 2, 3]);
+        assert_eq!(grid[2], vec![20, 21, 22, 23]);
+        assert_eq!(parallel_map_2d(0, 4, 2, |r, c| r + c), Vec::<Vec<usize>>::new());
+        assert_eq!(parallel_map_2d(2, 0, 2, |r, c| r + c), vec![vec![], vec![]]);
+    }
+
+    #[test]
+    fn effective_thread_clamp() {
+        assert_eq!(effective_threads(8, 3), 3);
+        assert_eq!(effective_threads(2, 100), 2);
+        assert!(effective_threads(0, 100) >= 1);
+        assert_eq!(effective_threads(5, 0), 1);
+    }
+}

@@ -1,0 +1,343 @@
+//! Declarative scenario grids and their enumeration.
+
+use std::fmt;
+
+use prefender_attacks::{AttackKind, Basic, DefenseConfig, NoiseSpec};
+use prefender_sim::{CacheConfig, HierarchyConfig, ReplacementPolicy};
+
+use crate::scenario::{Payload, Scenario};
+
+/// One attack family point: kind + challenge noise + core scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackCase {
+    /// Which attack.
+    pub kind: AttackKind,
+    /// Which challenge noise is active.
+    pub noise: NoiseSpec,
+    /// Attacker and victim on different cores.
+    pub cross_core: bool,
+}
+
+impl AttackCase {
+    /// Stable short tag used in scenario ids (e.g. `fr+c3x`).
+    pub fn tag(&self) -> String {
+        let kind = match self.kind {
+            AttackKind::FlushReload => "fr",
+            AttackKind::EvictReload => "er",
+            AttackKind::PrimeProbe => "pp",
+        };
+        let noise = match (self.noise.c3, self.noise.c4) {
+            (false, false) => "",
+            (true, false) => "+c3",
+            (false, true) => "+c4",
+            (true, true) => "+c3c4",
+        };
+        format!("{kind}{noise}{}", if self.cross_core { "x" } else { "" })
+    }
+
+    /// The paper's twelve Figure 8 panels (single-core).
+    pub fn figure8_panels() -> Vec<AttackCase> {
+        let kinds = [AttackKind::FlushReload, AttackKind::EvictReload, AttackKind::PrimeProbe];
+        let noises = [NoiseSpec::NONE, NoiseSpec::C3, NoiseSpec::C4, NoiseSpec::C3C4];
+        noises
+            .iter()
+            .flat_map(|&noise| {
+                kinds.iter().map(move |&kind| AttackCase { kind, noise, cross_core: false })
+            })
+            .collect()
+    }
+
+    /// Every attack case: the Figure 8 panels plus the cross-core
+    /// variants of each attack (paper Figure 4).
+    pub fn all() -> Vec<AttackCase> {
+        let mut v = Self::figure8_panels();
+        for kind in [AttackKind::FlushReload, AttackKind::EvictReload, AttackKind::PrimeProbe] {
+            for noise in [NoiseSpec::NONE, NoiseSpec::C3, NoiseSpec::C4, NoiseSpec::C3C4] {
+                v.push(AttackCase { kind, noise, cross_core: true });
+            }
+        }
+        v
+    }
+}
+
+impl fmt::Display for AttackCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            self.kind,
+            match (self.noise.c3, self.noise.c4) {
+                (false, false) => "",
+                (true, false) => " (C3)",
+                (false, true) => " (C4)",
+                (true, true) => " (C3+C4)",
+            },
+            if self.cross_core { " cross-core" } else { "" }
+        )
+    }
+}
+
+/// One defense point: configuration plus access-buffer count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefensePoint {
+    /// Which PREFENDER units defend.
+    pub config: DefenseConfig,
+    /// Access-buffer count (ignored by [`DefenseConfig::None`] /
+    /// [`DefenseConfig::St`]).
+    pub buffers: usize,
+}
+
+impl DefensePoint {
+    /// The paper's default: 32 access buffers.
+    pub fn new(config: DefenseConfig) -> Self {
+        DefensePoint { config, buffers: 32 }
+    }
+
+    /// All six defense configurations at 32 buffers (Figure 8's legend).
+    pub fn figure8_legend() -> Vec<DefensePoint> {
+        DefenseConfig::ALL.iter().map(|&config| DefensePoint::new(config)).collect()
+    }
+
+    /// Stable short tag used in scenario ids (e.g. `full32`).
+    pub fn tag(&self) -> String {
+        let c = match self.config {
+            DefenseConfig::None => return "base".to_string(),
+            DefenseConfig::St => return "st".to_string(),
+            DefenseConfig::At => "at",
+            DefenseConfig::StAt => "stat",
+            DefenseConfig::AtRp => "atrp",
+            DefenseConfig::Full => "full",
+        };
+        format!("{c}{}", self.buffers)
+    }
+}
+
+/// A cache-hierarchy variant of the grid.
+///
+/// All variants keep the paper's 64-byte lines and 4 KB pages so attack
+/// layouts stay meaningful; they move the sizes, latencies and policies
+/// the paper holds fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hierarchy {
+    /// The paper's gem5 baseline (Section V-A).
+    Paper,
+    /// Double-size (4 MB) shared L2.
+    BigL2,
+    /// Half-size (32 KB) L1D.
+    SmallL1d,
+    /// Paper geometry under FIFO replacement at both levels.
+    Fifo,
+}
+
+impl Hierarchy {
+    /// Every variant, baseline first.
+    pub const ALL: [Hierarchy; 4] =
+        [Hierarchy::Paper, Hierarchy::BigL2, Hierarchy::SmallL1d, Hierarchy::Fifo];
+
+    /// Stable short tag used in scenario ids.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Hierarchy::Paper => "paper",
+            Hierarchy::BigL2 => "bigl2",
+            Hierarchy::SmallL1d => "sml1d",
+            Hierarchy::Fifo => "fifo",
+        }
+    }
+
+    /// Builds the concrete configuration for `n_cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is zero (grid enumeration never does this).
+    pub fn config(&self, n_cores: usize) -> HierarchyConfig {
+        let mut h = HierarchyConfig::paper_baseline(n_cores).expect("nonzero core count");
+        match self {
+            Hierarchy::Paper => {}
+            Hierarchy::BigL2 => {
+                h.l2 = CacheConfig::new("L2", 4 * 1024 * 1024, 16, 64, 20).expect("valid L2");
+            }
+            Hierarchy::SmallL1d => {
+                h.l1d = CacheConfig::new("L1D", 32 * 1024, 2, 64, 4).expect("valid L1D");
+            }
+            Hierarchy::Fifo => {
+                h.l1d = CacheConfig::new("L1D", 64 * 1024, 2, 64, 4)
+                    .expect("valid L1D")
+                    .with_replacement(ReplacementPolicy::Fifo);
+                h.l2 = CacheConfig::new("L2", 2 * 1024 * 1024, 16, 64, 20)
+                    .expect("valid L2")
+                    .with_replacement(ReplacementPolicy::Fifo);
+            }
+        }
+        h
+    }
+}
+
+impl fmt::Display for Hierarchy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Hierarchy::Paper => "paper baseline",
+            Hierarchy::BigL2 => "4MB L2",
+            Hierarchy::SmallL1d => "32KB L1D",
+            Hierarchy::Fifo => "FIFO replacement",
+        })
+    }
+}
+
+/// A declarative scenario grid.
+///
+/// The work-list is the union of two cartesian products sharing the
+/// defense / basic / hierarchy / seed axes:
+///
+/// * `attacks × defenses × basics × hierarchies × seeds` — security
+///   scenarios (leak verdicts, probe-latency histograms);
+/// * `workloads × defenses × basics × hierarchies × seeds` — performance
+///   scenarios (cycles, IPC, prefetch accuracy).
+///
+/// Enumeration order is fixed (payloads outermost, seeds innermost), so a
+/// scenario's index — and therefore its derived seed — depends only on
+/// the grid shape, never on thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepGrid {
+    /// Attack payloads.
+    pub attacks: Vec<AttackCase>,
+    /// Workload payloads (names from the `prefender-workloads` catalog).
+    pub workloads: Vec<String>,
+    /// Defense axis.
+    pub defenses: Vec<DefensePoint>,
+    /// Basic-prefetcher axis.
+    pub basics: Vec<Basic>,
+    /// Hierarchy axis.
+    pub hierarchies: Vec<Hierarchy>,
+    /// Seed repetitions per scenario point (≥ 1).
+    pub seeds: u32,
+}
+
+impl SweepGrid {
+    /// An empty grid (no payloads) with paper-default shared axes.
+    pub fn empty() -> Self {
+        SweepGrid {
+            attacks: Vec::new(),
+            workloads: Vec::new(),
+            defenses: vec![DefensePoint::new(DefenseConfig::Full)],
+            basics: vec![Basic::None],
+            hierarchies: vec![Hierarchy::Paper],
+            seeds: 1,
+        }
+    }
+
+    /// The full Figure 8 security grid: twelve panels × six defenses.
+    pub fn security_full() -> Self {
+        SweepGrid {
+            attacks: AttackCase::figure8_panels(),
+            defenses: DefensePoint::figure8_legend(),
+            ..Self::empty()
+        }
+    }
+
+    /// A two-scenario smoke grid: undefended vs. fully-defended
+    /// Flush+Reload.
+    pub fn security_quick() -> Self {
+        SweepGrid {
+            attacks: vec![AttackCase {
+                kind: AttackKind::FlushReload,
+                noise: NoiseSpec::NONE,
+                cross_core: false,
+            }],
+            defenses: vec![
+                DefensePoint::new(DefenseConfig::None),
+                DefensePoint::new(DefenseConfig::Full),
+            ],
+            ..Self::empty()
+        }
+    }
+
+    /// Number of scenarios the grid enumerates to.
+    pub fn len(&self) -> usize {
+        (self.attacks.len() + self.workloads.len())
+            * self.defenses.len()
+            * self.basics.len()
+            * self.hierarchies.len()
+            * self.seeds.max(1) as usize
+    }
+
+    /// `true` when the grid has no payloads.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerates the flat, stably-ordered work-list.
+    pub fn enumerate(&self) -> Vec<Scenario> {
+        let payloads: Vec<Payload> = self
+            .attacks
+            .iter()
+            .map(|&a| Payload::Attack(a))
+            .chain(self.workloads.iter().map(|w| Payload::Workload(w.clone())))
+            .collect();
+        let mut out = Vec::with_capacity(self.len());
+        for payload in &payloads {
+            for &defense in &self.defenses {
+                for &basic in &self.basics {
+                    for &hierarchy in &self.hierarchies {
+                        for seed_slot in 0..self.seeds.max(1) {
+                            out.push(Scenario {
+                                index: out.len(),
+                                payload: payload.clone(),
+                                defense,
+                                basic,
+                                hierarchy,
+                                seed_slot,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure8_panel_count() {
+        assert_eq!(AttackCase::figure8_panels().len(), 12);
+        assert_eq!(AttackCase::all().len(), 24);
+    }
+
+    #[test]
+    fn tags_are_stable() {
+        let c =
+            AttackCase { kind: AttackKind::FlushReload, noise: NoiseSpec::C3, cross_core: true };
+        assert_eq!(c.tag(), "fr+c3x");
+        assert_eq!(DefensePoint::new(DefenseConfig::Full).tag(), "full32");
+        assert_eq!(DefensePoint::new(DefenseConfig::None).tag(), "base");
+        assert_eq!(Hierarchy::BigL2.tag(), "bigl2");
+    }
+
+    #[test]
+    fn hierarchy_variants_validate() {
+        for h in Hierarchy::ALL {
+            for cores in [1, 2] {
+                let cfg = h.config(cores);
+                assert!(cfg.validate().is_ok(), "{h} invalid at {cores} cores");
+                assert_eq!(cfg.line_size(), 64, "{h} must keep 64-byte lines");
+                assert_eq!(cfg.page_size, 4096, "{h} must keep 4 KB pages");
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_len_and_indexes_sequentially() {
+        let mut g = SweepGrid::security_full();
+        g.seeds = 3;
+        g.hierarchies = vec![Hierarchy::Paper, Hierarchy::Fifo];
+        let scenarios = g.enumerate();
+        assert_eq!(scenarios.len(), g.len());
+        assert_eq!(scenarios.len(), 12 * 6 * 2 * 3);
+        for (k, s) in scenarios.iter().enumerate() {
+            assert_eq!(s.index, k);
+        }
+    }
+}

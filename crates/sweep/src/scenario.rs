@@ -1,0 +1,304 @@
+//! Scenarios: one grid point, its execution, and its result record.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use prefender_attacks::{run_attack_full, AttackSpec, Basic};
+use prefender_cpu::Machine;
+use prefender_workloads::Workload;
+
+use crate::grid::{AttackCase, DefensePoint, Hierarchy};
+
+/// What a scenario runs: an attack experiment or a performance workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A security scenario (leak verdict + probe-latency histogram).
+    Attack(AttackCase),
+    /// A performance scenario over a named catalog workload.
+    Workload(String),
+}
+
+impl Payload {
+    /// Stable id fragment.
+    pub fn tag(&self) -> String {
+        match self {
+            Payload::Attack(a) => format!("atk:{}", a.tag()),
+            Payload::Workload(w) => format!("wl:{w}"),
+        }
+    }
+}
+
+impl fmt::Display for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::Attack(a) => a.fmt(f),
+            Payload::Workload(w) => w.fmt(f),
+        }
+    }
+}
+
+/// One fully-resolved grid point of the work-list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Position in the campaign work-list (stable for a given grid).
+    pub index: usize,
+    /// What to run.
+    pub payload: Payload,
+    /// Defense configuration.
+    pub defense: DefensePoint,
+    /// Basic prefetcher.
+    pub basic: Basic,
+    /// Cache hierarchy variant.
+    pub hierarchy: Hierarchy,
+    /// Seed repetition slot within the grid point (0-based).
+    pub seed_slot: u32,
+}
+
+impl Scenario {
+    /// The stable scenario id, unique within a grid.
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/s{}",
+            self.payload.tag(),
+            self.defense.tag(),
+            basic_tag(self.basic),
+            self.hierarchy.tag(),
+            self.seed_slot
+        )
+    }
+
+    /// The per-scenario probe seed: a SplitMix64 mix of the campaign seed,
+    /// the scenario index and the seed slot. Depends only on grid shape —
+    /// never on thread count or execution order.
+    pub fn derived_seed(&self, campaign_seed: u64) -> u64 {
+        let mut z = campaign_seed
+            ^ (self.index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (self.seed_slot as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn basic_tag(b: Basic) -> &'static str {
+    match b {
+        Basic::None => "none",
+        Basic::Tagged => "tagged",
+        Basic::Stride => "stride",
+    }
+}
+
+/// The measurements of one executed scenario.
+///
+/// Attack scenarios fill the security fields (`leaked`, `anomalies`,
+/// `latency_hist`); performance scenarios leave them `None`/empty. Both
+/// fill the machine-level fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Scenario index in the campaign work-list.
+    pub index: usize,
+    /// Stable scenario id.
+    pub id: String,
+    /// The probe seed the scenario actually ran with.
+    pub seed: u64,
+    /// Leak verdict (attack scenarios only).
+    pub leaked: Option<bool>,
+    /// Number of anomalous probe indices (attack scenarios only).
+    pub anomalies: Option<u64>,
+    /// Exact probe-latency histogram: `latency → count` (attack only).
+    pub latency_hist: Vec<(u64, u64)>,
+    /// `true` when the run hit the instruction cap before completing.
+    pub truncated: bool,
+    /// Wall-clock cycles.
+    pub cycles: u64,
+    /// Instructions retired across all cores.
+    pub instructions: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// L1D demand accesses, summed over cores.
+    pub demand_accesses: u64,
+    /// L1D demand misses, summed over cores.
+    pub demand_misses: u64,
+    /// Total L1D demand-miss latency in cycles (the Figure 10 quantity).
+    pub demand_miss_latency: u64,
+    /// Prefetches issued by every attached prefetcher.
+    pub prefetch_issued: u64,
+    /// Prefetched lines actually installed in the L1D.
+    pub prefetch_fills: u64,
+    /// Prefetched lines that served a later demand access.
+    pub prefetch_useful: u64,
+    /// Useful/installed prefetch ratio, when any fills happened.
+    pub prefetch_accuracy: Option<f64>,
+    /// Scale Tracker prefetches (PREFENDER configurations).
+    pub st_prefetches: u64,
+    /// Access Tracker prefetches.
+    pub at_prefetches: u64,
+    /// Record-Protector-guided prefetches.
+    pub rp_prefetches: u64,
+}
+
+/// Runs one scenario to completion. Pure: builds a private machine,
+/// runs, measures — safe to call from any worker thread.
+///
+/// # Panics
+///
+/// Panics if a workload payload names a workload missing from the
+/// catalog, or if an attack run fails outright (invalid hierarchy); grid
+/// builders validate both up front.
+pub fn run_scenario(s: &Scenario, campaign_seed: u64) -> ScenarioResult {
+    let seed = s.derived_seed(campaign_seed);
+    match &s.payload {
+        Payload::Attack(case) => run_attack_scenario(s, case, seed),
+        Payload::Workload(name) => run_workload_scenario(s, name, seed),
+    }
+}
+
+fn run_attack_scenario(s: &Scenario, case: &AttackCase, seed: u64) -> ScenarioResult {
+    let n_cores = if case.cross_core { 2 } else { 1 };
+    let spec = AttackSpec::new(case.kind, s.defense.config)
+        .with_noise(case.noise)
+        .cross_core(case.cross_core)
+        .with_seed(seed)
+        .with_basic(s.basic)
+        .with_hierarchy(s.hierarchy.config(n_cores));
+    let spec = AttackSpec { buffers: s.defense.buffers, ..spec };
+    let (outcome, metrics) =
+        run_attack_full(&spec).unwrap_or_else(|e| panic!("scenario {}: {e}", s.id()));
+    let mut hist: BTreeMap<u64, u64> = BTreeMap::new();
+    for p in &outcome.samples {
+        *hist.entry(p.latency).or_insert(0) += 1;
+    }
+    ScenarioResult {
+        index: s.index,
+        id: s.id(),
+        seed,
+        leaked: Some(outcome.leaked),
+        anomalies: Some(outcome.anomalies.len() as u64),
+        latency_hist: hist.into_iter().collect(),
+        truncated: false,
+        cycles: metrics.cycles,
+        instructions: metrics.instructions,
+        ipc: metrics.ipc(),
+        demand_accesses: metrics.l1d.demand_accesses,
+        demand_misses: metrics.l1d.demand_misses,
+        demand_miss_latency: metrics.l1d.demand_miss_latency,
+        prefetch_issued: metrics.prefetch_issued,
+        prefetch_fills: metrics.l1d.prefetch_fills,
+        prefetch_useful: metrics.l1d.prefetch_useful + metrics.l1d.prefetch_late,
+        prefetch_accuracy: metrics.l1d.prefetch_accuracy(),
+        st_prefetches: metrics.prefender.st_prefetches,
+        at_prefetches: metrics.prefender.at_prefetches,
+        rp_prefetches: metrics.prefender.rp_prefetches,
+    }
+}
+
+/// Looks up a catalog workload by name.
+pub(crate) fn catalog_workload(name: &str) -> Option<Workload> {
+    prefender_workloads::all().into_iter().find(|w| w.name() == name)
+}
+
+fn run_workload_scenario(s: &Scenario, name: &str, seed: u64) -> ScenarioResult {
+    let w = catalog_workload(name)
+        .unwrap_or_else(|| panic!("scenario {}: unknown workload `{name}`", s.id()));
+    let mut m = Machine::new(s.hierarchy.config(1));
+    if let Some(p) = s.defense.config.build_prefetcher(64, 4096, s.defense.buffers, s.basic) {
+        m.set_prefetcher(0, p);
+    }
+    w.install(&mut m);
+    let summary = m.run();
+    let l1d = *m.mem().l1d(0).stats();
+    let prefender = crate::perf::prefender_stats(&m, 0).unwrap_or_default();
+    ScenarioResult {
+        index: s.index,
+        id: s.id(),
+        seed,
+        leaked: None,
+        anomalies: None,
+        latency_hist: Vec::new(),
+        truncated: summary.truncated,
+        cycles: summary.cycles,
+        instructions: summary.instructions,
+        ipc: summary.ipc(),
+        demand_accesses: l1d.demand_accesses,
+        demand_misses: l1d.demand_misses,
+        demand_miss_latency: l1d.demand_miss_latency,
+        prefetch_issued: m.prefetcher(0).map_or(0, |p| p.issued()),
+        prefetch_fills: l1d.prefetch_fills,
+        prefetch_useful: l1d.prefetch_useful + l1d.prefetch_late,
+        prefetch_accuracy: l1d.prefetch_accuracy(),
+        st_prefetches: prefender.st_prefetches,
+        at_prefetches: prefender.at_prefetches,
+        rp_prefetches: prefender.rp_prefetches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefender_attacks::{AttackKind, DefenseConfig, NoiseSpec};
+
+    fn attack_scenario(defense: DefenseConfig) -> Scenario {
+        Scenario {
+            index: 0,
+            payload: Payload::Attack(AttackCase {
+                kind: AttackKind::FlushReload,
+                noise: NoiseSpec::NONE,
+                cross_core: false,
+            }),
+            defense: DefensePoint::new(defense),
+            basic: Basic::None,
+            hierarchy: Hierarchy::Paper,
+            seed_slot: 0,
+        }
+    }
+
+    #[test]
+    fn derived_seed_depends_on_campaign_index_and_slot() {
+        let a = attack_scenario(DefenseConfig::None);
+        let mut b = a.clone();
+        b.index = 1;
+        let mut c = a.clone();
+        c.seed_slot = 1;
+        assert_ne!(a.derived_seed(1), a.derived_seed(2));
+        assert_ne!(a.derived_seed(1), b.derived_seed(1));
+        assert_ne!(a.derived_seed(1), c.derived_seed(1));
+        assert_eq!(a.derived_seed(1), a.clone().derived_seed(1));
+    }
+
+    #[test]
+    fn attack_scenario_measures_leak_and_histogram() {
+        let r = run_scenario(&attack_scenario(DefenseConfig::None), 0xC0FFEE);
+        assert_eq!(r.leaked, Some(true));
+        assert_eq!(r.anomalies, Some(1));
+        let probes: u64 = r.latency_hist.iter().map(|&(_, n)| n).sum();
+        assert_eq!(probes, 61, "one histogram count per probed index (Figure 8: 50..=110)");
+        assert!(r.cycles > 0 && r.instructions > 0 && r.ipc > 0.0);
+        let r = run_scenario(&attack_scenario(DefenseConfig::Full), 0xC0FFEE);
+        assert_eq!(r.leaked, Some(false));
+        assert!(r.st_prefetches + r.at_prefetches + r.rp_prefetches > 0);
+    }
+
+    #[test]
+    fn workload_scenario_measures_performance() {
+        let s = Scenario {
+            index: 3,
+            payload: Payload::Workload("462.libquantum".into()),
+            defense: DefensePoint::new(DefenseConfig::None),
+            basic: Basic::Tagged,
+            hierarchy: Hierarchy::Paper,
+            seed_slot: 0,
+        };
+        let r = run_scenario(&s, 1);
+        assert!(r.leaked.is_none());
+        assert!(!r.truncated);
+        assert!(r.prefetch_issued > 0, "tagged must prefetch the stream");
+        assert!(r.prefetch_accuracy.unwrap() > 0.5);
+    }
+
+    #[test]
+    fn ids_are_unique_and_stable() {
+        let s = attack_scenario(DefenseConfig::Full);
+        assert_eq!(s.id(), "atk:fr/full32/none/paper/s0");
+    }
+}

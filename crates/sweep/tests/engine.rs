@@ -1,0 +1,103 @@
+//! Engine-level guarantees: deterministic sharding and sound grid
+//! enumeration.
+
+use prefender_sweep::{
+    run_sweep, AttackCase, AttackKind, Basic, DefenseConfig, DefensePoint, Hierarchy, NoiseSpec,
+    SweepGrid, SweepOptions,
+};
+
+/// A small mixed grid touching every axis: two attack cases and a
+/// workload, two defenses, two basics, two hierarchies, two seeds.
+fn mixed_grid() -> SweepGrid {
+    SweepGrid {
+        attacks: vec![
+            AttackCase { kind: AttackKind::FlushReload, noise: NoiseSpec::NONE, cross_core: false },
+            AttackCase { kind: AttackKind::PrimeProbe, noise: NoiseSpec::C3, cross_core: true },
+        ],
+        workloads: vec!["999.specrand".into(), "462.libquantum".into()],
+        defenses: vec![
+            DefensePoint::new(DefenseConfig::None),
+            DefensePoint { config: DefenseConfig::Full, buffers: 16 },
+        ],
+        basics: vec![Basic::None, Basic::Tagged],
+        hierarchies: vec![Hierarchy::Paper, Hierarchy::BigL2],
+        seeds: 2,
+    }
+}
+
+/// The acceptance-criterion determinism claim: the same campaign seed
+/// produces a byte-identical `sweep.json` (and CSV) at `--threads 1` and
+/// `--threads 8`.
+#[test]
+fn artifacts_are_byte_identical_across_thread_counts() {
+    let grid = mixed_grid();
+    let one = run_sweep(&grid, &SweepOptions { threads: 1, campaign_seed: 0xC0FFEE });
+    let eight = run_sweep(&grid, &SweepOptions { threads: 8, campaign_seed: 0xC0FFEE });
+    assert_eq!(one.to_json(), eight.to_json());
+    assert_eq!(one.to_csv(), eight.to_csv());
+    // And a different campaign seed reseeds the attack scenarios.
+    let other = run_sweep(&grid, &SweepOptions { threads: 8, campaign_seed: 1 });
+    assert_ne!(
+        one.results[0].seed, other.results[0].seed,
+        "campaign seed must flow into per-scenario seeds"
+    );
+}
+
+/// Grid enumeration: the count matches the axis product and every
+/// scenario id is unique.
+#[test]
+fn enumeration_counts_and_ids() {
+    let grid = mixed_grid();
+    let scenarios = grid.enumerate();
+    assert_eq!(grid.len(), (2 + 2) * 2 * 2 * 2 * 2);
+    assert_eq!(scenarios.len(), grid.len());
+    let mut ids: Vec<String> = scenarios.iter().map(|s| s.id()).collect();
+    for (k, s) in scenarios.iter().enumerate() {
+        assert_eq!(s.index, k, "indices must be sequential");
+    }
+    ids.sort();
+    ids.dedup();
+    assert_eq!(ids.len(), scenarios.len(), "duplicate scenario ids");
+}
+
+/// Every payload family fills its side of the result record.
+#[test]
+fn results_carry_security_and_perf_fields() {
+    let grid = mixed_grid();
+    let report = run_sweep(&grid, &SweepOptions { threads: 4, campaign_seed: 0xC0FFEE });
+    assert_eq!(report.results.len(), grid.len());
+    let attacks: Vec<_> = report.with_prefix("atk:").collect();
+    let perfs: Vec<_> = report.with_prefix("wl:").collect();
+    assert_eq!(attacks.len(), 2 * 2 * 2 * 2 * 2);
+    assert_eq!(perfs.len(), 2 * 2 * 2 * 2 * 2);
+    for r in &attacks {
+        assert!(r.leaked.is_some() && r.anomalies.is_some(), "{}", r.id);
+        assert!(!r.latency_hist.is_empty(), "{}", r.id);
+        assert!(r.cycles > 0 && r.instructions > 0, "{}", r.id);
+    }
+    for r in &perfs {
+        assert!(r.leaked.is_none() && r.latency_hist.is_empty(), "{}", r.id);
+        assert!(!r.truncated && r.cycles > 0, "{}", r.id);
+    }
+    // The undefended single-core Flush+Reload on the paper hierarchy
+    // leaks; the fully-defended one does not — for both derived seeds.
+    for slot in 0..2 {
+        let leak = report.by_id(&format!("atk:fr/base/none/paper/s{slot}")).unwrap();
+        assert_eq!(leak.leaked, Some(true));
+        let safe = report.by_id(&format!("atk:fr/full16/none/paper/s{slot}")).unwrap();
+        assert_eq!(safe.leaked, Some(false));
+    }
+}
+
+/// Workload scenarios respond to the prefetcher axis: Tagged beats the
+/// no-prefetcher baseline on streaming, on every hierarchy variant.
+#[test]
+fn perf_scenarios_reflect_prefetcher_quality() {
+    let report = run_sweep(&mixed_grid(), &SweepOptions { threads: 4, campaign_seed: 0xC0FFEE });
+    for hier in ["paper", "bigl2"] {
+        let base = report.by_id(&format!("wl:462.libquantum/base/none/{hier}/s0")).unwrap().cycles;
+        let tagged =
+            report.by_id(&format!("wl:462.libquantum/base/tagged/{hier}/s0")).unwrap().cycles;
+        assert!(tagged < base, "{hier}: tagged {tagged} must beat baseline {base}");
+    }
+}

@@ -102,7 +102,14 @@ pub fn spec2006() -> Vec<Workload> {
             name: "400.perlbench",
             suite: Suite::Spec2006,
             phases: vec![
-                Kernel::PointerChase { base: region(0), nodes: 1024, span: 1 << 20, steps: 1500, seed: 400, work: 90 },
+                Kernel::PointerChase {
+                    base: region(0),
+                    nodes: 1024,
+                    span: 1 << 20,
+                    steps: 1500,
+                    seed: 400,
+                    work: 90,
+                },
                 Kernel::Streaming { base: region(1), n: 600, stride: 64, work: 120 },
                 Kernel::Compute { n: 1500 },
             ],
@@ -113,7 +120,14 @@ pub fn spec2006() -> Vec<Workload> {
             name: "401.bzip2",
             suite: Suite::Spec2006,
             phases: vec![
-                Kernel::MultiStream { base: region(0), spacing: 0x10440, streams: 12, n: 160, stride: 64, work: 400 },
+                Kernel::MultiStream {
+                    base: region(0),
+                    spacing: 0x10440,
+                    streams: 12,
+                    n: 160,
+                    stride: 64,
+                    work: 400,
+                },
                 Kernel::Streaming { base: region(8), n: 700, stride: 64, work: 150 },
             ],
         },
@@ -124,9 +138,31 @@ pub fn spec2006() -> Vec<Workload> {
             name: "429.mcf",
             suite: Suite::Spec2006,
             phases: vec![
-                Kernel::MultiStream { base: region(0), spacing: 0x10440, streams: 48, n: 140, stride: 0x140, work: 250 },
-                Kernel::ScaledGather { idx_base: region(8), data_base: region(9), n: 900, scale: 0x180, idx_span: 4096, seed: 429, work: 120 },
-                Kernel::PointerChase { base: region(10), nodes: 1024, span: 1 << 20, steps: 900, seed: 429, work: 60 },
+                Kernel::MultiStream {
+                    base: region(0),
+                    spacing: 0x10440,
+                    streams: 48,
+                    n: 140,
+                    stride: 0x140,
+                    work: 250,
+                },
+                Kernel::ScaledGather {
+                    idx_base: region(8),
+                    data_base: region(9),
+                    n: 900,
+                    scale: 0x180,
+                    idx_span: 4096,
+                    seed: 429,
+                    work: 120,
+                },
+                Kernel::PointerChase {
+                    base: region(10),
+                    nodes: 1024,
+                    span: 1 << 20,
+                    steps: 900,
+                    seed: 429,
+                    work: 60,
+                },
             ],
         },
         // Go playouts: essentially random board lookups — prefetching is
@@ -135,7 +171,13 @@ pub fn spec2006() -> Vec<Workload> {
             name: "445.gobmk",
             suite: Suite::Spec2006,
             phases: vec![
-                Kernel::RandomAccess { heap: region(1), span: 1 << 21, n: 1800, seed: 445, work: 150 },
+                Kernel::RandomAccess {
+                    heap: region(1),
+                    span: 1 << 21,
+                    n: 1800,
+                    seed: 445,
+                    work: 150,
+                },
                 Kernel::Compute { n: 1800 },
             ],
         },
@@ -145,9 +187,14 @@ pub fn spec2006() -> Vec<Workload> {
         Workload {
             name: "456.hmmer",
             suite: Suite::Spec2006,
-            phases: vec![
-                Kernel::MultiStream { base: region(0), spacing: 0x10440, streams: 72, n: 110, stride: 64, work: 700 },
-            ],
+            phases: vec![Kernel::MultiStream {
+                base: region(0),
+                spacing: 0x10440,
+                streams: 72,
+                n: 110,
+                stride: 64,
+                work: 700,
+            }],
         },
         // Chess search: random transposition-table probes, compute-heavy;
         // slight regressions from useless prefetches.
@@ -156,7 +203,13 @@ pub fn spec2006() -> Vec<Workload> {
             suite: Suite::Spec2006,
             phases: vec![
                 Kernel::Compute { n: 2500 },
-                Kernel::RandomAccess { heap: region(1), span: 1 << 21, n: 1500, seed: 458, work: 350 },
+                Kernel::RandomAccess {
+                    heap: region(1),
+                    span: 1 << 21,
+                    n: 1500,
+                    seed: 458,
+                    work: 350,
+                },
             ],
         },
         // Quantum simulation: one long sequential sweep — everyone covers
@@ -164,16 +217,21 @@ pub fn spec2006() -> Vec<Workload> {
         Workload {
             name: "462.libquantum",
             suite: Suite::Spec2006,
-            phases: vec![
-                Kernel::Streaming { base: region(0), n: 2500, stride: 64, work: 450 },
-            ],
+            phases: vec![Kernel::Streaming { base: region(0), n: 2500, stride: 64, work: 450 }],
         },
         // Video encoder: stencil blocks with many reference streams.
         Workload {
             name: "464.h264ref",
             suite: Suite::Spec2006,
             phases: vec![
-                Kernel::MultiStream { base: region(0), spacing: 0x10440, streams: 60, n: 90, stride: 64, work: 900 },
+                Kernel::MultiStream {
+                    base: region(0),
+                    spacing: 0x10440,
+                    streams: 60,
+                    n: 90,
+                    stride: 64,
+                    work: 900,
+                },
                 Kernel::Compute { n: 1200 },
             ],
         },
@@ -182,17 +240,35 @@ pub fn spec2006() -> Vec<Workload> {
         Workload {
             name: "471.omnetpp",
             suite: Suite::Spec2006,
-            phases: vec![
-                Kernel::PointerChase { base: region(0), nodes: 4096, span: 1 << 22, steps: 4000, seed: 471, work: 80 },
-            ],
+            phases: vec![Kernel::PointerChase {
+                base: region(0),
+                nodes: 4096,
+                span: 1 << 22,
+                steps: 4000,
+                seed: 471,
+                work: 80,
+            }],
         },
         // Path search: pointer chasing with random map probes.
         Workload {
             name: "473.astar",
             suite: Suite::Spec2006,
             phases: vec![
-                Kernel::PointerChase { base: region(0), nodes: 1024, span: 1 << 20, steps: 1500, seed: 473, work: 120 },
-                Kernel::RandomAccess { heap: region(2), span: 1 << 20, n: 1200, seed: 473, work: 180 },
+                Kernel::PointerChase {
+                    base: region(0),
+                    nodes: 1024,
+                    span: 1 << 20,
+                    steps: 1500,
+                    seed: 473,
+                    work: 120,
+                },
+                Kernel::RandomAccess {
+                    heap: region(2),
+                    span: 1 << 20,
+                    n: 1200,
+                    seed: 473,
+                    work: 180,
+                },
             ],
         },
         // XSLT processor: wide regular DOM sweeps (Tagged's best case in
@@ -201,8 +277,23 @@ pub fn spec2006() -> Vec<Workload> {
             name: "483.xalancbmk",
             suite: Suite::Spec2006,
             phases: vec![
-                Kernel::MultiStream { base: region(0), spacing: 0x10440, streams: 80, n: 100, stride: 64, work: 500 },
-                Kernel::ScaledGather { idx_base: region(12), data_base: region(13), n: 700, scale: 0x100, idx_span: 4096, seed: 483, work: 150 },
+                Kernel::MultiStream {
+                    base: region(0),
+                    spacing: 0x10440,
+                    streams: 80,
+                    n: 100,
+                    stride: 64,
+                    work: 500,
+                },
+                Kernel::ScaledGather {
+                    idx_base: region(12),
+                    data_base: region(13),
+                    n: 700,
+                    scale: 0x100,
+                    idx_span: 4096,
+                    seed: 483,
+                    work: 150,
+                },
             ],
         },
         // Random number generator: no memory at all.
@@ -222,9 +313,14 @@ pub fn spec2017() -> Vec<Workload> {
         Workload {
             name: "507.cactuBSSN_r",
             suite: Suite::Spec2017,
-            phases: vec![
-                Kernel::MultiStream { base: region(0), spacing: 0x10440, streams: 72, n: 120, stride: 64, work: 450 },
-            ],
+            phases: vec![Kernel::MultiStream {
+                base: region(0),
+                spacing: 0x10440,
+                streams: 72,
+                n: 120,
+                stride: 64,
+                work: 450,
+            }],
         },
         // Renderer: compute-dominated with small irregular touches.
         Workload {
@@ -232,7 +328,13 @@ pub fn spec2017() -> Vec<Workload> {
             suite: Suite::Spec2017,
             phases: vec![
                 Kernel::Compute { n: 4000 },
-                Kernel::RandomAccess { heap: region(1), span: 1 << 18, n: 500, seed: 526, work: 400 },
+                Kernel::RandomAccess {
+                    heap: region(1),
+                    span: 1 << 18,
+                    n: 500,
+                    seed: 526,
+                    work: 400,
+                },
             ],
         },
         // Chess search (2017): like sjeng.
@@ -241,7 +343,13 @@ pub fn spec2017() -> Vec<Workload> {
             suite: Suite::Spec2017,
             phases: vec![
                 Kernel::Compute { n: 2500 },
-                Kernel::RandomAccess { heap: region(1), span: 1 << 21, n: 1500, seed: 531, work: 350 },
+                Kernel::RandomAccess {
+                    heap: region(1),
+                    span: 1 << 21,
+                    n: 1500,
+                    seed: 531,
+                    work: 350,
+                },
             ],
         },
         // Image processing: a handful of regular streams — few enough
@@ -251,7 +359,14 @@ pub fn spec2017() -> Vec<Workload> {
             name: "538.imagick_r",
             suite: Suite::Spec2017,
             phases: vec![
-                Kernel::MultiStream { base: region(0), spacing: 0x10440, streams: 10, n: 250, stride: 64, work: 350 },
+                Kernel::MultiStream {
+                    base: region(0),
+                    spacing: 0x10440,
+                    streams: 10,
+                    n: 250,
+                    stride: 64,
+                    work: 350,
+                },
                 Kernel::Stencil { a: region(11), b: region(12), n: 900, work: 200 },
             ],
         },
@@ -260,7 +375,13 @@ pub fn spec2017() -> Vec<Workload> {
             name: "541.leela_r",
             suite: Suite::Spec2017,
             phases: vec![
-                Kernel::RandomAccess { heap: region(1), span: 1 << 19, n: 1200, seed: 541, work: 250 },
+                Kernel::RandomAccess {
+                    heap: region(1),
+                    span: 1 << 19,
+                    n: 1200,
+                    seed: 541,
+                    work: 250,
+                },
                 Kernel::Compute { n: 2500 },
             ],
         },
@@ -269,8 +390,21 @@ pub fn spec2017() -> Vec<Workload> {
             name: "557.xz_r",
             suite: Suite::Spec2017,
             phases: vec![
-                Kernel::MultiStream { base: region(0), spacing: 0x10440, streams: 64, n: 90, stride: 64, work: 600 },
-                Kernel::RandomAccess { heap: region(9), span: 1 << 20, n: 900, seed: 557, work: 250 },
+                Kernel::MultiStream {
+                    base: region(0),
+                    spacing: 0x10440,
+                    streams: 64,
+                    n: 90,
+                    stride: 64,
+                    work: 600,
+                },
+                Kernel::RandomAccess {
+                    heap: region(9),
+                    span: 1 << 20,
+                    n: 900,
+                    seed: 557,
+                    work: 250,
+                },
             ],
         },
         // Finite elements: dominated by scaled indirect gathers over a
@@ -278,9 +412,15 @@ pub fn spec2017() -> Vec<Workload> {
         Workload {
             name: "510.parest_r",
             suite: Suite::Spec2017,
-            phases: vec![
-                Kernel::ScaledGather { idx_base: region(0), data_base: region(1), n: 3500, scale: 0x200, idx_span: 8192, seed: 510, work: 60 },
-            ],
+            phases: vec![Kernel::ScaledGather {
+                idx_base: region(0),
+                data_base: region(1),
+                n: 3500,
+                scale: 0x200,
+                idx_span: 8192,
+                seed: 510,
+                work: 60,
+            }],
         },
         // Branch-heavy puzzle solver: pure compute.
         Workload {
@@ -293,9 +433,14 @@ pub fn spec2017() -> Vec<Workload> {
         Workload {
             name: "554.roms_r",
             suite: Suite::Spec2017,
-            phases: vec![
-                Kernel::MultiStream { base: region(0), spacing: 0x10440, streams: 96, n: 110, stride: 64, work: 350 },
-            ],
+            phases: vec![Kernel::MultiStream {
+                base: region(0),
+                spacing: 0x10440,
+                streams: 96,
+                n: 110,
+                stride: 64,
+                work: 350,
+            }],
         },
     ]
 }

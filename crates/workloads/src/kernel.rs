@@ -444,13 +444,8 @@ mod tests {
             work: 0,
         };
         let m = run(&k);
-        let gathers: Vec<u64> = m
-            .trace()
-            .entries()
-            .iter()
-            .map(|e| e.addr.raw())
-            .filter(|a| *a >= 0x600_0000)
-            .collect();
+        let gathers: Vec<u64> =
+            m.trace().entries().iter().map(|e| e.addr.raw()).filter(|a| *a >= 0x600_0000).collect();
         assert_eq!(gathers.len(), 40);
         for g in &gathers {
             assert_eq!((g - 0x600_0000) % 0x200, 0, "gather at a scale multiple");
@@ -492,7 +487,14 @@ mod tests {
         };
         let m = run(&k);
         // 2 loads per inner iteration.
-        assert_eq!(m.trace().entries().iter().filter(|e| e.kind == prefender_sim::AccessKind::Read).count(), 4 * 8 * 2);
+        assert_eq!(
+            m.trace()
+                .entries()
+                .iter()
+                .filter(|e| e.kind == prefender_sim::AccessKind::Read)
+                .count(),
+            4 * 8 * 2
+        );
     }
 
     #[test]
@@ -519,9 +521,6 @@ mod tests {
     #[test]
     fn idioms_named() {
         assert_eq!(Kernel::Compute { n: 1 }.idiom(), "compute");
-        assert_eq!(
-            Kernel::Streaming { base: 0, n: 1, stride: 64, work: 0 }.idiom(),
-            "streaming"
-        );
+        assert_eq!(Kernel::Streaming { base: 0, n: 1, stride: 64, work: 0 }.idiom(), "streaming");
     }
 }

@@ -6,11 +6,11 @@
 //! cargo run --release --example performance_sweep
 //! ```
 
-use prefender::{
-    spec2006, HierarchyConfig, Machine, Prefender, Prefetcher, StridePrefetcher,
-    TaggedPrefetcher, Workload,
-};
 use prefender::stats::{speedup_pct, Table};
+use prefender::{
+    spec2006, HierarchyConfig, Machine, Prefender, Prefetcher, StridePrefetcher, TaggedPrefetcher,
+    Workload,
+};
 
 fn run_once(w: &Workload, prefetcher: Option<Box<dyn Prefetcher>>) -> u64 {
     let mut m = Machine::new(HierarchyConfig::paper_baseline(1).expect("valid baseline"));
@@ -21,8 +21,10 @@ fn run_once(w: &Workload, prefetcher: Option<Box<dyn Prefetcher>>) -> u64 {
     m.run().cycles
 }
 
+type BuildFn = fn() -> Box<dyn Prefetcher>;
+
 fn main() {
-    let configs: Vec<(&str, fn() -> Box<dyn Prefetcher>)> = vec![
+    let configs: Vec<(&str, BuildFn)> = vec![
         ("Tagged", || Box::new(TaggedPrefetcher::new(64, 1))),
         ("Stride", || Box::new(StridePrefetcher::default_config())),
         ("Prefender", || Box::new(Prefender::builder(64, 4096).build())),

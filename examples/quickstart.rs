@@ -5,9 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use prefender::{
-    HierarchyConfig, Machine, Prefender, Program, Reg, StridePrefetcher,
-};
+use prefender::{HierarchyConfig, Machine, Prefender, Program, Reg, StridePrefetcher};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The paper's baseline hierarchy: 32 KB L1I + 64 KB L1D per core,
@@ -58,10 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let secret_line = 0x100000 + 42 * 0x200u64;
     for delta in [-0x200i64, 0, 0x200] {
         let addr = prefender::Addr::new((secret_line as i64 + delta) as u64);
-        println!(
-            "  line {addr}: in L1D = {}",
-            machine.mem().probe_l1d(0, addr)
-        );
+        println!("  line {addr}: in L1D = {}", machine.mem().probe_l1d(0, addr));
     }
     Ok(())
 }

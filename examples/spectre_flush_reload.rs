@@ -46,8 +46,7 @@ fn main() -> Result<(), prefender::AttackError> {
 
     show(
         "full PREFENDER under noisy instructions AND noisy accesses (C3+C4)",
-        &AttackSpec::new(AttackKind::FlushReload, DefenseConfig::Full)
-            .with_noise(NoiseSpec::C3C4),
+        &AttackSpec::new(AttackKind::FlushReload, DefenseConfig::Full).with_noise(NoiseSpec::C3C4),
     )?;
     Ok(())
 }

@@ -39,9 +39,36 @@
 //! (instruction set), [`cpu`] (timing interpreter), [`prefetch`]
 //! (prefetcher trait + Tagged/Stride baselines), [`core`] (PREFENDER
 //! itself), [`attacks`] (attack generators/analysis), [`workloads`]
-//! (synthetic SPEC-like kernels) and [`stats`] (reporting helpers).
-//! The `repro` binary in `prefender-bench` regenerates every table and
-//! figure of the paper; see EXPERIMENTS.md.
+//! (synthetic SPEC-like kernels), [`stats`] (reporting helpers) and
+//! [`sweep`] (the parallel scenario-sweep engine). The `repro` binary in
+//! `prefender-bench` regenerates every table and figure of the paper;
+//! see EXPERIMENTS.md.
+//!
+//! ## Sweep engine
+//!
+//! Evaluating at scale means running thousands of
+//! (attack, defense, prefetcher, hierarchy, workload, seed) combinations
+//! — the [`sweep`] crate turns that grid into a declarative object,
+//! shards it across a worker-thread pool (each worker owns its own
+//! [`Machine`] and memory system) and streams per-scenario results into
+//! `sweep.json` / `sweep.csv` artifacts. Runs are **bit-identical at any
+//! thread count**: every scenario's probe seed derives from the campaign
+//! seed plus the scenario's index in the stably-ordered work-list.
+//!
+//! ```
+//! use prefender::sweep::{run_sweep, SweepGrid, SweepOptions};
+//!
+//! let grid = SweepGrid::security_quick();
+//! let a = run_sweep(&grid, &SweepOptions { threads: 1, campaign_seed: 1 });
+//! let b = run_sweep(&grid, &SweepOptions { threads: 4, campaign_seed: 1 });
+//! assert_eq!(a.to_json(), b.to_json());
+//! ```
+//!
+//! The same engine is available on the command line:
+//!
+//! ```sh
+//! cargo run --release --bin sweep -- --threads 8 --seed 0xC0FFEE --out out/
+//! ```
 
 /// The cache hierarchy simulator (`prefender-sim`).
 pub use prefender_sim as sim;
@@ -66,6 +93,9 @@ pub use prefender_workloads as workloads;
 
 /// Statistics and table rendering (`prefender-stats`).
 pub use prefender_stats as stats;
+
+/// The parallel scenario-sweep engine (`prefender-sweep`).
+pub use prefender_sweep as sweep;
 
 // The most common types, flattened for convenience.
 pub use prefender_attacks::{

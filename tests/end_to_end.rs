@@ -53,11 +53,7 @@ fn scale_tracker_accelerates_gather_workloads() {
 #[test]
 fn compute_bound_workloads_are_untouched() {
     for name in ["999.specrand", "548.exchange2_r"] {
-        let w = spec2006()
-            .into_iter()
-            .chain(spec2017())
-            .find(|w| w.name() == name)
-            .unwrap();
+        let w = spec2006().into_iter().chain(spec2017()).find(|w| w.name() == name).unwrap();
         let base = cycles(&w, None);
         let defended = cycles(&w, Some(Box::new(Prefender::builder(64, 4096).build())));
         assert_eq!(base, defended, "{name} must be cycle-identical");

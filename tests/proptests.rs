@@ -19,10 +19,16 @@ fn arb_operand() -> impl Strategy<Value = Operand> {
 fn arb_linear_instr() -> impl Strategy<Value = Instr> {
     prop_oneof![
         (arb_reg(), -0x10_0000i64..0x10_0000).prop_map(|(rd, imm)| Instr::LoadImm { rd, imm }),
-        (arb_reg(), arb_reg(), -4096i64..4096)
-            .prop_map(|(rd, base, offset)| Instr::Load { rd, base, offset }),
-        (arb_reg(), arb_reg(), -4096i64..4096)
-            .prop_map(|(src, base, offset)| Instr::Store { src, base, offset }),
+        (arb_reg(), arb_reg(), -4096i64..4096).prop_map(|(rd, base, offset)| Instr::Load {
+            rd,
+            base,
+            offset
+        }),
+        (arb_reg(), arb_reg(), -4096i64..4096).prop_map(|(src, base, offset)| Instr::Store {
+            src,
+            base,
+            offset
+        }),
         (arb_reg(), arb_reg(), arb_operand()).prop_map(|(rd, a, b)| Instr::Add { rd, a, b }),
         (arb_reg(), arb_reg(), arb_operand()).prop_map(|(rd, a, b)| Instr::Sub { rd, a, b }),
         (arb_reg(), arb_reg(), arb_operand()).prop_map(|(rd, a, b)| Instr::Mul { rd, a, b }),
@@ -113,7 +119,7 @@ proptest! {
     #[test]
     fn at_never_prefetches_recorded_or_resident(blocks in prop::collection::vec(0u64..64, 4..30)) {
         let mut at = AccessTracker::new(AtConfig::paper());
-        let resident = |a: Addr| a.raw() % 128 == 0; // arbitrary residency rule
+        let resident = |a: Addr| a.raw().is_multiple_of(128); // arbitrary residency rule
         for (k, b) in blocks.iter().enumerate() {
             let blk = Addr::new(0x10_0000 + b * 64);
             let d = at.on_load(0x8000, blk, Cycle::new(k as u64), None, &resident);

@@ -1,76 +1,112 @@
 //! The paper's Table II, as executable claims: PREFENDER's security
-//! properties across attack families, challenge noise and core scopes.
+//! properties across attack families, challenge noise and core scopes —
+//! driven through the sweep engine.
+//!
+//! One campaign covers the whole matrix: every attack case (all three
+//! families × four challenge sets × single/cross core) under no defense
+//! and under the full PREFENDER, sharded across four worker threads. The
+//! per-row tests below query the shared campaign by scenario id.
 
-use prefender::{run_attack, AttackKind, AttackSpec, DefenseConfig, NoiseSpec};
+use std::sync::OnceLock;
 
-fn defended(spec: &AttackSpec) -> bool {
-    !run_attack(spec).expect("attack run").leaked
+use prefender::sweep::{
+    run_sweep, AttackCase, AttackKind, DefenseConfig, DefensePoint, SweepGrid, SweepOptions,
+    SweepReport,
+};
+use prefender::{run_attack, AttackSpec, NoiseSpec};
+
+fn campaign() -> &'static SweepReport {
+    static CAMPAIGN: OnceLock<SweepReport> = OnceLock::new();
+    CAMPAIGN.get_or_init(|| {
+        let grid = SweepGrid {
+            attacks: AttackCase::all(),
+            defenses: vec![
+                DefensePoint::new(DefenseConfig::None),
+                DefensePoint::new(DefenseConfig::At),
+                DefensePoint::new(DefenseConfig::Full),
+            ],
+            ..SweepGrid::empty()
+        };
+        run_sweep(&grid, &SweepOptions { threads: 4, campaign_seed: 0xC0FFEE })
+    })
+}
+
+/// Looks up one matrix cell by its scenario-id fragments.
+fn leaked(case_tag: &str, defense_tag: &str) -> bool {
+    let id = format!("atk:{case_tag}/{defense_tag}/none/paper/s0");
+    campaign()
+        .by_id(&id)
+        .unwrap_or_else(|| panic!("campaign is missing scenario {id}"))
+        .leaked
+        .expect("attack scenarios carry a verdict")
 }
 
 /// Table II row: "Flush+Reload / Multi-Cacheline ✓".
 #[test]
 fn defends_multi_cacheline_flush_reload() {
-    assert!(defended(&AttackSpec::new(AttackKind::FlushReload, DefenseConfig::Full)));
+    assert!(!leaked("fr", "full32"));
 }
 
 /// Table II row: "Evict+Reload / Multi-Cacheline ✓".
 #[test]
 fn defends_multi_cacheline_evict_reload() {
-    assert!(defended(&AttackSpec::new(AttackKind::EvictReload, DefenseConfig::Full)));
+    assert!(!leaked("er", "full32"));
 }
 
 /// Table II row: "Prime+Probe / Multi-Cacheset ✓".
 #[test]
 fn defends_multi_cacheset_prime_probe() {
-    assert!(defended(&AttackSpec::new(AttackKind::PrimeProbe, DefenseConfig::Full)));
+    assert!(!leaked("pp", "full32"));
 }
 
 /// Table II row: "Single-Core ✓" — every attack family, same core.
 #[test]
 fn defends_single_core_attacks() {
-    for kind in [AttackKind::FlushReload, AttackKind::EvictReload, AttackKind::PrimeProbe] {
-        assert!(
-            defended(&AttackSpec::new(kind, DefenseConfig::Full)),
-            "single-core {kind} not defended"
-        );
+    for kind in ["fr", "er", "pp"] {
+        assert!(!leaked(kind, "full32"), "single-core {kind} not defended");
     }
 }
 
 /// Table II row: "Cross-Core ✓" (paper Figure 4).
 #[test]
 fn defends_cross_core_attacks() {
-    for kind in [AttackKind::FlushReload, AttackKind::EvictReload] {
-        assert!(
-            defended(&AttackSpec::new(kind, DefenseConfig::Full).cross_core(true)),
-            "cross-core {kind} not defended"
-        );
+    for kind in ["fr", "er"] {
+        assert!(!leaked(&format!("{kind}x"), "full32"), "cross-core {kind} not defended");
     }
     // Cross-core Prime+Probe is defended by the Access Tracker.
-    assert!(defended(
-        &AttackSpec::new(AttackKind::PrimeProbe, DefenseConfig::At).cross_core(true)
-    ));
+    assert!(!leaked("ppx", "at32"));
 }
 
 /// Table II row: "Considering Random Access Pattern ✓" — probe order is
 /// shuffled in every reload run; different shuffles must not re-enable
-/// the leak.
+/// the leak. Each campaign seed derives a different probe order for the
+/// same grid, so five campaigns cover five distinct orders.
 #[test]
 fn defends_under_any_probe_order() {
-    for seed in [1u64, 7, 42, 1234, 0xDEAD] {
-        let spec =
-            AttackSpec::new(AttackKind::FlushReload, DefenseConfig::Full).with_seed(seed);
-        assert!(defended(&spec), "leaked under probe order seed {seed}");
+    let grid = SweepGrid {
+        attacks: vec![AttackCase {
+            kind: AttackKind::FlushReload,
+            noise: NoiseSpec::NONE,
+            cross_core: false,
+        }],
+        defenses: vec![DefensePoint::new(DefenseConfig::Full)],
+        ..SweepGrid::empty()
+    };
+    for campaign_seed in [1u64, 7, 42, 1234, 0xDEAD] {
+        let report = run_sweep(&grid, &SweepOptions { threads: 2, campaign_seed });
+        let r = &report.results[0];
+        assert_eq!(r.leaked, Some(false), "leaked under campaign seed {campaign_seed}");
     }
 }
 
 /// Table II row: "Handling Benign Noise Accesses ✓" — challenges C3/C4.
 #[test]
 fn defends_under_benign_noise() {
-    for noise in [NoiseSpec::C3, NoiseSpec::C4, NoiseSpec::C3C4] {
-        for kind in [AttackKind::FlushReload, AttackKind::EvictReload, AttackKind::PrimeProbe] {
+    for noise in ["+c3", "+c4", "+c3c4"] {
+        for kind in ["fr", "er", "pp"] {
             assert!(
-                defended(&AttackSpec::new(kind, DefenseConfig::Full).with_noise(noise)),
-                "{kind} with noise {noise:?} not defended"
+                !leaked(&format!("{kind}{noise}"), "full32"),
+                "{kind} with noise {noise} not defended"
             );
         }
     }
@@ -80,14 +116,27 @@ fn defends_under_benign_noise() {
 /// nothing defends — otherwise the defense claims above are vacuous.
 #[test]
 fn undefended_attacks_genuinely_leak() {
-    for kind in [AttackKind::FlushReload, AttackKind::EvictReload, AttackKind::PrimeProbe] {
-        for cross in [false, true] {
-            let spec = AttackSpec::new(kind, DefenseConfig::None).cross_core(cross);
-            let o = run_attack(&spec).expect("attack run");
-            assert!(o.leaked, "{kind} cross={cross} failed to leak undefended");
-            assert_eq!(o.anomalies, vec![65], "{kind} cross={cross}");
+    for kind in ["fr", "er", "pp"] {
+        for cross in ["", "x"] {
+            let tag = format!("{kind}{cross}");
+            assert!(leaked(&tag, "base"), "{tag} failed to leak undefended");
+            let id = format!("atk:{tag}/base/none/paper/s0");
+            let r = campaign().by_id(&id).unwrap();
+            assert_eq!(r.anomalies, Some(1), "{tag}: exactly the secret must be anomalous");
         }
     }
+}
+
+/// Every scenario id in the campaign is unique — the work-list carries no
+/// duplicate grid points.
+#[test]
+fn campaign_scenario_ids_are_unique() {
+    let mut ids: Vec<&str> = campaign().results.iter().map(|r| r.id.as_str()).collect();
+    let n = ids.len();
+    assert_eq!(n, 24 * 3, "24 attack cases x 3 defenses");
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "duplicate scenario ids in the campaign");
 }
 
 /// "No Software Modification ✓": the defense is configured purely at the

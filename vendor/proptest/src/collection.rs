@@ -1,0 +1,52 @@
+//! Collection strategies.
+
+use crate::{Strategy, TestRng};
+
+/// A strategy for `Vec<S::Value>` with length drawn from `len`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max_exclusive: usize,
+}
+
+/// Length specifications accepted by [`vec`].
+pub trait SizeRange {
+    /// `(min, max_exclusive)` bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeRange for core::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl SizeRange for core::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+impl SizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+/// Generates vectors of `element` draws with length in `len`.
+pub fn vec<S: Strategy>(element: S, len: impl SizeRange) -> VecStrategy<S> {
+    let (min, max_exclusive) = len.bounds();
+    assert!(min < max_exclusive, "empty length range in collection::vec");
+    VecStrategy { element, min, max_exclusive }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.max_exclusive - self.min;
+        let n = self.min + if span > 1 { rng.below(span) } else { 0 };
+        (0..n).map(|_| self.element.gen_value(rng)).collect()
+    }
+}

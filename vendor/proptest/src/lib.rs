@@ -1,0 +1,388 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing framework.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the API subset the repo's property tests use:
+//!
+//! * [`Strategy`] with `prop_map`, implemented for integer ranges, tuples
+//!   (arity 2–4), [`Just`] and [`BoxedStrategy`];
+//! * [`collection::vec`] for variable-length vectors;
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros;
+//! * [`ProptestConfig`] (`with_cases` only).
+//!
+//! Differences from upstream: generation is seeded deterministically from
+//! the test name (every run explores the same cases — reproducible CI),
+//! and there is **no shrinking**: a failing case reports its case index
+//! and message, not a minimized input.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngCore, SeedableRng};
+
+pub mod collection;
+
+/// The generator handed to strategies (a seeded [`StdRng`]).
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// A uniform draw below `n`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.0.gen_range(0..n)
+    }
+}
+
+/// A failed property within a test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+/// Generates values of one type.
+///
+/// Unlike upstream there is no value tree: a strategy is just a cloneable
+/// deterministic sampler.
+pub trait Strategy: Clone + 'static {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> U + Clone + 'static,
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+    {
+        let s = self;
+        BoxedStrategy(Rc::new(move |rng| s.gen_value(rng)))
+    }
+}
+
+/// Always produces a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + Clone + 'static,
+{
+    type Value = U;
+
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy(..)")
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A uniform choice between boxed alternatives ([`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { options: self.options.clone() }
+    }
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union").field("options", &self.options.len()).finish()
+    }
+}
+
+impl<T> Union<T> {
+    /// Builds the union; `options` must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let k = rng.below(self.options.len());
+        self.options[k].gen_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:ident . $idx:tt),+)),+) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; the shim trades a little coverage for
+        // suite latency while staying well above smoke level.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Drives one property: `cases` deterministic draws seeded from `name`.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) on the first case whose body
+/// returns a [`TestCaseError`].
+pub fn run_cases<F>(cfg: ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    for case in 0..cfg.cases {
+        let mut rng = TestRng(StdRng::seed_from_u64(
+            base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ));
+        if let Err(TestCaseError(msg)) = body(&mut rng) {
+            panic!("property `{name}` failed at case {case}/{}: {msg}", cfg.cases);
+        }
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Namespace mirror of upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(__cfg, stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::gen_value(&($strat), __rng);)+
+                    // The immediate closure call turns `return`-style
+                    // prop_assert! early exits into a Result.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    __result
+                });
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "{} ({:?} != {:?})",
+                format!($($fmt)*),
+                a,
+                b
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(v in prop::collection::vec((0u8..4).prop_map(|b| b * 2), 1..10)) {
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(v.iter().all(|b| b % 2 == 0 && *b < 8));
+        }
+
+        #[test]
+        fn oneof_picks_every_arm(x in prop_oneof![Just(1u8), Just(2u8), Just(3u8)]) {
+            prop_assert!((1..=3).contains(&x));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_attribute_parses(x in 0u8..=255) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_number() {
+        crate::run_cases(ProptestConfig::with_cases(3), "always_fails", |_| {
+            Err(TestCaseError("boom".into()))
+        });
+    }
+}
