@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng as _, SeedableRng};
 
 use prefender_core::{Prefender, PrefenderStats};
 use prefender_cpu::Machine;
@@ -258,6 +258,11 @@ pub struct AttackSpec {
     /// Cache-hierarchy override; `None` uses the paper baseline. The
     /// core count is always forced to match `cross_core`.
     pub hierarchy: Option<HierarchyConfig>,
+    /// Measurement-noise amplitude: every probe latency the attacker
+    /// records is perturbed by a deterministic per-trial jitter drawn
+    /// uniformly from `0..=latency_jitter` cycles (seeded from `seed`).
+    /// `0` models a perfectly clean timer, the paper's setting.
+    pub latency_jitter: u64,
 }
 
 impl AttackSpec {
@@ -273,6 +278,7 @@ impl AttackSpec {
             seed: 0xC0FFEE,
             basic: Basic::None,
             hierarchy: None,
+            latency_jitter: 0,
         }
     }
 
@@ -309,6 +315,23 @@ impl AttackSpec {
     #[must_use]
     pub fn with_hierarchy(mut self, hierarchy: HierarchyConfig) -> Self {
         self.hierarchy = Some(hierarchy);
+        self
+    }
+
+    /// Injects a different secret into the victim (a probe-window array
+    /// index; the paper's Figure 8 uses 65). The leakage lab sweeps this
+    /// to treat the scenario as a secret → observation channel.
+    #[must_use]
+    pub fn with_secret(mut self, secret: usize) -> Self {
+        self.layout.secret = secret;
+        self
+    }
+
+    /// Sets the attacker's measurement-noise amplitude (see
+    /// [`AttackSpec::latency_jitter`]).
+    #[must_use]
+    pub fn with_latency_jitter(mut self, jitter: u64) -> Self {
+        self.latency_jitter = jitter;
         self
     }
 }
@@ -483,7 +506,8 @@ fn run_inner(
         run_single_core(spec, &mut m, reload_targets.len(), bucket, &mut timeline)?
     };
 
-    let samples = collect_samples(spec, &m, &probe_pcs);
+    let mut samples = collect_samples(spec, &m, &probe_pcs);
+    apply_latency_jitter(spec, &mut samples);
     // Reload-style attacks leak through the single hit (L2-or-better vs.
     // memory). Prime+Probe leaks through the single miss: at L1-vs-L2
     // granularity single-core, at L2-vs-memory granularity cross-core.
@@ -632,6 +656,19 @@ fn run_cross_core(
     Ok(probe.probe_pcs)
 }
 
+/// Perturbs the measured latencies with the spec's per-trial timer noise:
+/// each sample gains a uniform draw from `0..=latency_jitter` cycles,
+/// seeded from the probe seed so a trial's noise is reproducible.
+fn apply_latency_jitter(spec: &AttackSpec, samples: &mut [ProbeSample]) {
+    if spec.latency_jitter == 0 {
+        return;
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed ^ 0x6A77_6974_7465_7221);
+    for s in samples {
+        s.latency += rng.gen_range(0..=spec.latency_jitter);
+    }
+}
+
 fn collect_samples(spec: &AttackSpec, m: &Machine, probe_pcs: &[u64]) -> Vec<ProbeSample> {
     let l = &spec.layout;
     match spec.kind {
@@ -729,6 +766,30 @@ mod tests {
         ev.sort_unstable();
         let expected: Vec<u64> = l.indices().map(|i| l.index_addr(i).raw()).collect();
         assert_eq!(ev, expected);
+    }
+
+    #[test]
+    fn secret_injection_moves_the_leak() {
+        for secret in [50, 80, 110] {
+            let spec =
+                AttackSpec::new(AttackKind::FlushReload, DefenseConfig::None).with_secret(secret);
+            let o = run_attack(&spec).unwrap();
+            assert!(o.leaked, "undefended FR must leak secret {secret}");
+            assert_eq!(o.anomalies, vec![secret]);
+        }
+    }
+
+    #[test]
+    fn latency_jitter_is_deterministic_and_bounded() {
+        let base = AttackSpec::new(AttackKind::FlushReload, DefenseConfig::None);
+        let clean = run_attack(&base).unwrap();
+        let noisy = run_attack(&base.clone().with_latency_jitter(5)).unwrap();
+        assert_eq!(noisy, run_attack(&base.clone().with_latency_jitter(5)).unwrap());
+        assert_ne!(clean.samples, noisy.samples, "jitter must perturb some latency");
+        for (c, n) in clean.samples.iter().zip(&noisy.samples) {
+            assert_eq!(c.index, n.index);
+            assert!((c.latency..=c.latency + 5).contains(&n.latency));
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! of the Table IV/V/VI and Figure 10–12 harnesses.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use prefender_bench::{Basic, PerfColumn, PrefenderKind};
+use prefender_sweep::perf::{Basic, PerfColumn, PrefenderKind};
 use prefender_workloads::spec2006;
 
 fn bench_workloads(c: &mut Criterion) {
@@ -28,7 +28,7 @@ fn bench_workloads(c: &mut Criterion) {
         let w = spec2006().into_iter().find(|w| w.name() == name).expect("catalog entry");
         for (label, col) in columns {
             g.bench_with_input(BenchmarkId::new(name, label), &(&w, col), |b, (w, col)| {
-                b.iter(|| prefender_bench::perf::run_perf(w, *col, None))
+                b.iter(|| prefender_sweep::perf::run_perf(w, *col, None))
             });
         }
     }

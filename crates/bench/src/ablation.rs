@@ -8,7 +8,7 @@ use prefender_stats::{speedup_pct, Table};
 use prefender_sweep::{parallel_map, parallel_map_2d};
 use prefender_workloads::spec2006;
 
-use crate::perf::{run_perf, Basic, PerfColumn, PrefenderKind};
+use prefender_sweep::perf::{run_perf, Basic, PerfColumn, PrefenderKind};
 
 /// Workloads used by the fast ablation sweeps (one per idiom family).
 const ABLATION_WORKLOADS: [&str; 4] = ["462.libquantum", "429.mcf", "483.xalancbmk", "445.gobmk"];

@@ -15,6 +15,8 @@
 //!   hwcost    Section V-E — hardware resource budget
 //!   ablate-buffers | ablate-threshold | ablate-unprotect | ablate-replacement
 //!   sweep     full attack x defense grid through the sweep engine
+//!   leakage   Figure 8 re-measured in bits: secret-sweep campaigns per
+//!             panel, mutual information / capacity / ML accuracy
 //!   all       everything above
 //! ```
 //!
@@ -25,7 +27,7 @@
 use std::env;
 use std::process::ExitCode;
 
-use prefender_bench::{ablation, figures, hwcost, security, tables};
+use prefender_bench::{ablation, figures, hwcost, leakage, security, tables};
 
 fn run_one(name: &str) -> Result<(), String> {
     match name {
@@ -96,6 +98,10 @@ fn run_one(name: &str) -> Result<(), String> {
             );
             println!("{}", report.render_table());
         }
+        "leakage" => {
+            println!("=== Leakage map: Figure 8 measured in bits ===\n");
+            println!("{}", leakage::leakage_map().render());
+        }
         "all" => {
             for e in [
                 "fig8",
@@ -112,6 +118,7 @@ fn run_one(name: &str) -> Result<(), String> {
                 "ablate-unprotect",
                 "ablate-replacement",
                 "sweep",
+                "leakage",
             ] {
                 run_one(e)?;
             }
@@ -125,7 +132,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <fig8|fig9|fig10|fig11|fig12|table4|table5|table6|hwcost|ablate-*|sweep|all> ..."
+            "usage: repro <fig8|fig9|fig10|fig11|fig12|table4|table5|table6|hwcost|ablate-*|sweep|leakage|all> ..."
         );
         return ExitCode::FAILURE;
     }

@@ -3,7 +3,7 @@
 use prefender_stats::{Series, Table};
 use prefender_workloads::spec2006;
 
-use crate::perf::{run_perf, Basic, PerfColumn, PrefenderKind};
+use prefender_sweep::perf::{run_perf, Basic, PerfColumn, PrefenderKind};
 
 /// Figure 10 data: per-benchmark total L1D demand-miss latency, normalized
 /// to the no-prefetcher baseline, for each configuration.

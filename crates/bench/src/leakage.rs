@@ -1,0 +1,146 @@
+//! The leakage map: the paper's Figure 8 grid re-measured in bits.
+//!
+//! Where `fig8` reports one boolean verdict per (attack, defense) cell,
+//! the leakage map runs a secret-sweep campaign per cell through the
+//! sweep engine and reports the estimated channel: mutual information,
+//! capacity, max-likelihood accuracy and guessing entropy (see
+//! `prefender-leakage`). An undefended cell sits at `log2(secrets)`
+//! bits; a sealed cell at 0.
+
+use prefender_stats::Table;
+use prefender_sweep::{
+    basic_tag, run_sweep, Hierarchy, ScenarioResult, SweepGrid, SweepOptions, SweepReport,
+};
+
+/// The measured leakage map plus the grid shape it ran under.
+#[derive(Debug, Clone)]
+pub struct LeakageMap {
+    /// The underlying campaign report (leakage scenarios only).
+    pub report: SweepReport,
+    /// The grid that produced it.
+    pub grid: SweepGrid,
+}
+
+/// Runs the full Figure 8 leakage grid — twelve attack panels × six
+/// defenses, each an 8-secret × 4-trial campaign — on the sweep engine's
+/// worker pool.
+pub fn leakage_map() -> LeakageMap {
+    leakage_map_over(SweepGrid::leakage_full(), 0)
+}
+
+/// Runs an arbitrary leakage grid at a chosen thread count (0 = all
+/// CPUs). The grid must contain leakage payloads.
+pub fn leakage_map_over(grid: SweepGrid, threads: usize) -> LeakageMap {
+    let report = run_sweep(&grid, &SweepOptions { threads, ..SweepOptions::default() });
+    LeakageMap { report, grid }
+}
+
+impl LeakageMap {
+    /// The result cell for an attack case × defense point at the grid's
+    /// *first* basic / hierarchy axis value and seed slot 0 (the map is
+    /// two-dimensional; [`LeakageMap::report`] holds every axis).
+    pub fn cell(&self, case_tag: &str, defense_tag: &str) -> Option<&ScenarioResult> {
+        let basic = basic_tag(*self.grid.basics.first()?);
+        let hierarchy = self.grid.hierarchies.first().unwrap_or(&Hierarchy::Paper).tag();
+        let jitter = if self.grid.leakage_jitter > 0 {
+            format!("j{}", self.grid.leakage_jitter)
+        } else {
+            String::new()
+        };
+        let id = format!(
+            "leak:{case_tag}:{}x{}{jitter}/{defense_tag}/{basic}/{hierarchy}/s0",
+            self.grid.leakage_secrets, self.grid.leakage_trials
+        );
+        self.report.by_id(&id)
+    }
+
+    /// The secret entropy every campaign sweeps (`log2(secrets)`).
+    pub fn secret_bits(&self) -> f64 {
+        f64::from(self.grid.leakage_secrets.max(1)).log2()
+    }
+
+    /// Renders the map: one row per attack case, one column per defense,
+    /// each cell `MI/accuracy`.
+    pub fn render(&self) -> String {
+        let defenses: Vec<String> = self.grid.defenses.iter().map(|d| d.tag()).collect();
+        let mut header = vec!["Attack".to_string()];
+        header.extend(defenses.iter().cloned());
+        let mut t = Table::new(header);
+        for case in &self.grid.leakages {
+            let mut row = vec![case.to_string()];
+            for d in &defenses {
+                row.push(match self.cell(&case.tag(), d) {
+                    Some(r) => format!(
+                        "{:.2}b p{:.2}",
+                        r.mi_bits.unwrap_or(f64::NAN),
+                        r.ml_accuracy.unwrap_or(f64::NAN)
+                    ),
+                    None => "-".into(),
+                });
+            }
+            t.row(row);
+        }
+        format!(
+            "Secret space: {} values ({:.1} bits), {} trials/secret. \
+             Cell = mutual information (bits) / ML attacker accuracy.\n{}",
+            self.grid.leakage_secrets,
+            self.secret_bits(),
+            self.grid.leakage_trials,
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefender_sweep::{AttackCase, AttackKind, DefenseConfig, DefensePoint, NoiseSpec};
+
+    fn quick_grid() -> SweepGrid {
+        let mut g = SweepGrid::leakage_quick();
+        g.leakages = vec![AttackCase {
+            kind: AttackKind::FlushReload,
+            noise: NoiseSpec::NONE,
+            cross_core: false,
+        }];
+        g.defenses =
+            vec![DefensePoint::new(DefenseConfig::None), DefensePoint::new(DefenseConfig::Full)];
+        g.leakage_secrets = 8;
+        g.leakage_trials = 2;
+        g
+    }
+
+    #[test]
+    fn quick_map_shows_open_and_sealed_channels() {
+        let map = leakage_map_over(quick_grid(), 4);
+        assert_eq!(map.secret_bits(), 3.0);
+        let open = map.cell("fr", "base").expect("base cell");
+        assert!(
+            (open.mi_bits.unwrap() - 3.0).abs() < 0.1,
+            "undefended FR must carry ~3 bits, got {:?}",
+            open.mi_bits
+        );
+        let sealed = map.cell("fr", "full32").expect("full cell");
+        assert!(sealed.mi_bits.unwrap() <= 0.2, "PREFENDER must seal FR: {:?}", sealed.mi_bits);
+        assert!(map.cell("fr", "nope").is_none());
+        let text = map.render();
+        assert!(text.contains("3.00b") && text.contains("0.00b"), "{text}");
+        assert!(text.contains("Flush+Reload"));
+    }
+
+    #[test]
+    fn cell_lookup_follows_non_default_axes() {
+        use prefender_sweep::{Basic, Hierarchy};
+        let mut g = quick_grid();
+        g.leakage_secrets = 4;
+        g.basics = vec![Basic::Tagged];
+        g.hierarchies = vec![Hierarchy::BigL2];
+        let map = leakage_map_over(g, 2);
+        let cell = map.cell("fr", "base").expect("tagged/bigl2 cell must resolve");
+        assert!(cell.id.ends_with("/base/tagged/bigl2/s0"), "{}", cell.id);
+        // Every rendered cell carries a measurement (no "-" fallbacks).
+        let text = map.render();
+        let data_cells = text.matches("b p").count();
+        assert_eq!(data_cells, 2, "one measured cell per defense column: {text}");
+    }
+}

@@ -15,6 +15,7 @@
 //! | Figure 12 | [`figures::figure12`] | `fig12` |
 //! | Section V-E | [`hwcost::report`] | `hwcost` |
 //! | (extensions) | [`ablation`] | `ablate-*` |
+//! | (extension: Figure 8 in bits) | [`leakage::leakage_map`] | `leakage` |
 //!
 //! Every runner is a pure function returning printable text plus
 //! structured data, so the integration tests can assert the paper's
@@ -24,8 +25,11 @@
 pub mod ablation;
 pub mod figures;
 pub mod hwcost;
-pub mod perf;
+pub mod leakage;
 pub mod security;
 pub mod tables;
 
-pub use perf::{Basic, PerfColumn, PerfResult, PrefenderKind};
+// The performance-run machinery lives beside the sweep engine
+// (`prefender_sweep::perf`); the types are flattened here for the
+// harness's callers.
+pub use prefender_sweep::perf::{Basic, PerfColumn, PerfResult, PrefenderKind};

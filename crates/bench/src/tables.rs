@@ -4,7 +4,7 @@ use prefender_stats::{speedup_pct, Table};
 use prefender_sweep::parallel_map_2d;
 use prefender_workloads::{spec2006, spec2017, Workload};
 
-use crate::perf::{run_perf, Basic, PerfColumn, PrefenderKind};
+use prefender_sweep::perf::{run_perf, Basic, PerfColumn, PrefenderKind};
 
 /// One regenerated speedup table: headers, per-benchmark speedup rows and
 /// the average row, in percent versus the no-prefetcher baseline.

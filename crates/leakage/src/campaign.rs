@@ -1,0 +1,220 @@
+//! Secret-sweep campaigns: run every secret × trial, estimate the channel.
+
+use prefender_attacks::{run_attack_full, AttackError, AttackSpec, RunMetrics};
+use prefender_stats::Histogram;
+
+use crate::channel::Channel;
+use crate::observe::Decoder;
+
+/// A secret-sweep campaign over one (attack, defense, prefetcher,
+/// hierarchy, noise) point: every secret in `secrets` is injected into
+/// the victim and attacked `trials` times with per-trial derived seeds,
+/// and the resulting (secret, observation) pairs estimate the channel.
+#[derive(Debug, Clone)]
+pub struct LeakageCampaign {
+    /// The scenario under test. Its `seed` is ignored — every trial runs
+    /// with a seed derived from the campaign seed — and its layout secret
+    /// is overridden per trial via [`AttackSpec::with_secret`].
+    pub base: AttackSpec,
+    /// The secret values swept (victim array indices, all inside the
+    /// probe window).
+    pub secrets: Vec<usize>,
+    /// Trials per secret (each with its own derived probe seed).
+    pub trials: u32,
+    /// How the attacker decodes an observation from the latency profile.
+    pub decoder: Decoder,
+}
+
+/// Evenly spaced secret values across `spec`'s probe window.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or exceeds the window width (no distinct
+/// placement exists).
+pub fn evenly_spaced_secrets(spec: &AttackSpec, n: usize) -> Vec<usize> {
+    let l = &spec.layout;
+    assert!(n >= 1 && n <= l.n_indices, "need 1..={} secrets, got {n}", l.n_indices);
+    (0..n).map(|k| l.first_index + k * l.n_indices / n).collect()
+}
+
+impl LeakageCampaign {
+    /// A campaign over `n_secrets` evenly spaced secrets at `trials`
+    /// repetitions, with the paper-rule decoder.
+    pub fn new(base: AttackSpec, n_secrets: usize, trials: u32) -> Self {
+        let secrets = evenly_spaced_secrets(&base, n_secrets);
+        LeakageCampaign { base, secrets, trials, decoder: Decoder::PaperRule }
+    }
+
+    /// Total simulations the campaign runs.
+    pub fn sims(&self) -> u64 {
+        self.secrets.len() as u64 * u64::from(self.trials.max(1))
+    }
+
+    /// The per-trial probe seed: a SplitMix64 mix of the campaign seed,
+    /// the secret slot and the trial slot. Depends only on campaign
+    /// shape, never on execution order.
+    pub fn trial_seed(&self, campaign_seed: u64, secret_slot: usize, trial: u32) -> u64 {
+        let mut z = campaign_seed
+            ^ (secret_slot as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+            ^ u64::from(trial).wrapping_mul(0xE703_7ED1_A0B4_28DB);
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Runs the full sweep and estimates the channel.
+    ///
+    /// Trials execute in (secret, trial) order and all metric reductions
+    /// are fixed-order, so the result — including every floating-point
+    /// field — is identical wherever the campaign runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AttackError`] any trial hits (invalid
+    /// hierarchy override or an instruction-cap truncation).
+    pub fn run(&self, campaign_seed: u64) -> Result<LeakageResult, AttackError> {
+        let mut channel = Channel::new(self.secrets.len());
+        let mut totals = RunMetrics::default();
+        let mut hist = Histogram::new();
+        for (slot, &secret) in self.secrets.iter().enumerate() {
+            for trial in 0..self.trials.max(1) {
+                let spec = self.base.clone().with_secret(secret).with_seed(self.trial_seed(
+                    campaign_seed,
+                    slot,
+                    trial,
+                ));
+                let (outcome, metrics) = run_attack_full(&spec)?;
+                channel.record(slot, self.decoder.observe(&outcome));
+                totals.cycles += metrics.cycles;
+                totals.instructions += metrics.instructions;
+                totals.l1d += metrics.l1d;
+                totals.prefetch_issued += metrics.prefetch_issued;
+                totals.prefender += metrics.prefender;
+                for s in &outcome.samples {
+                    hist.record(s.latency);
+                }
+            }
+        }
+        Ok(LeakageResult::from_channel(channel, totals, hist))
+    }
+}
+
+/// The estimated channel of one campaign plus its headline metrics.
+#[derive(Debug, Clone)]
+pub struct LeakageResult {
+    /// The estimated (secret × observation) channel.
+    pub channel: Channel,
+    /// Empirical mutual information `I(secret; observation)`, bits.
+    pub mi_bits: f64,
+    /// Blahut–Arimoto channel capacity, bits.
+    pub capacity_bits: f64,
+    /// Max-likelihood attacker accuracy over the recorded trials.
+    pub ml_accuracy: f64,
+    /// Expected posterior rank of the true secret (1 = always first).
+    pub guessing_entropy: f64,
+    /// Entropy of the secret marginal (log2 |secrets| under equal trials).
+    pub secret_entropy_bits: f64,
+    /// Simulations executed (secrets × trials).
+    pub sims: u64,
+    /// Machine metrics summed over every simulation (cycles,
+    /// instructions, L1D stats, prefetch counts, per-unit breakdown).
+    pub metrics: RunMetrics,
+    /// Probe-latency histogram aggregated over every simulation.
+    pub latency_hist: Histogram,
+}
+
+impl LeakageResult {
+    fn from_channel(channel: Channel, metrics: RunMetrics, latency_hist: Histogram) -> Self {
+        LeakageResult {
+            mi_bits: channel.mutual_information_bits(),
+            capacity_bits: channel.capacity_bits(),
+            ml_accuracy: channel.ml_accuracy(),
+            guessing_entropy: channel.guessing_entropy(),
+            secret_entropy_bits: channel.input_entropy_bits(),
+            sims: channel.total_trials(),
+            metrics,
+            latency_hist,
+            channel,
+        }
+    }
+
+    /// Leakage as a fraction of the secret's entropy (`0` = sealed,
+    /// `1` = the channel carries the whole secret).
+    pub fn leakage_fraction(&self) -> f64 {
+        if self.secret_entropy_bits == 0.0 {
+            0.0
+        } else {
+            self.mi_bits / self.secret_entropy_bits
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefender_attacks::{AttackKind, DefenseConfig};
+
+    #[test]
+    fn evenly_spaced_secrets_are_distinct_and_in_window() {
+        let spec = AttackSpec::new(AttackKind::FlushReload, DefenseConfig::None);
+        for n in [1, 2, 8, 61] {
+            let s = evenly_spaced_secrets(&spec, n);
+            assert_eq!(s.len(), n);
+            let mut d = s.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), n, "secrets must be distinct at n={n}");
+            assert!(s.iter().all(|&x| spec.layout.indices().any(|i| i == x)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "secrets")]
+    fn too_many_secrets_panics() {
+        let spec = AttackSpec::new(AttackKind::FlushReload, DefenseConfig::None);
+        evenly_spaced_secrets(&spec, 62);
+    }
+
+    #[test]
+    fn trial_seeds_differ_per_axis() {
+        let c = LeakageCampaign::new(
+            AttackSpec::new(AttackKind::FlushReload, DefenseConfig::None),
+            4,
+            2,
+        );
+        assert_eq!(c.sims(), 8);
+        assert_ne!(c.trial_seed(1, 0, 0), c.trial_seed(2, 0, 0));
+        assert_ne!(c.trial_seed(1, 0, 0), c.trial_seed(1, 1, 0));
+        assert_ne!(c.trial_seed(1, 0, 0), c.trial_seed(1, 0, 1));
+        assert_eq!(c.trial_seed(1, 3, 1), c.trial_seed(1, 3, 1));
+    }
+
+    #[test]
+    fn undefended_flush_reload_leaks_full_entropy() {
+        let c = LeakageCampaign::new(
+            AttackSpec::new(AttackKind::FlushReload, DefenseConfig::None),
+            4,
+            2,
+        );
+        let r = c.run(0xC0FFEE).unwrap();
+        assert_eq!(r.sims, 8);
+        assert!((r.mi_bits - 2.0).abs() < 0.1, "expected ~2 bits, got {}", r.mi_bits);
+        assert!((r.ml_accuracy - 1.0).abs() < 1e-9);
+        assert!(r.leakage_fraction() > 0.95);
+        assert!(r.metrics.cycles > 0 && r.metrics.instructions > 0);
+        assert!(!r.latency_hist.is_empty());
+    }
+
+    #[test]
+    fn full_prefender_seals_the_channel() {
+        let c = LeakageCampaign::new(
+            AttackSpec::new(AttackKind::FlushReload, DefenseConfig::Full),
+            4,
+            2,
+        );
+        let r = c.run(0xC0FFEE).unwrap();
+        assert!(r.mi_bits <= 0.2, "expected ≤0.2 bits, got {}", r.mi_bits);
+        assert!(r.ml_accuracy < 0.6, "ML accuracy {} should be near chance", r.ml_accuracy);
+    }
+}

@@ -1,0 +1,425 @@
+//! The channel estimate: a (secret × observation) count matrix and the
+//! information-theoretic metrics computed from it.
+//!
+//! Everything here is deterministic given the recorded counts: iteration
+//! is always in (input index, symbol index) order and all floating-point
+//! reductions happen in that fixed order, so campaign artifacts derived
+//! from these numbers are byte-identical at any thread count.
+
+use std::collections::BTreeMap;
+
+use prefender_stats::entropy_bits;
+
+/// Default Blahut–Arimoto iteration cap for [`Channel::capacity_bits`].
+pub const CAPACITY_MAX_ITERS: usize = 1000;
+
+/// Default Blahut–Arimoto convergence tolerance, in bits.
+pub const CAPACITY_TOL_BITS: f64 = 1e-6;
+
+/// An estimated discrete memoryless channel from secret to attacker
+/// observation, built by recording one observation symbol per trial.
+///
+/// Inputs are dense indices `0..n_inputs` (the position of a secret in
+/// the campaign's secret list); observation symbols are arbitrary `u64`
+/// codes and the alphabet is grown on demand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Channel {
+    n_inputs: usize,
+    /// Sorted observation alphabet; column `j` of `counts` is symbol
+    /// `symbols[j]`.
+    symbols: Vec<u64>,
+    /// `counts[i][j]` = trials where input `i` produced symbol `j`.
+    counts: Vec<Vec<u64>>,
+}
+
+impl Channel {
+    /// An empty channel over `n_inputs` possible secrets.
+    pub fn new(n_inputs: usize) -> Self {
+        Channel { n_inputs, symbols: Vec::new(), counts: vec![Vec::new(); n_inputs] }
+    }
+
+    /// Builds a channel directly from `(input, symbol)` trial records.
+    pub fn from_trials(n_inputs: usize, trials: impl IntoIterator<Item = (usize, u64)>) -> Self {
+        let mut c = Channel::new(n_inputs);
+        for (input, symbol) in trials {
+            c.record(input, symbol);
+        }
+        c
+    }
+
+    /// Records one trial: secret `input` produced observation `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input >= n_inputs`.
+    pub fn record(&mut self, input: usize, symbol: u64) {
+        assert!(input < self.n_inputs, "input {input} out of range (n_inputs={})", self.n_inputs);
+        let j = match self.symbols.binary_search(&symbol) {
+            Ok(j) => j,
+            Err(j) => {
+                self.symbols.insert(j, symbol);
+                for row in &mut self.counts {
+                    row.insert(j, 0);
+                }
+                j
+            }
+        };
+        self.counts[input][j] += 1;
+    }
+
+    /// Number of possible inputs (secrets).
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// The observation alphabet seen so far, ascending.
+    pub fn symbols(&self) -> &[u64] {
+        &self.symbols
+    }
+
+    /// Total recorded trials.
+    pub fn total_trials(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Trials recorded for one input.
+    pub fn input_trials(&self, input: usize) -> u64 {
+        self.counts.get(input).map_or(0, |row| row.iter().sum())
+    }
+
+    /// The joint empirical distribution `p(s, o)`, row-major.
+    fn joint(&self) -> Vec<Vec<f64>> {
+        let total = self.total_trials();
+        if total == 0 {
+            return vec![Vec::new(); self.n_inputs];
+        }
+        self.counts
+            .iter()
+            .map(|row| row.iter().map(|&c| c as f64 / total as f64).collect())
+            .collect()
+    }
+
+    /// Empirical entropy of the secret marginal, in bits.
+    pub fn input_entropy_bits(&self) -> f64 {
+        entropy_bits(self.joint().iter().map(|row| row.iter().sum::<f64>()))
+    }
+
+    /// Empirical entropy of the observation marginal, in bits.
+    pub fn output_entropy_bits(&self) -> f64 {
+        let joint = self.joint();
+        entropy_bits((0..self.symbols.len()).map(|j| joint.iter().map(|row| row[j]).sum::<f64>()))
+    }
+
+    /// Empirical mutual information `I(S; O)` in bits, under the recorded
+    /// trial counts (a uniform secret prior when every secret gets the
+    /// same trial count).
+    ///
+    /// Zero for an empty channel. Always within `[0, min(H(S), H(O))]` up
+    /// to floating-point rounding.
+    pub fn mutual_information_bits(&self) -> f64 {
+        let joint = self.joint();
+        let p_in: Vec<f64> = joint.iter().map(|row| row.iter().sum()).collect();
+        let p_out: Vec<f64> =
+            (0..self.symbols.len()).map(|j| joint.iter().map(|row| row[j]).sum()).collect();
+        let mut mi = 0.0;
+        for (row, &ps) in joint.iter().zip(&p_in) {
+            for (&pso, &po) in row.iter().zip(&p_out) {
+                if pso > 0.0 {
+                    mi += pso * (pso / (ps * po)).log2();
+                }
+            }
+        }
+        // Rounding can leave a tiny negative residue on independent data.
+        mi.max(0.0)
+    }
+
+    /// Channel capacity in bits via Blahut–Arimoto over the empirical
+    /// conditionals `p(o|s)` (inputs with zero trials are excluded).
+    ///
+    /// An upper bound on the leakage any secret prior can extract from
+    /// this channel; always ≥ [`Channel::mutual_information_bits`] up to
+    /// the convergence tolerance.
+    pub fn capacity_bits(&self) -> f64 {
+        // Rows of p(o|s), for inputs that have trials.
+        let rows: Vec<Vec<f64>> = self
+            .counts
+            .iter()
+            .filter(|row| row.iter().any(|&c| c > 0))
+            .map(|row| {
+                let n: u64 = row.iter().sum();
+                row.iter().map(|&c| c as f64 / n as f64).collect()
+            })
+            .collect();
+        if rows.is_empty() || self.symbols.is_empty() {
+            return 0.0;
+        }
+        let n = rows.len();
+        let m = self.symbols.len();
+        let mut prior = vec![1.0 / n as f64; n];
+        let mut capacity = 0.0;
+        for _ in 0..CAPACITY_MAX_ITERS {
+            // q(o) under the current prior.
+            let q: Vec<f64> =
+                (0..m).map(|j| rows.iter().zip(&prior).map(|(row, &p)| p * row[j]).sum()).collect();
+            // D(p(o|s) || q) per input, in bits.
+            let d: Vec<f64> = rows
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .zip(&q)
+                        .filter(|&(&p, _)| p > 0.0)
+                        .map(|(&p, &qo)| p * (p / qo).log2())
+                        .sum()
+                })
+                .collect();
+            // Blahut–Arimoto bounds: max_s D is an upper bound, the
+            // prior-weighted mean a lower bound; stop when they meet.
+            let upper = d.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let lower: f64 = d.iter().zip(&prior).map(|(&di, &p)| p * di).sum();
+            capacity = lower;
+            if upper - lower < CAPACITY_TOL_BITS {
+                break;
+            }
+            // Reweight the prior toward informative inputs.
+            let weights: Vec<f64> = prior.iter().zip(&d).map(|(&p, &di)| p * di.exp2()).collect();
+            let z: f64 = weights.iter().sum();
+            prior = weights.iter().map(|&w| w / z).collect();
+        }
+        capacity.max(0.0)
+    }
+
+    /// Max-likelihood attacker accuracy: the attacker guesses the secret
+    /// with the highest empirical likelihood of its observation (ties
+    /// split uniformly), scored against the recorded trials.
+    ///
+    /// `1/n_inputs` for a useless channel under uniform trials; `1.0` for
+    /// a noiseless one. Zero when no trials were recorded.
+    pub fn ml_accuracy(&self) -> f64 {
+        let total = self.total_trials();
+        if total == 0 {
+            return 0.0;
+        }
+        // p(s|o) ∝ p(o|s)·p(s) = count/total: argmax_s count[s][o].
+        let mut correct = 0.0;
+        for j in 0..self.symbols.len() {
+            let col_max = self.counts.iter().map(|row| row[j]).max().unwrap_or(0);
+            if col_max == 0 {
+                continue;
+            }
+            // The attacker picks uniformly among the tied argmax secrets;
+            // summed over the tied block the expected correct mass is one
+            // full column maximum.
+            correct += col_max as f64;
+        }
+        correct / total as f64
+    }
+
+    /// Guessing entropy: the expected rank (1-based) of the true secret
+    /// when the attacker orders secrets by posterior probability given the
+    /// observation, ties averaged.
+    ///
+    /// `1.0` for a noiseless channel; `(n + 1) / 2` for a useless one.
+    /// Zero when no trials were recorded.
+    pub fn guessing_entropy(&self) -> f64 {
+        let total = self.total_trials();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut rank_sum = 0.0;
+        for j in 0..self.symbols.len() {
+            for (i, row) in self.counts.iter().enumerate() {
+                let c = row[j];
+                if c == 0 {
+                    continue;
+                }
+                let better = self.counts.iter().filter(|r| r[j] > c).count() as f64;
+                let tied =
+                    self.counts.iter().enumerate().filter(|&(k, r)| k != i && r[j] == c).count()
+                        as f64;
+                // Average position among the tied block.
+                let rank = 1.0 + better + tied / 2.0;
+                rank_sum += c as f64 * rank;
+            }
+        }
+        rank_sum / total as f64
+    }
+
+    /// A compact per-input summary: `(input, trials, most frequent symbol
+    /// if any)` — handy for debugging a campaign.
+    pub fn input_summary(&self) -> Vec<(usize, u64, Option<u64>)> {
+        (0..self.n_inputs)
+            .map(|i| {
+                let trials = self.input_trials(i);
+                let top = self.counts[i]
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .max_by_key(|&(_, &c)| c)
+                    .map(|(j, _)| self.symbols[j]);
+                (i, trials, top)
+            })
+            .collect()
+    }
+
+    /// The raw count for `(input, symbol)`.
+    pub fn count(&self, input: usize, symbol: u64) -> u64 {
+        match self.symbols.binary_search(&symbol) {
+            Ok(j) => self.counts.get(input).map_or(0, |row| row[j]),
+            Err(_) => 0,
+        }
+    }
+
+    /// The count matrix as `(input, symbol, count)` triples in fixed
+    /// (input, symbol) order, for serialization.
+    pub fn triples(&self) -> Vec<(usize, u64, u64)> {
+        let mut out = Vec::new();
+        for (i, row) in self.counts.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                if c > 0 {
+                    out.push((i, self.symbols[j], c));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Convenience: builds a channel from per-trial maps, used by tests.
+pub fn channel_from_map(n_inputs: usize, map: &BTreeMap<(usize, u64), u64>) -> Channel {
+    let mut c = Channel::new(n_inputs);
+    for (&(input, symbol), &count) in map {
+        for _ in 0..count {
+            c.record(input, symbol);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A noiseless n-ary channel: input i always produces symbol i.
+    fn identity(n: usize, trials: u64) -> Channel {
+        let mut c = Channel::new(n);
+        for i in 0..n {
+            for _ in 0..trials {
+                c.record(i, i as u64);
+            }
+        }
+        c
+    }
+
+    /// A useless channel: every input produces the same symbol.
+    fn constant(n: usize, trials: u64) -> Channel {
+        let mut c = Channel::new(n);
+        for i in 0..n {
+            for _ in 0..trials {
+                c.record(i, 7);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn identity_channel_leaks_everything() {
+        let c = identity(8, 4);
+        assert!((c.mutual_information_bits() - 3.0).abs() < 1e-12);
+        assert!((c.capacity_bits() - 3.0).abs() < 1e-3);
+        assert!((c.ml_accuracy() - 1.0).abs() < 1e-12);
+        assert!((c.guessing_entropy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_channel_leaks_nothing() {
+        let c = constant(8, 4);
+        assert_eq!(c.mutual_information_bits(), 0.0);
+        assert!(c.capacity_bits() < 1e-9);
+        assert!((c.ml_accuracy() - 1.0 / 8.0).abs() < 1e-12);
+        assert!((c.guessing_entropy() - 4.5).abs() < 1e-12, "(n+1)/2 for useless");
+    }
+
+    #[test]
+    fn empty_channel_is_all_zero() {
+        let c = Channel::new(4);
+        assert_eq!(c.total_trials(), 0);
+        assert_eq!(c.mutual_information_bits(), 0.0);
+        assert_eq!(c.capacity_bits(), 0.0);
+        assert_eq!(c.ml_accuracy(), 0.0);
+        assert_eq!(c.guessing_entropy(), 0.0);
+        assert_eq!(c.input_entropy_bits(), 0.0);
+    }
+
+    #[test]
+    fn binary_symmetric_channel_matches_closed_form() {
+        // BSC with crossover 0.25 out of 4 trials per input:
+        // I = 1 - H2(0.25) = 1 - 0.8112781... ≈ 0.1887218.
+        let mut c = Channel::new(2);
+        for i in 0..2u64 {
+            for _ in 0..3 {
+                c.record(i as usize, i);
+            }
+            c.record(i as usize, 1 - i);
+        }
+        let expected = 1.0 - (-(0.25f64.log2() * 0.25 + 0.75f64.log2() * 0.75));
+        assert!((c.mutual_information_bits() - expected).abs() < 1e-9);
+        // Symmetric channel: capacity equals MI at the uniform prior.
+        assert!((c.capacity_bits() - expected).abs() < 1e-4);
+        assert!((c.ml_accuracy() - 0.75).abs() < 1e-12);
+        assert!((c.guessing_entropy() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_dominates_uniform_mi() {
+        // An asymmetric channel (Z-channel): capacity > MI(uniform).
+        let mut c = Channel::new(2);
+        for _ in 0..8 {
+            c.record(0, 0);
+        }
+        for _ in 0..4 {
+            c.record(1, 1);
+        }
+        for _ in 0..4 {
+            c.record(1, 0);
+        }
+        let mi = c.mutual_information_bits();
+        let cap = c.capacity_bits();
+        assert!(cap >= mi - 1e-9, "capacity {cap} must dominate MI {mi}");
+        assert!(cap > 0.0 && cap < 1.0);
+    }
+
+    #[test]
+    fn mi_bounded_by_marginal_entropies() {
+        let mut c = Channel::new(3);
+        let pattern = [(0, 0), (0, 1), (1, 1), (1, 1), (2, 2), (2, 0), (2, 2)];
+        for &(i, s) in &pattern {
+            c.record(i, s);
+        }
+        let mi = c.mutual_information_bits();
+        assert!(mi >= 0.0);
+        assert!(mi <= c.input_entropy_bits() + 1e-12);
+        assert!(mi <= c.output_entropy_bits() + 1e-12);
+    }
+
+    #[test]
+    fn record_grows_alphabet_and_counts() {
+        let mut c = Channel::new(2);
+        c.record(0, 100);
+        c.record(1, 5);
+        c.record(0, 100);
+        assert_eq!(c.symbols(), &[5, 100]);
+        assert_eq!(c.count(0, 100), 2);
+        assert_eq!(c.count(1, 5), 1);
+        assert_eq!(c.count(1, 100), 0);
+        assert_eq!(c.count(0, 42), 0);
+        assert_eq!(c.input_trials(0), 2);
+        assert_eq!(c.triples(), vec![(0, 100, 2), (1, 5, 1)]);
+        assert_eq!(c.input_summary()[0], (0, 2, Some(100)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_input_panics() {
+        Channel::new(2).record(2, 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Mapping an [`AttackOutcome`] to a discrete observation symbol.
+
+use prefender_attacks::AttackOutcome;
+
+/// Observation symbol for "no anomaly at all" (the attacker sees a flat
+/// latency profile and cannot guess).
+pub const OBS_SILENT: u64 = u64::MAX;
+
+/// Observation symbol for "multiple anomalies" under the paper decoder.
+/// The paper's attacker treats any round without exactly one anomaly as a
+/// failure, so every such round collapses to this one symbol — the count
+/// itself is not observable information under that inference rule (and
+/// keeping it would let small-sample MI bias masquerade as leakage).
+pub const OBS_CONFUSED: u64 = u64::MAX - 1;
+
+/// How the attacker turns a probe-latency profile into an observation
+/// symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Decoder {
+    /// The paper's inference rule (Section V-B): exactly one anomalous
+    /// index is a guess of that index; zero anomalies observe
+    /// [`OBS_SILENT`]; several anomalies observe [`OBS_CONFUSED`].
+    #[default]
+    PaperRule,
+    /// A stronger attacker that remembers the entire anomaly *set*
+    /// (order-independent 64-bit hash). Upper-bounds what any classifier
+    /// over the thresholded profile can extract.
+    AnomalySet,
+}
+
+impl Decoder {
+    /// Stable tag for scenario ids and artifacts.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Decoder::PaperRule => "paper",
+            Decoder::AnomalySet => "set",
+        }
+    }
+
+    /// Parses a tag produced by [`Decoder::tag`].
+    pub fn from_tag(tag: &str) -> Option<Decoder> {
+        match tag {
+            "paper" => Some(Decoder::PaperRule),
+            "set" => Some(Decoder::AnomalySet),
+            _ => None,
+        }
+    }
+
+    /// Encodes one attack outcome as an observation symbol.
+    pub fn observe(&self, outcome: &AttackOutcome) -> u64 {
+        match self {
+            Decoder::PaperRule => match outcome.anomalies.as_slice() {
+                [] => OBS_SILENT,
+                [only] => *only as u64,
+                _ => OBS_CONFUSED,
+            },
+            Decoder::AnomalySet => {
+                if outcome.anomalies.is_empty() {
+                    return OBS_SILENT;
+                }
+                // FNV-1a over the sorted anomaly indices (classify sorts
+                // samples, so anomalies are already ascending).
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for &a in &outcome.anomalies {
+                    for b in (a as u64).to_le_bytes() {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x100_0000_01b3);
+                    }
+                }
+                // Keep clear of the reserved sentinels.
+                h % OBS_CONFUSED
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefender_attacks::classify;
+
+    fn outcome(anomalies: &[(usize, u64)], flat: &[(usize, u64)], secret: usize) -> AttackOutcome {
+        let samples = anomalies
+            .iter()
+            .chain(flat)
+            .map(|&(index, latency)| prefender_attacks::ProbeSample { index, latency })
+            .collect();
+        classify(samples, 100, true, secret)
+    }
+
+    #[test]
+    fn paper_rule_symbols() {
+        let d = Decoder::PaperRule;
+        let one = outcome(&[(65, 4)], &[(50, 200), (51, 200)], 65);
+        assert_eq!(d.observe(&one), 65);
+        let none = outcome(&[], &[(50, 200), (51, 200)], 65);
+        assert_eq!(d.observe(&none), OBS_SILENT);
+        let many = outcome(&[(50, 4), (51, 4), (52, 4)], &[(53, 200)], 65);
+        assert_eq!(d.observe(&many), OBS_CONFUSED);
+        let more = outcome(&[(50, 4), (51, 4), (52, 4), (54, 4)], &[], 65);
+        assert_eq!(d.observe(&more), OBS_CONFUSED, "count is not observable");
+    }
+
+    #[test]
+    fn anomaly_set_distinguishes_sets_of_equal_size() {
+        let d = Decoder::AnomalySet;
+        let a = outcome(&[(50, 4), (51, 4)], &[(52, 200)], 65);
+        let b = outcome(&[(50, 4), (52, 4)], &[(51, 200)], 65);
+        assert_ne!(d.observe(&a), d.observe(&b));
+        assert_eq!(d.observe(&a), d.observe(&a.clone()));
+        let none = outcome(&[], &[(52, 200)], 65);
+        assert_eq!(d.observe(&none), OBS_SILENT);
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for d in [Decoder::PaperRule, Decoder::AnomalySet] {
+            assert_eq!(Decoder::from_tag(d.tag()), Some(d));
+        }
+        assert_eq!(Decoder::from_tag("nope"), None);
+    }
+}

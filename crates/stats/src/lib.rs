@@ -4,6 +4,8 @@
 //!
 //! * [`Summary`] — count/mean/min/max/stddev of a sample set;
 //! * [`geo_mean`] / [`speedup_pct`] — the paper's headline metrics;
+//! * [`Histogram`] / [`entropy_bits`] — exact symbol counts and Shannon
+//!   entropy, the substrate of the leakage lab's channel estimates;
 //! * [`Table`] — aligned plain-text tables matching the paper's layout;
 //! * [`Series`] — named `(x, y)` sequences with CSV export, for figures.
 //!
@@ -15,10 +17,12 @@
 //! assert!(t.render().contains("+8.000%"));
 //! ```
 
+mod dist;
 mod series;
 mod summary;
 mod table;
 
+pub use dist::{entropy_bits, Histogram};
 pub use series::Series;
 pub use summary::{geo_mean, speedup_pct, Summary};
 pub use table::Table;

@@ -11,7 +11,7 @@ use prefender_stats::Table;
 use crate::scenario::ScenarioResult;
 
 /// Bumped whenever the JSON/CSV field set changes.
-pub const REPORT_SCHEMA_VERSION: u32 = 1;
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
 
 /// An executed campaign: the seed it ran under plus every scenario's
 /// result, in scenario-index order.
@@ -105,7 +105,9 @@ impl SweepReport {
                  \"ipc\": {}, \"demand_accesses\": {}, \"demand_misses\": {}, \
                  \"demand_miss_latency\": {}, \"prefetch_issued\": {}, \"prefetch_fills\": {}, \
                  \"prefetch_useful\": {}, \"prefetch_accuracy\": {}, \"st_prefetches\": {}, \
-                 \"at_prefetches\": {}, \"rp_prefetches\": {}, \"latency_hist\": {}}}",
+                 \"at_prefetches\": {}, \"rp_prefetches\": {}, \"mi_bits\": {}, \
+                 \"capacity_bits\": {}, \"ml_accuracy\": {}, \"guessing_entropy\": {}, \
+                 \"secrets\": {}, \"trials\": {}, \"latency_hist\": {}}}",
                 r.index,
                 json_escape(&r.id),
                 r.seed,
@@ -125,6 +127,12 @@ impl SweepReport {
                 r.st_prefetches,
                 r.at_prefetches,
                 r.rp_prefetches,
+                json_opt_f64(r.mi_bits),
+                json_opt_f64(r.capacity_bits),
+                json_opt_f64(r.ml_accuracy),
+                json_opt_f64(r.guessing_entropy),
+                json_opt_u64(r.secrets),
+                json_opt_u64(r.trials),
                 hist_json(&r.latency_hist),
             );
             out.push_str(if k + 1 < self.results.len() { ",\n" } else { "\n" });
@@ -141,12 +149,13 @@ impl SweepReport {
             "index,id,seed,leaked,anomalies,truncated,cycles,instructions,ipc,\
              demand_accesses,demand_misses,demand_miss_latency,prefetch_issued,\
              prefetch_fills,prefetch_useful,prefetch_accuracy,st_prefetches,\
-             at_prefetches,rp_prefetches,latency_hist\n",
+             at_prefetches,rp_prefetches,mi_bits,capacity_bits,ml_accuracy,\
+             guessing_entropy,secrets,trials,latency_hist\n",
         );
         for r in &self.results {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 r.index,
                 r.id,
                 r.seed,
@@ -166,7 +175,81 @@ impl SweepReport {
                 r.st_prefetches,
                 r.at_prefetches,
                 r.rp_prefetches,
+                r.mi_bits.map_or(String::new(), json_f64),
+                r.capacity_bits.map_or(String::new(), json_f64),
+                r.ml_accuracy.map_or(String::new(), json_f64),
+                r.guessing_entropy.map_or(String::new(), json_f64),
+                r.secrets.map_or(String::new(), |s| s.to_string()),
+                r.trials.map_or(String::new(), |t| t.to_string()),
                 hist_csv(&r.latency_hist),
+            );
+        }
+        out
+    }
+
+    /// `true` when the campaign contains leakage scenarios (and so writes
+    /// the dedicated leakage artifacts).
+    pub fn has_leakage(&self) -> bool {
+        self.results.iter().any(|r| r.is_leakage())
+    }
+
+    /// Serializes the leakage scenarios as `leakage.json` — the channel
+    /// metrics of every campaign, in scenario-index order, with the same
+    /// byte-identity guarantees as [`SweepReport::to_json`].
+    pub fn leakage_json(&self) -> String {
+        let rows: Vec<&ScenarioResult> = self.results.iter().filter(|r| r.is_leakage()).collect();
+        let mut out = String::with_capacity(256 + rows.len() * 256);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {REPORT_SCHEMA_VERSION},");
+        let _ = writeln!(out, "  \"campaign_seed\": {},", self.campaign_seed);
+        let _ = writeln!(out, "  \"n_campaigns\": {},", rows.len());
+        let sims: u64 = rows.iter().map(|r| r.secrets.unwrap_or(0) * r.trials.unwrap_or(0)).sum();
+        let _ = writeln!(out, "  \"n_sims\": {sims},");
+        out.push_str("  \"campaigns\": [\n");
+        for (k, r) in rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"index\": {}, \"id\": \"{}\", \"seed\": {}, \"secrets\": {}, \
+                 \"trials\": {}, \"mi_bits\": {}, \"capacity_bits\": {}, \"ml_accuracy\": {}, \
+                 \"guessing_entropy\": {}, \"cycles\": {}}}",
+                r.index,
+                json_escape(&r.id),
+                r.seed,
+                json_opt_u64(r.secrets),
+                json_opt_u64(r.trials),
+                json_opt_f64(r.mi_bits),
+                json_opt_f64(r.capacity_bits),
+                json_opt_f64(r.ml_accuracy),
+                json_opt_f64(r.guessing_entropy),
+                r.cycles,
+            );
+            out.push_str(if k + 1 < rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Serializes the leakage scenarios as `leakage.csv`.
+    pub fn leakage_csv(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str(
+            "index,id,seed,secrets,trials,mi_bits,capacity_bits,ml_accuracy,\
+             guessing_entropy,cycles\n",
+        );
+        for r in self.results.iter().filter(|r| r.is_leakage()) {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{}",
+                r.index,
+                r.id,
+                r.seed,
+                r.secrets.unwrap_or(0),
+                r.trials.unwrap_or(0),
+                r.mi_bits.map_or(String::new(), json_f64),
+                r.capacity_bits.map_or(String::new(), json_f64),
+                r.ml_accuracy.map_or(String::new(), json_f64),
+                r.guessing_entropy.map_or(String::new(), json_f64),
+                r.cycles,
             );
         }
         out
@@ -178,6 +261,7 @@ impl SweepReport {
             "Scenario".into(),
             "Verdict".into(),
             "Anom".into(),
+            "MI(b)".into(),
             "Cycles".into(),
             "IPC".into(),
             "Issued".into(),
@@ -189,6 +273,7 @@ impl SweepReport {
                 match r.leaked {
                     Some(true) => "LEAKED".into(),
                     Some(false) => "defended".into(),
+                    None if r.is_leakage() => "channel".into(),
                     None => {
                         if r.truncated {
                             "truncated".into()
@@ -198,6 +283,7 @@ impl SweepReport {
                     }
                 },
                 r.anomalies.map_or(String::new(), |a| a.to_string()),
+                r.mi_bits.map_or_else(|| "-".into(), |m| format!("{m:.3}")),
                 r.cycles.to_string(),
                 format!("{:.3}", r.ipc),
                 r.prefetch_issued.to_string(),
@@ -235,6 +321,26 @@ mod tests {
             st_prefetches: 1,
             at_prefetches: 2,
             rp_prefetches: 0,
+            mi_bits: None,
+            capacity_bits: None,
+            ml_accuracy: None,
+            guessing_entropy: None,
+            secrets: None,
+            trials: None,
+        }
+    }
+
+    fn leakage_result(index: usize, id: &str) -> ScenarioResult {
+        ScenarioResult {
+            leaked: None,
+            anomalies: None,
+            mi_bits: Some(2.5),
+            capacity_bits: Some(2.75),
+            ml_accuracy: Some(0.875),
+            guessing_entropy: Some(1.25),
+            secrets: Some(8),
+            trials: Some(4),
+            ..result(index, id)
         }
     }
 
@@ -244,6 +350,7 @@ mod tests {
             results: vec![
                 result(0, "atk:fr/base/none/paper/s0"),
                 result(1, "wl:429.mcf/full32/none/paper/s0"),
+                leakage_result(2, "leak:fr:8x4/base/none/paper/s0"),
             ],
         }
     }
@@ -253,20 +360,44 @@ mod tests {
         let r = report();
         assert_eq!(r.to_json(), r.clone().to_json());
         let j = r.to_json();
-        assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.contains("\"schema_version\": 2"));
         assert!(j.contains("\"campaign_seed\": 42"));
         assert!(j.contains("\"latency_hist\": [[4,60],[200,1]]"));
         assert!(j.contains("\"ipc\": 0.5"));
         assert!(j.contains("\"leaked\": true") && j.contains("\"leaked\": false"));
+        assert!(j.contains("\"mi_bits\": 2.5") && j.contains("\"mi_bits\": null"));
+        assert!(j.contains("\"capacity_bits\": 2.75") && j.contains("\"secrets\": 8"));
     }
 
     #[test]
     fn csv_has_header_and_one_row_per_scenario() {
         let c = report().to_csv();
         let lines: Vec<&str> = c.lines().collect();
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4);
         assert!(lines[0].starts_with("index,id,seed,leaked"));
+        assert!(lines[0].contains("mi_bits,capacity_bits,ml_accuracy,guessing_entropy"));
         assert!(lines[1].contains("4:60|200:1"));
+        assert!(lines[3].contains("2.5,2.75,0.875,1.25,8,4"));
+    }
+
+    #[test]
+    fn leakage_artifacts_select_leakage_rows_only() {
+        let r = report();
+        assert!(r.has_leakage());
+        let j = r.leakage_json();
+        assert!(j.contains("\"n_campaigns\": 1"));
+        assert!(j.contains("\"n_sims\": 32"));
+        assert!(j.contains("leak:fr:8x4/base/none/paper/s0"));
+        assert!(!j.contains("atk:fr"), "attack rows must not appear");
+        assert_eq!(j, r.clone().leakage_json(), "stable bytes");
+        let c = r.leakage_csv();
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("index,id,seed,secrets,trials,mi_bits"));
+        assert!(lines[1].starts_with("2,leak:fr:8x4/base/none/paper/s0,7,8,4,2.5,2.75"));
+        let none = SweepReport { campaign_seed: 1, results: vec![result(0, "atk:x")] };
+        assert!(!none.has_leakage());
+        assert!(none.leakage_csv().lines().count() == 1, "header only");
     }
 
     #[test]
@@ -281,6 +412,7 @@ mod tests {
     fn table_renders_verdicts() {
         let t = report().render_table();
         assert!(t.contains("LEAKED") && t.contains("defended"));
+        assert!(t.contains("channel") && t.contains("2.500"));
     }
 
     #[test]

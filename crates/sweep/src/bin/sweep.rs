@@ -12,15 +12,28 @@
 //!   --basics LIST       none,tagged,stride               [default: none]
 //!   --hierarchies LIST  paper,bigl2,sml1d,fifo | all     [default: paper]
 //!   --workloads LIST    names | spec2006 | spec2017 | all | none [default: none]
+//!   --leakage LIST      fr,er,pp | all | none — leakage campaigns [default: none]
+//!   --secrets N         secrets per leakage campaign     [default: 8]
+//!   --trials N          trials per secret                [default: 4]
+//!   --jitter N          attacker timer noise, cycles/probe [default: 0]
 //!   --seeds N           seed repetitions per grid point  [default: 1]
 //!
 //! execution / output:
 //!   --threads N         worker threads (0 = all CPUs)    [default: 0]
 //!   --seed HEX|DEC      campaign seed                    [default: 0xC0FFEE]
-//!   --out DIR           write DIR/sweep.json + DIR/sweep.csv [default: .]
+//!   --out DIR           write DIR/sweep.json + DIR/sweep.csv
+//!                       (+ DIR/leakage.json + DIR/leakage.csv when the
+//!                       grid has leakage campaigns)      [default: .]
 //!   --bench-json PATH   also write a throughput record (BENCH_sweep.json)
+//!   --list              print the enumerated scenario grid (ids + counts)
+//!                       and exit without running anything
 //!   --quiet             no per-scenario table, summary only
 //! ```
+//!
+//! Leakage campaigns (`--leakage`) share the noise / cross-core /
+//! defense / basic / hierarchy axes with `--attacks`; each campaign runs
+//! its attack for every secret × trial and reports the channel in bits
+//! (see `prefender-leakage`).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -37,6 +50,7 @@ struct Args {
     out: std::path::PathBuf,
     bench_json: Option<std::path::PathBuf>,
     quiet: bool,
+    list: bool,
 }
 
 fn parse_u64(s: &str) -> Result<u64, String> {
@@ -84,6 +98,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut basics_sel = "none".to_string();
     let mut hier_sel = "paper".to_string();
     let mut workloads_sel = "none".to_string();
+    let mut leakage_sel = "none".to_string();
     let mut seeds = 1u32;
     let mut args = Args {
         grid: SweepGrid::empty(),
@@ -92,6 +107,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         out: ".".into(),
         bench_json: None,
         quiet: false,
+        list: false,
     };
 
     let mut it = argv.iter();
@@ -108,6 +124,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--basics" => basics_sel = val("--basics")?,
             "--hierarchies" => hier_sel = val("--hierarchies")?,
             "--workloads" => workloads_sel = val("--workloads")?,
+            "--leakage" => leakage_sel = val("--leakage")?,
+            "--secrets" => {
+                args.grid.leakage_secrets =
+                    val("--secrets")?.parse().map_err(|_| "invalid --secrets".to_string())?
+            }
+            "--trials" => {
+                args.grid.leakage_trials =
+                    val("--trials")?.parse().map_err(|_| "invalid --trials".to_string())?
+            }
+            "--jitter" => {
+                args.grid.leakage_jitter =
+                    val("--jitter")?.parse().map_err(|_| "invalid --jitter".to_string())?
+            }
             "--seeds" => {
                 seeds = val("--seeds")?.parse().map_err(|_| "invalid --seeds".to_string())?
             }
@@ -118,22 +147,29 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--seed" => args.campaign_seed = parse_u64(&val("--seed")?)?,
             "--out" => args.out = val("--out")?.into(),
             "--bench-json" => args.bench_json = Some(val("--bench-json")?.into()),
+            "--list" => args.list = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => return Err("help".to_string()),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
 
-    let kinds: Vec<AttackKind> = match attacks_sel.as_str() {
-        "none" => Vec::new(),
-        "all" => vec![AttackKind::FlushReload, AttackKind::EvictReload, AttackKind::PrimeProbe],
-        list => parse_list(list, "attack", |s| match s {
-            "fr" => Some(AttackKind::FlushReload),
-            "er" => Some(AttackKind::EvictReload),
-            "pp" => Some(AttackKind::PrimeProbe),
-            _ => None,
-        })?,
+    let parse_kinds = |sel: &str| -> Result<Vec<AttackKind>, String> {
+        match sel {
+            "none" => Ok(Vec::new()),
+            "all" => {
+                Ok(vec![AttackKind::FlushReload, AttackKind::EvictReload, AttackKind::PrimeProbe])
+            }
+            list => parse_list(list, "attack", |s| match s {
+                "fr" => Some(AttackKind::FlushReload),
+                "er" => Some(AttackKind::EvictReload),
+                "pp" => Some(AttackKind::PrimeProbe),
+                _ => None,
+            }),
+        }
     };
+    let kinds = parse_kinds(&attacks_sel)?;
+    let leak_kinds = parse_kinds(&leakage_sel)?;
     let noises: Vec<NoiseSpec> = parse_list(&noise_sel, "noise", |s| match s {
         "none" => Some(NoiseSpec::NONE),
         "c3" => Some(NoiseSpec::C3),
@@ -152,6 +188,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         for &noise in &noises {
             for &cross_core in &crosses {
                 args.grid.attacks.push(AttackCase { kind, noise, cross_core });
+            }
+        }
+    }
+    for &kind in &leak_kinds {
+        for &noise in &noises {
+            for &cross_core in &crosses {
+                args.grid.leakages.push(AttackCase { kind, noise, cross_core });
             }
         }
     }
@@ -188,6 +231,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     };
     args.grid.workloads = workload_names(&workloads_sel)?;
     args.grid.seeds = seeds.max(1);
+    if !args.grid.leakages.is_empty() {
+        // Secrets are placed at distinct indices of the paper probe
+        // window; reject impossible campaign shapes up front.
+        let window = prefender_attacks::AttackLayout::paper().n_indices as u32;
+        if args.grid.leakage_secrets < 1 || args.grid.leakage_secrets > window {
+            return Err(format!(
+                "--secrets must be 1..={window} (the probe-window width), got {}",
+                args.grid.leakage_secrets
+            ));
+        }
+        if args.grid.leakage_trials < 1 {
+            return Err("--trials must be at least 1".to_string());
+        }
+    }
     Ok(args)
 }
 
@@ -201,21 +258,34 @@ fn main() -> ExitCode {
             }
             eprintln!("usage: sweep [--attacks L] [--noise L] [--cross-core M] [--defenses L]");
             eprintln!("             [--buffers L] [--basics L] [--hierarchies L] [--workloads L]");
-            eprintln!("             [--seeds N] [--threads N] [--seed S] [--out DIR]");
-            eprintln!("             [--bench-json PATH] [--quiet]");
+            eprintln!(
+                "             [--leakage L] [--secrets N] [--trials N] [--jitter N] [--seeds N]"
+            );
+            eprintln!("             [--threads N] [--seed S] [--out DIR] [--bench-json PATH]");
+            eprintln!("             [--list] [--quiet]");
             return if e == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
         }
     };
     if args.grid.is_empty() {
-        eprintln!("sweep: the selected grid is empty (no attacks and no workloads)");
+        eprintln!("sweep: the selected grid is empty (no attacks, workloads or leakage campaigns)");
         return ExitCode::FAILURE;
     }
 
     let n = args.grid.len();
+    let sims = args.grid.sims();
+    if args.list {
+        // Dry run: print the enumerated work-list for campaign sizing.
+        for s in args.grid.enumerate() {
+            println!("{:>6}  {}", s.index, s.id());
+        }
+        println!("{n} scenarios ({sims} simulations), not executed (--list)");
+        return ExitCode::SUCCESS;
+    }
     eprintln!(
-        "sweep: {n} scenarios ({} attack cases, {} workloads) x {} defenses x {} basics x {} hierarchies x {} seeds",
+        "sweep: {n} scenarios / {sims} sims ({} attack cases, {} workloads, {} leakage campaigns) x {} defenses x {} basics x {} hierarchies x {} seeds",
         args.grid.attacks.len(),
         args.grid.workloads.len(),
+        args.grid.leakages.len(),
         args.grid.defenses.len(),
         args.grid.basics.len(),
         args.grid.hierarchies.len(),
@@ -241,6 +311,19 @@ fn main() -> ExitCode {
         eprintln!("sweep: writing {}: {e}", csv_path.display());
         return ExitCode::FAILURE;
     }
+    let mut wrote = vec![json_path, csv_path];
+    if report.has_leakage() {
+        for (name, body) in
+            [("leakage.json", report.leakage_json()), ("leakage.csv", report.leakage_csv())]
+        {
+            let path = args.out.join(name);
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("sweep: writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            wrote.push(path);
+        }
+    }
 
     if !args.quiet {
         println!("{}", report.render_table());
@@ -248,20 +331,25 @@ fn main() -> ExitCode {
     let leaked = report.results.iter().filter(|r| r.leaked == Some(true)).count();
     let defended = report.results.iter().filter(|r| r.leaked == Some(false)).count();
     println!(
-        "{n} scenarios in {:.2?} ({per_sec:.1} scenarios/s, threads={}): {leaked} leaked, {defended} defended, {} perf runs",
+        "{n} scenarios / {sims} sims in {:.2?} ({per_sec:.1} scenarios/s, threads={}): {leaked} leaked, {defended} defended, {} campaigns, {} perf runs",
         elapsed,
         args.threads,
-        report.results.iter().filter(|r| r.leaked.is_none()).count(),
+        report.results.iter().filter(|r| r.is_leakage()).count(),
+        report.results.iter().filter(|r| r.leaked.is_none() && !r.is_leakage()).count(),
     );
-    println!("wrote {} and {}", json_path.display(), csv_path.display());
+    println!(
+        "wrote {}",
+        wrote.iter().map(|p| p.display().to_string()).collect::<Vec<_>>().join(", ")
+    );
 
     if let Some(path) = args.bench_json {
         let record = format!(
-            "{{\"bench\": \"sweep\", \"scenarios\": {n}, \"threads\": {}, \
-             \"elapsed_secs\": {:.6}, \"scenarios_per_sec\": {:.3}}}\n",
+            "{{\"bench\": \"sweep\", \"scenarios\": {n}, \"sims\": {sims}, \"threads\": {}, \
+             \"elapsed_secs\": {:.6}, \"scenarios_per_sec\": {:.3}, \"sims_per_sec\": {:.3}}}\n",
             args.threads,
             elapsed.as_secs_f64(),
-            per_sec
+            per_sec,
+            sims as f64 / elapsed.as_secs_f64().max(1e-9),
         );
         if let Err(e) = std::fs::write(&path, record) {
             eprintln!("sweep: writing {}: {e}", path.display());

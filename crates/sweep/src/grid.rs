@@ -185,13 +185,17 @@ impl fmt::Display for Hierarchy {
 
 /// A declarative scenario grid.
 ///
-/// The work-list is the union of two cartesian products sharing the
+/// The work-list is the union of three cartesian products sharing the
 /// defense / basic / hierarchy / seed axes:
 ///
 /// * `attacks × defenses × basics × hierarchies × seeds` — security
 ///   scenarios (leak verdicts, probe-latency histograms);
 /// * `workloads × defenses × basics × hierarchies × seeds` — performance
-///   scenarios (cycles, IPC, prefetch accuracy).
+///   scenarios (cycles, IPC, prefetch accuracy);
+/// * `leakages × defenses × basics × hierarchies × seeds` — leakage
+///   campaigns, each fanning out into `leakage_secrets ×
+///   leakage_trials` attack simulations and estimating the
+///   secret → observation channel in bits.
 ///
 /// Enumeration order is fixed (payloads outermost, seeds innermost), so a
 /// scenario's index — and therefore its derived seed — depends only on
@@ -202,6 +206,16 @@ pub struct SweepGrid {
     pub attacks: Vec<AttackCase>,
     /// Workload payloads (names from the `prefender-workloads` catalog).
     pub workloads: Vec<String>,
+    /// Leakage-campaign payloads (attack cases measured as channels).
+    pub leakages: Vec<AttackCase>,
+    /// Secrets swept per leakage campaign (evenly spaced across the probe
+    /// window; the secret alphabet carries `log2` of this many bits).
+    pub leakage_secrets: u32,
+    /// Trials per secret in a leakage campaign.
+    pub leakage_trials: u32,
+    /// Attacker timer-noise amplitude for leakage campaigns, in cycles
+    /// per probe (0 = the paper's clean timer).
+    pub leakage_jitter: u64,
     /// Defense axis.
     pub defenses: Vec<DefensePoint>,
     /// Basic-prefetcher axis.
@@ -213,11 +227,16 @@ pub struct SweepGrid {
 }
 
 impl SweepGrid {
-    /// An empty grid (no payloads) with paper-default shared axes.
+    /// An empty grid (no payloads) with paper-default shared axes and
+    /// leakage shape (8 secrets × 4 trials = 3 bits of secret entropy).
     pub fn empty() -> Self {
         SweepGrid {
             attacks: Vec::new(),
             workloads: Vec::new(),
+            leakages: Vec::new(),
+            leakage_secrets: 8,
+            leakage_trials: 4,
+            leakage_jitter: 0,
             defenses: vec![DefensePoint::new(DefenseConfig::Full)],
             basics: vec![Basic::None],
             hierarchies: vec![Hierarchy::Paper],
@@ -251,13 +270,37 @@ impl SweepGrid {
         }
     }
 
+    /// The full Figure 8 security grid measured as channels instead of
+    /// booleans: twelve leakage campaigns × six defenses.
+    pub fn leakage_full() -> Self {
+        SweepGrid {
+            leakages: AttackCase::figure8_panels(),
+            defenses: DefensePoint::figure8_legend(),
+            ..Self::empty()
+        }
+    }
+
+    /// A two-campaign leakage smoke grid: undefended vs. fully-defended
+    /// Flush+Reload.
+    pub fn leakage_quick() -> Self {
+        let mut g = Self::security_quick();
+        g.leakages = std::mem::take(&mut g.attacks);
+        g
+    }
+
     /// Number of scenarios the grid enumerates to.
     pub fn len(&self) -> usize {
-        (self.attacks.len() + self.workloads.len())
+        (self.attacks.len() + self.workloads.len() + self.leakages.len())
             * self.defenses.len()
             * self.basics.len()
             * self.hierarchies.len()
             * self.seeds.max(1) as usize
+    }
+
+    /// Total machine simulations the grid executes — each leakage
+    /// scenario fans out into `leakage_secrets × leakage_trials` runs.
+    pub fn sims(&self) -> u64 {
+        self.enumerate().iter().map(|s| s.payload.sims()).sum()
     }
 
     /// `true` when the grid has no payloads.
@@ -272,6 +315,12 @@ impl SweepGrid {
             .iter()
             .map(|&a| Payload::Attack(a))
             .chain(self.workloads.iter().map(|w| Payload::Workload(w.clone())))
+            .chain(self.leakages.iter().map(|&case| Payload::Leakage {
+                case,
+                n_secrets: self.leakage_secrets.max(1),
+                trials: self.leakage_trials.max(1),
+                jitter: self.leakage_jitter,
+            }))
             .collect();
         let mut out = Vec::with_capacity(self.len());
         for payload in &payloads {
@@ -339,5 +388,36 @@ mod tests {
         for (k, s) in scenarios.iter().enumerate() {
             assert_eq!(s.index, k);
         }
+    }
+
+    #[test]
+    fn leakage_axis_enumerates_and_counts_sims() {
+        let mut g = SweepGrid::leakage_quick();
+        assert_eq!(g.len(), 2);
+        g.leakage_secrets = 8;
+        g.leakage_trials = 4;
+        assert_eq!(g.sims(), 2 * 8 * 4);
+        let scenarios = g.enumerate();
+        assert!(scenarios
+            .iter()
+            .all(|s| matches!(s.payload, Payload::Leakage { n_secrets: 8, trials: 4, .. })));
+        // Mixed grids put leakage payloads after attacks and workloads.
+        let mut g = SweepGrid::security_quick();
+        g.leakages = vec![AttackCase {
+            kind: AttackKind::PrimeProbe,
+            noise: NoiseSpec::NONE,
+            cross_core: false,
+        }];
+        let ids: Vec<String> = g.enumerate().iter().map(|s| s.id()).collect();
+        // Two defenses × (one attack sim + one 8×4 campaign).
+        assert_eq!(g.sims(), 2 * (1 + 8 * 4));
+        assert!(ids[0].starts_with("atk:") && ids[2].starts_with("leak:pp:8x4/"), "{ids:?}");
+    }
+
+    #[test]
+    fn leakage_full_covers_all_panels() {
+        let g = SweepGrid::leakage_full();
+        assert_eq!(g.len(), 12 * 6);
+        assert_eq!(g.sims(), 12 * 6 * 8 * 4);
     }
 }

@@ -43,7 +43,7 @@ mod scenario;
 pub use artifact::{SweepReport, REPORT_SCHEMA_VERSION};
 pub use engine::{parallel_map, parallel_map_2d, run_sweep, SweepOptions};
 pub use grid::{AttackCase, DefensePoint, Hierarchy, SweepGrid};
-pub use scenario::{run_scenario, Payload, Scenario, ScenarioResult};
+pub use scenario::{basic_tag, run_scenario, Payload, Scenario, ScenarioResult};
 
 // The axes a grid is built from, re-exported so callers need only this
 // crate.

@@ -5,17 +5,32 @@ use std::fmt;
 
 use prefender_attacks::{run_attack_full, AttackSpec, Basic};
 use prefender_cpu::Machine;
+use prefender_leakage::LeakageCampaign;
 use prefender_workloads::Workload;
 
 use crate::grid::{AttackCase, DefensePoint, Hierarchy};
 
-/// What a scenario runs: an attack experiment or a performance workload.
+/// What a scenario runs: an attack experiment, a performance workload, or
+/// a leakage campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Payload {
     /// A security scenario (leak verdict + probe-latency histogram).
     Attack(AttackCase),
     /// A performance scenario over a named catalog workload.
     Workload(String),
+    /// A leakage campaign: the attack case run for every secret × trial,
+    /// its channel estimated in bits (`prefender-leakage`).
+    Leakage {
+        /// The attack family under measurement.
+        case: AttackCase,
+        /// Secrets swept (evenly spaced across the probe window).
+        n_secrets: u32,
+        /// Trials per secret, each with its own derived seed.
+        trials: u32,
+        /// Attacker timer-noise amplitude, in cycles, applied per trial
+        /// (see `AttackSpec::latency_jitter`); 0 = clean timer.
+        jitter: u64,
+    },
 }
 
 impl Payload {
@@ -24,6 +39,21 @@ impl Payload {
         match self {
             Payload::Attack(a) => format!("atk:{}", a.tag()),
             Payload::Workload(w) => format!("wl:{w}"),
+            Payload::Leakage { case, n_secrets, trials, jitter } => {
+                let jitter = if *jitter > 0 { format!("j{jitter}") } else { String::new() };
+                format!("leak:{}:{}x{}{}", case.tag(), n_secrets, trials, jitter)
+            }
+        }
+    }
+
+    /// Simulations this payload executes when run (leakage campaigns fan
+    /// out into secrets × trials machine runs).
+    pub fn sims(&self) -> u64 {
+        match self {
+            Payload::Attack(_) | Payload::Workload(_) => 1,
+            Payload::Leakage { n_secrets, trials, .. } => {
+                u64::from((*n_secrets).max(1)) * u64::from((*trials).max(1))
+            }
         }
     }
 }
@@ -33,6 +63,13 @@ impl fmt::Display for Payload {
         match self {
             Payload::Attack(a) => a.fmt(f),
             Payload::Workload(w) => w.fmt(f),
+            Payload::Leakage { case, n_secrets, trials, jitter } => {
+                write!(f, "{case} leakage ({n_secrets} secrets x {trials} trials")?;
+                if *jitter > 0 {
+                    write!(f, ", ±{jitter} jitter")?;
+                }
+                f.write_str(")")
+            }
         }
     }
 }
@@ -81,7 +118,8 @@ impl Scenario {
     }
 }
 
-fn basic_tag(b: Basic) -> &'static str {
+/// The stable scenario-id fragment of a basic prefetcher.
+pub fn basic_tag(b: Basic) -> &'static str {
     match b {
         Basic::None => "none",
         Basic::Tagged => "tagged",
@@ -92,8 +130,10 @@ fn basic_tag(b: Basic) -> &'static str {
 /// The measurements of one executed scenario.
 ///
 /// Attack scenarios fill the security fields (`leaked`, `anomalies`,
-/// `latency_hist`); performance scenarios leave them `None`/empty. Both
-/// fill the machine-level fields.
+/// `latency_hist`); performance scenarios leave them `None`/empty;
+/// leakage scenarios fill the channel fields (`mi_bits` …
+/// `guessing_entropy`, `secrets`, `trials`) with machine-level fields
+/// summed over the whole campaign. All fill the machine-level fields.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioResult {
     /// Scenario index in the campaign work-list.
@@ -136,6 +176,25 @@ pub struct ScenarioResult {
     pub at_prefetches: u64,
     /// Record-Protector-guided prefetches.
     pub rp_prefetches: u64,
+    /// Mutual information `I(secret; observation)` in bits (leakage only).
+    pub mi_bits: Option<f64>,
+    /// Blahut–Arimoto channel capacity in bits (leakage only).
+    pub capacity_bits: Option<f64>,
+    /// Max-likelihood attacker accuracy (leakage only).
+    pub ml_accuracy: Option<f64>,
+    /// Expected posterior rank of the true secret (leakage only).
+    pub guessing_entropy: Option<f64>,
+    /// Secrets swept (leakage only).
+    pub secrets: Option<u64>,
+    /// Trials per secret (leakage only).
+    pub trials: Option<u64>,
+}
+
+impl ScenarioResult {
+    /// `true` when this row is a leakage-campaign result.
+    pub fn is_leakage(&self) -> bool {
+        self.mi_bits.is_some()
+    }
 }
 
 /// Runs one scenario to completion. Pure: builds a private machine,
@@ -151,10 +210,14 @@ pub fn run_scenario(s: &Scenario, campaign_seed: u64) -> ScenarioResult {
     match &s.payload {
         Payload::Attack(case) => run_attack_scenario(s, case, seed),
         Payload::Workload(name) => run_workload_scenario(s, name, seed),
+        Payload::Leakage { case, n_secrets, trials, jitter } => {
+            run_leakage_scenario(s, case, *n_secrets, *trials, *jitter, seed)
+        }
     }
 }
 
-fn run_attack_scenario(s: &Scenario, case: &AttackCase, seed: u64) -> ScenarioResult {
+/// The base attack spec of a scenario (seed applied by the caller).
+fn attack_spec(s: &Scenario, case: &AttackCase, seed: u64) -> AttackSpec {
     let n_cores = if case.cross_core { 2 } else { 1 };
     let spec = AttackSpec::new(case.kind, s.defense.config)
         .with_noise(case.noise)
@@ -162,7 +225,52 @@ fn run_attack_scenario(s: &Scenario, case: &AttackCase, seed: u64) -> ScenarioRe
         .with_seed(seed)
         .with_basic(s.basic)
         .with_hierarchy(s.hierarchy.config(n_cores));
-    let spec = AttackSpec { buffers: s.defense.buffers, ..spec };
+    AttackSpec { buffers: s.defense.buffers, ..spec }
+}
+
+fn run_leakage_scenario(
+    s: &Scenario,
+    case: &AttackCase,
+    n_secrets: u32,
+    trials: u32,
+    jitter: u64,
+    seed: u64,
+) -> ScenarioResult {
+    let base = attack_spec(s, case, seed).with_latency_jitter(jitter);
+    let campaign = LeakageCampaign::new(base, n_secrets.max(1) as usize, trials.max(1));
+    let r = campaign.run(seed).unwrap_or_else(|e| panic!("scenario {}: {e}", s.id()));
+    ScenarioResult {
+        index: s.index,
+        id: s.id(),
+        seed,
+        leaked: None,
+        anomalies: None,
+        latency_hist: r.latency_hist.counts().collect(),
+        truncated: false,
+        cycles: r.metrics.cycles,
+        instructions: r.metrics.instructions,
+        ipc: r.metrics.ipc(),
+        demand_accesses: r.metrics.l1d.demand_accesses,
+        demand_misses: r.metrics.l1d.demand_misses,
+        demand_miss_latency: r.metrics.l1d.demand_miss_latency,
+        prefetch_issued: r.metrics.prefetch_issued,
+        prefetch_fills: r.metrics.l1d.prefetch_fills,
+        prefetch_useful: r.metrics.l1d.prefetch_useful + r.metrics.l1d.prefetch_late,
+        prefetch_accuracy: r.metrics.l1d.prefetch_accuracy(),
+        st_prefetches: r.metrics.prefender.st_prefetches,
+        at_prefetches: r.metrics.prefender.at_prefetches,
+        rp_prefetches: r.metrics.prefender.rp_prefetches,
+        mi_bits: Some(r.mi_bits),
+        capacity_bits: Some(r.capacity_bits),
+        ml_accuracy: Some(r.ml_accuracy),
+        guessing_entropy: Some(r.guessing_entropy),
+        secrets: Some(campaign.secrets.len() as u64),
+        trials: Some(u64::from(campaign.trials)),
+    }
+}
+
+fn run_attack_scenario(s: &Scenario, case: &AttackCase, seed: u64) -> ScenarioResult {
+    let spec = attack_spec(s, case, seed);
     let (outcome, metrics) =
         run_attack_full(&spec).unwrap_or_else(|e| panic!("scenario {}: {e}", s.id()));
     let mut hist: BTreeMap<u64, u64> = BTreeMap::new();
@@ -190,6 +298,12 @@ fn run_attack_scenario(s: &Scenario, case: &AttackCase, seed: u64) -> ScenarioRe
         st_prefetches: metrics.prefender.st_prefetches,
         at_prefetches: metrics.prefender.at_prefetches,
         rp_prefetches: metrics.prefender.rp_prefetches,
+        mi_bits: None,
+        capacity_bits: None,
+        ml_accuracy: None,
+        guessing_entropy: None,
+        secrets: None,
+        trials: None,
     }
 }
 
@@ -230,6 +344,12 @@ fn run_workload_scenario(s: &Scenario, name: &str, seed: u64) -> ScenarioResult 
         st_prefetches: prefender.st_prefetches,
         at_prefetches: prefender.at_prefetches,
         rp_prefetches: prefender.rp_prefetches,
+        mi_bits: None,
+        capacity_bits: None,
+        ml_accuracy: None,
+        guessing_entropy: None,
+        secrets: None,
+        trials: None,
     }
 }
 
@@ -300,5 +420,60 @@ mod tests {
     fn ids_are_unique_and_stable() {
         let s = attack_scenario(DefenseConfig::Full);
         assert_eq!(s.id(), "atk:fr/full32/none/paper/s0");
+        let mut s = attack_scenario(DefenseConfig::Full);
+        s.payload = Payload::Leakage {
+            case: AttackCase {
+                kind: AttackKind::FlushReload,
+                noise: NoiseSpec::NONE,
+                cross_core: false,
+            },
+            n_secrets: 8,
+            trials: 4,
+            jitter: 0,
+        };
+        assert_eq!(s.id(), "leak:fr:8x4/full32/none/paper/s0");
+        assert_eq!(s.payload.sims(), 32);
+        if let Payload::Leakage { jitter, .. } = &mut s.payload {
+            *jitter = 50;
+        }
+        assert_eq!(s.id(), "leak:fr:8x4j50/full32/none/paper/s0", "jitter must mark the id");
+    }
+
+    #[test]
+    fn leakage_scenario_measures_the_channel() {
+        let case =
+            AttackCase { kind: AttackKind::FlushReload, noise: NoiseSpec::NONE, cross_core: false };
+        let mut s = attack_scenario(DefenseConfig::None);
+        s.payload = Payload::Leakage { case, n_secrets: 4, trials: 2, jitter: 0 };
+        let r = run_scenario(&s, 0xC0FFEE);
+        assert!(r.is_leakage());
+        assert_eq!(r.leaked, None);
+        assert_eq!((r.secrets, r.trials), (Some(4), Some(2)));
+        assert!((r.mi_bits.unwrap() - 2.0).abs() < 0.1, "undefended: ~2 bits, got {:?}", r.mi_bits);
+        assert!((r.ml_accuracy.unwrap() - 1.0).abs() < 1e-9);
+        assert!(r.capacity_bits.unwrap() >= r.mi_bits.unwrap() - 1e-6);
+        assert!(r.cycles > 0 && !r.latency_hist.is_empty());
+        let mut s = attack_scenario(DefenseConfig::Full);
+        s.payload = Payload::Leakage { case, n_secrets: 4, trials: 2, jitter: 0 };
+        let r = run_scenario(&s, 0xC0FFEE);
+        assert!(r.mi_bits.unwrap() <= 0.2, "defended: ≈0 bits, got {:?}", r.mi_bits);
+        assert!(r.guessing_entropy.unwrap() > 1.5, "defended secret must rank deep");
+    }
+
+    #[test]
+    fn leakage_jitter_degrades_the_channel_deterministically() {
+        let case =
+            AttackCase { kind: AttackKind::FlushReload, noise: NoiseSpec::NONE, cross_core: false };
+        let mut s = attack_scenario(DefenseConfig::None);
+        // Jitter far above the hit threshold drowns most hits in timer
+        // noise: the undefended channel must lose bits.
+        s.payload = Payload::Leakage { case, n_secrets: 4, trials: 2, jitter: 400 };
+        let noisy = run_scenario(&s, 0xC0FFEE);
+        assert!(
+            noisy.mi_bits.unwrap() < 2.0 - 0.5,
+            "±400-cycle jitter must degrade the 2-bit channel, got {:?}",
+            noisy.mi_bits
+        );
+        assert_eq!(noisy, run_scenario(&s, 0xC0FFEE), "jitter is seeded, runs are identical");
     }
 }

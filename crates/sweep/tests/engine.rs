@@ -6,8 +6,9 @@ use prefender_sweep::{
     SweepGrid, SweepOptions,
 };
 
-/// A small mixed grid touching every axis: two attack cases and a
-/// workload, two defenses, two basics, two hierarchies, two seeds.
+/// A small mixed grid touching every axis: two attack cases, a workload
+/// and a leakage campaign, two defenses, two basics, two hierarchies,
+/// two seeds.
 fn mixed_grid() -> SweepGrid {
     SweepGrid {
         attacks: vec![
@@ -15,6 +16,14 @@ fn mixed_grid() -> SweepGrid {
             AttackCase { kind: AttackKind::PrimeProbe, noise: NoiseSpec::C3, cross_core: true },
         ],
         workloads: vec!["999.specrand".into(), "462.libquantum".into()],
+        leakages: vec![AttackCase {
+            kind: AttackKind::FlushReload,
+            noise: NoiseSpec::NONE,
+            cross_core: false,
+        }],
+        leakage_secrets: 4,
+        leakage_trials: 2,
+        leakage_jitter: 0,
         defenses: vec![
             DefensePoint::new(DefenseConfig::None),
             DefensePoint { config: DefenseConfig::Full, buffers: 16 },
@@ -26,8 +35,8 @@ fn mixed_grid() -> SweepGrid {
 }
 
 /// The acceptance-criterion determinism claim: the same campaign seed
-/// produces a byte-identical `sweep.json` (and CSV) at `--threads 1` and
-/// `--threads 8`.
+/// produces byte-identical `sweep.json` / `sweep.csv` / `leakage.json` /
+/// `leakage.csv` at `--threads 1` and `--threads 8`.
 #[test]
 fn artifacts_are_byte_identical_across_thread_counts() {
     let grid = mixed_grid();
@@ -35,6 +44,9 @@ fn artifacts_are_byte_identical_across_thread_counts() {
     let eight = run_sweep(&grid, &SweepOptions { threads: 8, campaign_seed: 0xC0FFEE });
     assert_eq!(one.to_json(), eight.to_json());
     assert_eq!(one.to_csv(), eight.to_csv());
+    assert!(one.has_leakage());
+    assert_eq!(one.leakage_json(), eight.leakage_json());
+    assert_eq!(one.leakage_csv(), eight.leakage_csv());
     // And a different campaign seed reseeds the attack scenarios.
     let other = run_sweep(&grid, &SweepOptions { threads: 8, campaign_seed: 1 });
     assert_ne!(
@@ -49,7 +61,8 @@ fn artifacts_are_byte_identical_across_thread_counts() {
 fn enumeration_counts_and_ids() {
     let grid = mixed_grid();
     let scenarios = grid.enumerate();
-    assert_eq!(grid.len(), (2 + 2) * 2 * 2 * 2 * 2);
+    assert_eq!(grid.len(), (2 + 2 + 1) * 2 * 2 * 2 * 2);
+    assert_eq!(grid.sims(), (2 + 2 + 4 * 2) as u64 * 16, "campaigns fan out 4 secrets x 2 trials");
     assert_eq!(scenarios.len(), grid.len());
     let mut ids: Vec<String> = scenarios.iter().map(|s| s.id()).collect();
     for (k, s) in scenarios.iter().enumerate() {
@@ -68,17 +81,36 @@ fn results_carry_security_and_perf_fields() {
     assert_eq!(report.results.len(), grid.len());
     let attacks: Vec<_> = report.with_prefix("atk:").collect();
     let perfs: Vec<_> = report.with_prefix("wl:").collect();
+    let leakages: Vec<_> = report.with_prefix("leak:").collect();
     assert_eq!(attacks.len(), 2 * 2 * 2 * 2 * 2);
     assert_eq!(perfs.len(), 2 * 2 * 2 * 2 * 2);
+    assert_eq!(leakages.len(), 2 * 2 * 2 * 2);
     for r in &attacks {
         assert!(r.leaked.is_some() && r.anomalies.is_some(), "{}", r.id);
+        assert!(!r.is_leakage(), "{}", r.id);
         assert!(!r.latency_hist.is_empty(), "{}", r.id);
         assert!(r.cycles > 0 && r.instructions > 0, "{}", r.id);
     }
     for r in &perfs {
         assert!(r.leaked.is_none() && r.latency_hist.is_empty(), "{}", r.id);
+        assert!(!r.is_leakage(), "{}", r.id);
         assert!(!r.truncated && r.cycles > 0, "{}", r.id);
     }
+    for r in &leakages {
+        assert!(r.is_leakage() && r.leaked.is_none(), "{}", r.id);
+        assert_eq!((r.secrets, r.trials), (Some(4), Some(2)), "{}", r.id);
+        let mi = r.mi_bits.unwrap();
+        assert!((0.0..=2.0 + 1e-9).contains(&mi), "{}: MI {mi} out of range", r.id);
+        assert!(r.capacity_bits.unwrap() >= mi - 1e-6, "{}", r.id);
+        assert!(r.cycles > 0 && !r.latency_hist.is_empty(), "{}", r.id);
+    }
+    // The channel verdicts sharpen the booleans: an undefended paper-
+    // hierarchy Flush+Reload campaign carries the full 2 bits, the fully
+    // defended one nothing.
+    let open = report.by_id("leak:fr:4x2/base/none/paper/s0").unwrap();
+    assert!((open.mi_bits.unwrap() - 2.0).abs() < 0.1, "base MI {:?}", open.mi_bits);
+    let sealed = report.by_id("leak:fr:4x2/full16/none/paper/s0").unwrap();
+    assert!(sealed.mi_bits.unwrap() <= 0.2, "full MI {:?}", sealed.mi_bits);
     // The undefended single-core Flush+Reload on the paper hierarchy
     // leaks; the fully-defended one does not — for both derived seeds.
     for slot in 0..2 {

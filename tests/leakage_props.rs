@@ -1,0 +1,107 @@
+//! Property-based tests for the leakage lab's information-theoretic
+//! primitives: entropy, histograms and channel estimates.
+
+use proptest::prelude::*;
+
+use prefender::leakage::{Channel, OBS_SILENT};
+use prefender::stats::{entropy_bits, Histogram};
+
+/// Random trial records for a channel over `n_inputs` secrets.
+fn arb_trials(n_inputs: usize, max_trials: usize) -> impl Strategy<Value = Vec<(usize, u64)>> {
+    prop::collection::vec((0..n_inputs, 0u64..6), 1..max_trials)
+}
+
+proptest! {
+    /// Entropy is non-negative, at most log2 of the support size, and
+    /// invariant under scaling of the weights.
+    #[test]
+    fn entropy_bounds_and_scale_invariance(
+        counts in prop::collection::vec(1u64..500, 1..20),
+        scale in 1u64..100,
+    ) {
+        let h = entropy_bits(counts.iter().map(|&c| c as f64));
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= (counts.len() as f64).log2() + 1e-9, "H={h} over {} symbols", counts.len());
+        let scaled = entropy_bits(counts.iter().map(|&c| (c * scale) as f64));
+        prop_assert!((h - scaled).abs() < 1e-9, "scaling weights must not move H");
+    }
+
+    /// A histogram's entropy matches the free function over its counts,
+    /// its total matches the recorded mass, and merging adds counts.
+    #[test]
+    fn histogram_totals_and_entropy(
+        a in prop::collection::vec((0u64..10, 1u64..50), 0..12),
+        b in prop::collection::vec((0u64..10, 1u64..50), 0..12),
+    ) {
+        let ha = Histogram::from_counts(a.iter().copied());
+        let hb = Histogram::from_counts(b.iter().copied());
+        let expect_total: u64 = a.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(ha.total(), expect_total);
+        let direct = entropy_bits(ha.counts().map(|(_, c)| c as f64));
+        prop_assert!((ha.entropy_bits() - direct).abs() < 1e-12);
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        prop_assert_eq!(merged.total(), ha.total() + hb.total());
+        for (s, c) in merged.counts() {
+            prop_assert_eq!(c, ha.count(s) + hb.count(s));
+        }
+    }
+
+    /// The data-processing bounds every estimate must satisfy:
+    /// 0 ≤ I(S;O) ≤ min(H(S), H(O)), and capacity dominates the
+    /// uniform-prior mutual information.
+    #[test]
+    fn mi_within_information_bounds(trials in arb_trials(4, 100)) {
+        let c = Channel::from_trials(4, trials);
+        let mi = c.mutual_information_bits();
+        prop_assert!(mi >= 0.0, "MI must be non-negative, got {mi}");
+        prop_assert!(mi <= c.input_entropy_bits() + 1e-9,
+            "MI {mi} exceeds H(S) {}", c.input_entropy_bits());
+        prop_assert!(mi <= c.output_entropy_bits() + 1e-9,
+            "MI {mi} exceeds H(O) {}", c.output_entropy_bits());
+        prop_assert!(c.capacity_bits() >= mi - 1e-4,
+            "capacity {} below MI {mi}", c.capacity_bits());
+    }
+
+    /// ML accuracy is a probability and never below the best constant
+    /// guess (the most-trialled secret's share); guessing entropy sits in
+    /// `[1, n]`.
+    #[test]
+    fn classifier_metrics_in_range(trials in arb_trials(5, 80)) {
+        let c = Channel::from_trials(5, trials);
+        let acc = c.ml_accuracy();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&acc));
+        let best_prior = (0..5)
+            .map(|i| c.input_trials(i) as f64 / c.total_trials() as f64)
+            .fold(0.0, f64::max);
+        prop_assert!(acc >= best_prior - 1e-9, "acc {acc} below prior guess {best_prior}");
+        let g = c.guessing_entropy();
+        prop_assert!((1.0 - 1e-9..=5.0 + 1e-9).contains(&g), "guessing entropy {g}");
+    }
+
+    /// Degenerate channels: a single secret, or every secret mapping to
+    /// one symbol, carry zero information regardless of the trial layout.
+    #[test]
+    fn degenerate_channels_leak_nothing(trials in 1u64..40, n in 1usize..6) {
+        let one_input = Channel::from_trials(1, (0..trials).map(|t| (0usize, t % 3)));
+        prop_assert!(one_input.mutual_information_bits() < 1e-12);
+        prop_assert!(one_input.capacity_bits() < 1e-9);
+        let constant =
+            Channel::from_trials(n, (0..n).flat_map(|i| (0..trials).map(move |_| (i, OBS_SILENT))));
+        prop_assert!(constant.mutual_information_bits() < 1e-12);
+        prop_assert!((constant.ml_accuracy() - 1.0 / n as f64).abs() < 1e-9);
+    }
+
+    /// A noiseless channel leaks exactly the secret entropy, however many
+    /// trials each secret gets.
+    #[test]
+    fn identity_channel_leaks_input_entropy(n in 2usize..8, trials in 1u32..6) {
+        let c = Channel::from_trials(
+            n,
+            (0..n).flat_map(|i| (0..trials).map(move |_| (i, i as u64))),
+        );
+        prop_assert!((c.mutual_information_bits() - (n as f64).log2()).abs() < 1e-9);
+        prop_assert!((c.ml_accuracy() - 1.0).abs() < 1e-12);
+        prop_assert!((c.guessing_entropy() - 1.0).abs() < 1e-12);
+    }
+}
