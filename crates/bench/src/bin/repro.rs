@@ -16,7 +16,8 @@
 //!   ablate-buffers | ablate-threshold | ablate-unprotect | ablate-replacement
 //!   sweep     full attack x defense grid through the sweep engine
 //!   leakage   Figure 8 re-measured in bits: secret-sweep campaigns per
-//!             panel, mutual information / capacity / ML accuracy
+//!             panel, mutual information calibrated against a
+//!             200-permutation null (* = rejects 0-bit leakage, p<0.01)
 //!   all       everything above
 //! ```
 //!
@@ -99,7 +100,7 @@ fn run_one(name: &str) -> Result<(), String> {
             println!("{}", report.render_table());
         }
         "leakage" => {
-            println!("=== Leakage map: Figure 8 measured in bits ===\n");
+            println!("=== Leakage map: Figure 8 measured in bits (permutation-calibrated) ===\n");
             println!("{}", leakage::leakage_map().render());
         }
         "all" => {

@@ -6,6 +6,12 @@
 //! capacity, max-likelihood accuracy and guessing entropy (see
 //! `prefender-leakage`). An undefended cell sits at `log2(secrets)`
 //! bits; a sealed cell at 0.
+//!
+//! Every cell is calibrated against its label-permutation null: a
+//! starred value (`0.54* (p<0.01)`) rejects "this channel leaks 0
+//! bits", an unstarred one (`0.000 (p=1.00)`) is indistinguishable from
+//! estimator noise — which is what separates a real residual channel
+//! from the upward bias of a small-sample MI estimate.
 
 use prefender_stats::Table;
 use prefender_sweep::{
@@ -21,11 +27,21 @@ pub struct LeakageMap {
     pub grid: SweepGrid,
 }
 
+/// Label permutations behind every `repro leakage` cell's p-value.
+pub const MAP_PERMUTATIONS: u32 = 200;
+
+/// Bootstrap resamples behind every `repro leakage` cell's MI interval.
+pub const MAP_BOOTSTRAP: u32 = 100;
+
 /// Runs the full Figure 8 leakage grid — twelve attack panels × six
-/// defenses, each an 8-secret × 4-trial campaign — on the sweep engine's
+/// defenses, each an 8-secret × 4-trial campaign with a 200-permutation
+/// MI null test and 100-resample bootstrap CIs — on the sweep engine's
 /// worker pool.
 pub fn leakage_map() -> LeakageMap {
-    leakage_map_over(SweepGrid::leakage_full(), 0)
+    let mut grid = SweepGrid::leakage_full();
+    grid.leakage_permutations = MAP_PERMUTATIONS;
+    grid.leakage_bootstrap = MAP_BOOTSTRAP;
+    leakage_map_over(grid, 0)
 }
 
 /// Runs an arbitrary leakage grid at a chosen thread count (0 = all
@@ -59,8 +75,22 @@ impl LeakageMap {
         f64::from(self.grid.leakage_secrets.max(1)).log2()
     }
 
-    /// Renders the map: one row per attack case, one column per defense,
-    /// each cell `MI/accuracy`.
+    /// One rendered cell: the MI estimate, significance-annotated when
+    /// the campaign ran a permutation null (`0.54* (p<0.01)` rejects the
+    /// zero-leakage null, `0.000 (p=0.62)` accepts it); the plain
+    /// `MI/accuracy` form when it did not.
+    fn render_cell(r: &ScenarioResult) -> String {
+        let mi = r.mi_bits.unwrap_or(f64::NAN);
+        match r.mi_p_value {
+            Some(p) if p < 0.01 => format!("{mi:.3}* (p<0.01)"),
+            Some(p) => format!("{mi:.3} (p={p:.2})"),
+            None => format!("{:.2}b p{:.2}", mi, r.ml_accuracy.unwrap_or(f64::NAN)),
+        }
+    }
+
+    /// Renders the map: one row per attack case, one column per defense.
+    /// Cells carry the MI estimate plus its permutation significance
+    /// when the grid ran with a null test.
     pub fn render(&self) -> String {
         let defenses: Vec<String> = self.grid.defenses.iter().map(|d| d.tag()).collect();
         let mut header = vec!["Attack".to_string()];
@@ -69,25 +99,29 @@ impl LeakageMap {
         for case in &self.grid.leakages {
             let mut row = vec![case.to_string()];
             for d in &defenses {
-                row.push(match self.cell(&case.tag(), d) {
-                    Some(r) => format!(
-                        "{:.2}b p{:.2}",
-                        r.mi_bits.unwrap_or(f64::NAN),
-                        r.ml_accuracy.unwrap_or(f64::NAN)
-                    ),
-                    None => "-".into(),
-                });
+                row.push(self.cell(&case.tag(), d).map_or_else(|| "-".into(), Self::render_cell));
             }
             t.row(row);
         }
-        format!(
-            "Secret space: {} values ({:.1} bits), {} trials/secret. \
-             Cell = mutual information (bits) / ML attacker accuracy.\n{}",
+        let mut caption = format!(
+            "Secret space: {} values ({:.1} bits), {} trials/secret.",
             self.grid.leakage_secrets,
             self.secret_bits(),
             self.grid.leakage_trials,
-            t.render()
-        )
+        );
+        if self.grid.leakage_permutations > 0 {
+            let _ = std::fmt::Write::write_fmt(
+                &mut caption,
+                format_args!(
+                    " Cell = MI (bits) vs its {}-permutation null; * rejects 0-bit leakage \
+                     at p < 0.01.",
+                    self.grid.leakage_permutations
+                ),
+            );
+        } else {
+            caption.push_str(" Cell = mutual information (bits) / ML attacker accuracy.");
+        }
+        format!("{caption}\n{}", t.render())
     }
 }
 
@@ -126,6 +160,25 @@ mod tests {
         let text = map.render();
         assert!(text.contains("3.00b") && text.contains("0.00b"), "{text}");
         assert!(text.contains("Flush+Reload"));
+    }
+
+    #[test]
+    fn significance_annotates_cells_when_permutations_run() {
+        let mut g = quick_grid();
+        g.leakage_permutations = 199;
+        g.leakage_bootstrap = 50;
+        let map = leakage_map_over(g, 4);
+        // The undefended noiseless channel rejects the zero-leakage null
+        // at the resolution 199 permutations allow (p = 1/200).
+        let open = map.cell("fr", "base").expect("base cell");
+        assert!(open.mi_p_value.unwrap() < 0.01, "open p = {:?}", open.mi_p_value);
+        // The sealed channel is indistinguishable from estimator noise.
+        let sealed = map.cell("fr", "full32").expect("full cell");
+        assert!(sealed.mi_p_value.unwrap() >= 0.05, "sealed p = {:?}", sealed.mi_p_value);
+        let text = map.render();
+        assert!(text.contains("3.000* (p<0.01)"), "{text}");
+        assert!(text.contains("0.000 (p="), "{text}");
+        assert!(text.contains("199-permutation null"), "{text}");
     }
 
     #[test]

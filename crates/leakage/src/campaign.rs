@@ -1,10 +1,61 @@
 //! Secret-sweep campaigns: run every secret × trial, estimate the channel.
 
 use prefender_attacks::{run_attack_full, AttackError, AttackSpec, RunMetrics};
-use prefender_stats::Histogram;
+use prefender_stats::{derive_seed, Histogram};
 
-use crate::channel::Channel;
+use crate::channel::{Channel, NullTest};
 use crate::observe::Decoder;
+
+/// Seed-stream tag for the label-permutation null (kept distinct from
+/// every (slot, trial) pair's stream).
+const PERM_STREAM: u64 = 0x7065_726d; // "perm"
+
+/// Seed-stream tag for the bootstrap resamples.
+const BOOT_STREAM: u64 = 0x626f_6f74; // "boot"
+
+/// Resampling configuration for a campaign's channel estimate: how many
+/// label permutations feed the MI null test, how many multinomial
+/// bootstrap resamples feed the confidence intervals, and the
+/// significance/CI level. Zero counts disable the respective analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResampleOptions {
+    /// Label permutations for [`Channel::permutation_test`] (0 = off).
+    pub permutations: u32,
+    /// Multinomial bootstrap resamples for the MI / ML-accuracy
+    /// confidence intervals (0 = off).
+    pub bootstrap: u32,
+    /// Bootstrap confidence-interval level: CIs cover `1 − alpha`. Must
+    /// lie strictly inside (0, 1). It does not move the permutation
+    /// test's fixed outputs — the reported null quantile is always q95
+    /// and the leakage map stars cells at p < 0.01; compare `mi_p_value`
+    /// against your own threshold for other levels.
+    pub alpha: f64,
+}
+
+impl Default for ResampleOptions {
+    fn default() -> Self {
+        ResampleOptions { permutations: 0, bootstrap: 0, alpha: 0.05 }
+    }
+}
+
+impl ResampleOptions {
+    /// `true` when any resampling analysis is requested.
+    pub fn is_enabled(&self) -> bool {
+        self.permutations > 0 || self.bootstrap > 0
+    }
+
+    /// Validates the configuration (alpha strictly inside (0, 1)).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when alpha is out of range.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(format!("alpha must lie strictly inside (0, 1), got {}", self.alpha));
+        }
+        Ok(())
+    }
+}
 
 /// A secret-sweep campaign over one (attack, defense, prefetcher,
 /// hierarchy, noise) point: every secret in `secrets` is injected into
@@ -50,30 +101,52 @@ impl LeakageCampaign {
         self.secrets.len() as u64 * u64::from(self.trials.max(1))
     }
 
-    /// The per-trial probe seed: a SplitMix64 mix of the campaign seed,
-    /// the secret slot and the trial slot. Depends only on campaign
-    /// shape, never on execution order.
+    /// The per-trial probe seed: the campaign seed with the secret slot
+    /// and trial slot folded in through a **chained** SplitMix64
+    /// finalize per axis (`prefender_stats::derive_seed`). Depends only
+    /// on campaign shape, never on execution order.
+    ///
+    /// The earlier scheme XORed both axes' multiplied contributions into
+    /// one accumulator before a single finalize, so distinct (slot,
+    /// trial) pairs could cancel to the same pre-mix value and collide;
+    /// chaining the finalizer (a bijection) per axis removes that
+    /// structural cancellation.
     pub fn trial_seed(&self, campaign_seed: u64, secret_slot: usize, trial: u32) -> u64 {
-        let mut z = campaign_seed
-            ^ (secret_slot as u64).wrapping_mul(0xA076_1D64_78BD_642F)
-            ^ u64::from(trial).wrapping_mul(0xE703_7ED1_A0B4_28DB);
-        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        derive_seed(campaign_seed, &[secret_slot as u64, u64::from(trial)])
     }
 
-    /// Runs the full sweep and estimates the channel.
-    ///
-    /// Trials execute in (secret, trial) order and all metric reductions
-    /// are fixed-order, so the result — including every floating-point
-    /// field — is identical wherever the campaign runs.
+    /// Runs the full sweep and estimates the channel, without any
+    /// resampling analysis. Equivalent to
+    /// [`run_with`](LeakageCampaign::run_with) at default (disabled)
+    /// [`ResampleOptions`].
     ///
     /// # Errors
     ///
     /// Returns the first [`AttackError`] any trial hits (invalid
     /// hierarchy override or an instruction-cap truncation).
     pub fn run(&self, campaign_seed: u64) -> Result<LeakageResult, AttackError> {
+        self.run_with(campaign_seed, &ResampleOptions::default())
+    }
+
+    /// Runs the full sweep, estimates the channel, and — when `resample`
+    /// asks for it — attaches the permutation null test and bootstrap
+    /// confidence intervals.
+    ///
+    /// Trials execute in (secret, trial) order and all metric reductions
+    /// are fixed-order; the resampling seeds are derived from
+    /// `campaign_seed` on dedicated streams. The result — including
+    /// every floating-point field — is therefore identical wherever the
+    /// campaign runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AttackError`] any trial hits (invalid
+    /// hierarchy override or an instruction-cap truncation).
+    pub fn run_with(
+        &self,
+        campaign_seed: u64,
+        resample: &ResampleOptions,
+    ) -> Result<LeakageResult, AttackError> {
         let mut channel = Channel::new(self.secrets.len());
         let mut totals = RunMetrics::default();
         let mut hist = Histogram::new();
@@ -96,7 +169,9 @@ impl LeakageCampaign {
                 }
             }
         }
-        Ok(LeakageResult::from_channel(channel, totals, hist))
+        let mut result = LeakageResult::from_channel(channel, totals, hist);
+        result.apply_resampling(resample, campaign_seed);
+        Ok(result)
     }
 }
 
@@ -107,6 +182,9 @@ pub struct LeakageResult {
     pub channel: Channel,
     /// Empirical mutual information `I(secret; observation)`, bits.
     pub mi_bits: f64,
+    /// Miller–Madow bias-corrected mutual information, bits (always ≤
+    /// [`LeakageResult::mi_bits`]).
+    pub mi_corrected: f64,
     /// Blahut–Arimoto channel capacity, bits.
     pub capacity_bits: f64,
     /// Max-likelihood attacker accuracy over the recorded trials.
@@ -122,12 +200,22 @@ pub struct LeakageResult {
     pub metrics: RunMetrics,
     /// Probe-latency histogram aggregated over every simulation.
     pub latency_hist: Histogram,
+    /// The label-permutation null of the MI estimate, when the campaign
+    /// ran with `permutations > 0`.
+    pub mi_null: Option<NullTest>,
+    /// Bootstrap `(lo, hi)` confidence interval on the MI estimate,
+    /// when the campaign ran with `bootstrap > 0`.
+    pub mi_ci: Option<(f64, f64)>,
+    /// Bootstrap `(lo, hi)` confidence interval on the ML-attacker
+    /// accuracy, when the campaign ran with `bootstrap > 0`.
+    pub ml_ci: Option<(f64, f64)>,
 }
 
 impl LeakageResult {
     fn from_channel(channel: Channel, metrics: RunMetrics, latency_hist: Histogram) -> Self {
         LeakageResult {
             mi_bits: channel.mutual_information_bits(),
+            mi_corrected: channel.mi_bits_corrected(),
             capacity_bits: channel.capacity_bits(),
             ml_accuracy: channel.ml_accuracy(),
             guessing_entropy: channel.guessing_entropy(),
@@ -136,6 +224,37 @@ impl LeakageResult {
             metrics,
             latency_hist,
             channel,
+            mi_null: None,
+            mi_ci: None,
+            ml_ci: None,
+        }
+    }
+
+    /// Attaches the requested resampling analyses (permutation null,
+    /// bootstrap CIs) to this result, with seeds derived from
+    /// `campaign_seed` on dedicated streams — deterministic for a given
+    /// `(campaign_seed, options)` regardless of where it runs.
+    pub fn apply_resampling(&mut self, resample: &ResampleOptions, campaign_seed: u64) {
+        if resample.permutations > 0 {
+            self.mi_null = Some(self.channel.permutation_test(
+                resample.permutations,
+                derive_seed(campaign_seed, &[PERM_STREAM]),
+            ));
+        }
+        if resample.bootstrap > 0 {
+            let seed = derive_seed(campaign_seed, &[BOOT_STREAM]);
+            self.mi_ci = Some(self.channel.bootstrap_ci(
+                resample.bootstrap,
+                resample.alpha,
+                derive_seed(seed, &[0]),
+                Channel::mutual_information_bits,
+            ));
+            self.ml_ci = Some(self.channel.bootstrap_ci(
+                resample.bootstrap,
+                resample.alpha,
+                derive_seed(seed, &[1]),
+                Channel::ml_accuracy,
+            ));
         }
     }
 
@@ -188,6 +307,72 @@ mod tests {
         assert_ne!(c.trial_seed(1, 0, 0), c.trial_seed(1, 1, 0));
         assert_ne!(c.trial_seed(1, 0, 0), c.trial_seed(1, 0, 1));
         assert_eq!(c.trial_seed(1, 3, 1), c.trial_seed(1, 3, 1));
+    }
+
+    #[test]
+    fn trial_seeds_never_collide_across_slot_trial_grids() {
+        // Regression: the old derivation XORed multiplied axis
+        // contributions before one finalize, so distinct (slot, trial)
+        // pairs could cancel to the same seed. The chained derivation
+        // must stay collision-free over a large grid.
+        let c = LeakageCampaign::new(
+            AttackSpec::new(AttackKind::FlushReload, DefenseConfig::None),
+            2,
+            1,
+        );
+        for campaign_seed in [0u64, 0xC0FFEE, u64::MAX] {
+            let mut seen = std::collections::HashSet::with_capacity(512 * 512);
+            for slot in 0..512usize {
+                for trial in 0..512u32 {
+                    assert!(
+                        seen.insert(c.trial_seed(campaign_seed, slot, trial)),
+                        "seed collision at campaign {campaign_seed:#x}, slot {slot}, trial {trial}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resampling_attaches_null_and_cis() {
+        let c = LeakageCampaign::new(
+            AttackSpec::new(AttackKind::FlushReload, DefenseConfig::None),
+            4,
+            2,
+        );
+        let plain = c.run(0xC0FFEE).unwrap();
+        assert!(plain.mi_null.is_none() && plain.mi_ci.is_none() && plain.ml_ci.is_none());
+        assert!(plain.mi_corrected <= plain.mi_bits);
+        let opts = ResampleOptions { permutations: 100, bootstrap: 50, alpha: 0.05 };
+        let r = c.run_with(0xC0FFEE, &opts).unwrap();
+        // The undefended channel is noiseless: the null rejects hard.
+        let null = r.mi_null.as_ref().expect("permutation null");
+        assert!(null.p_value < 0.05, "undefended FR must reject the null, p={}", null.p_value);
+        assert!(null.null_mean_bits < r.mi_bits);
+        let (lo, hi) = r.mi_ci.expect("MI CI");
+        assert!(lo <= r.mi_bits && r.mi_bits <= hi);
+        let (alo, ahi) = r.ml_ci.expect("accuracy CI");
+        assert!(alo <= r.ml_accuracy && r.ml_accuracy <= ahi);
+        // Channel metrics are unchanged by the analysis layer.
+        assert_eq!(r.mi_bits, plain.mi_bits);
+        assert_eq!(r.channel, plain.channel);
+        // And the whole analysis is deterministic.
+        let again = c.run_with(0xC0FFEE, &opts).unwrap();
+        assert_eq!(r.mi_null, again.mi_null);
+        assert_eq!(r.mi_ci, again.mi_ci);
+    }
+
+    #[test]
+    fn resample_options_validate() {
+        assert!(ResampleOptions::default().validate().is_ok());
+        assert!(!ResampleOptions::default().is_enabled());
+        assert!(ResampleOptions { permutations: 1, ..Default::default() }.is_enabled());
+        assert!(ResampleOptions { bootstrap: 1, ..Default::default() }.is_enabled());
+        for alpha in [0.0, 1.0, -0.1, 1.5, f64::NAN] {
+            let o = ResampleOptions { alpha, ..Default::default() };
+            assert!(o.validate().is_err(), "alpha {alpha} must be rejected");
+        }
+        assert!(ResampleOptions { alpha: 0.01, ..Default::default() }.validate().is_ok());
     }
 
     #[test]

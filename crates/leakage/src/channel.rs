@@ -8,13 +8,67 @@
 
 use std::collections::BTreeMap;
 
-use prefender_stats::entropy_bits;
+use prefender_stats::{entropy_bits, multinomial, p_value_ge, quantile, shuffle, SplitMix64};
 
 /// Default Blahut–Arimoto iteration cap for [`Channel::capacity_bits`].
 pub const CAPACITY_MAX_ITERS: usize = 1000;
 
 /// Default Blahut–Arimoto convergence tolerance, in bits.
 pub const CAPACITY_TOL_BITS: f64 = 1e-6;
+
+/// Floor the Blahut–Arimoto prior is clamped to each iteration, so a
+/// collapsing prior can never underflow a `q(o)` to exactly zero and
+/// divide the next iteration's KL terms by it.
+pub const CAPACITY_PRIOR_FLOOR: f64 = 1e-12;
+
+/// The label-permutation null of a channel's mutual information: what
+/// the MI estimator reports on `n_perms` label-shuffled copies of the
+/// same trial set, where the true leakage is zero by construction.
+///
+/// Small-sample plug-in MI is biased upward, so "MI > 0" alone never
+/// distinguishes a residual channel from estimator noise; this null
+/// calibrates it. `p_value < alpha` rejects "this channel is
+/// indistinguishable from 0 bits".
+#[derive(Debug, Clone, PartialEq)]
+pub struct NullTest {
+    /// Label permutations drawn.
+    pub n_perms: u32,
+    /// The observed (unshuffled) mutual information, in bits.
+    pub observed_bits: f64,
+    /// Mean null MI — the estimator's small-sample bias floor.
+    pub null_mean_bits: f64,
+    /// 95th percentile of the null MI distribution.
+    pub null_q95_bits: f64,
+    /// Add-one permutation p-value of the observed MI against the null.
+    pub p_value: f64,
+}
+
+const LN_2: f64 = std::f64::consts::LN_2;
+
+/// Plug-in mutual information of a raw count matrix, in bits, with the
+/// fixed (input, symbol) reduction order every caller shares — the
+/// permutation null re-estimates through exactly this path.
+fn mi_of_counts(counts: &[Vec<u64>]) -> f64 {
+    let total: u64 = counts.iter().flatten().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let joint: Vec<Vec<f64>> =
+        counts.iter().map(|row| row.iter().map(|&c| c as f64 / total as f64).collect()).collect();
+    let n_symbols = joint.first().map_or(0, Vec::len);
+    let p_in: Vec<f64> = joint.iter().map(|row| row.iter().sum()).collect();
+    let p_out: Vec<f64> = (0..n_symbols).map(|j| joint.iter().map(|row| row[j]).sum()).collect();
+    let mut mi = 0.0;
+    for (row, &ps) in joint.iter().zip(&p_in) {
+        for (&pso, &po) in row.iter().zip(&p_out) {
+            if pso > 0.0 {
+                mi += pso * (pso / (ps * po)).log2();
+            }
+        }
+    }
+    // Rounding can leave a tiny negative residue on independent data.
+    mi.max(0.0)
+}
 
 /// An estimated discrete memoryless channel from secret to attacker
 /// observation, built by recording one observation symbol per trial.
@@ -117,20 +171,112 @@ impl Channel {
     /// Zero for an empty channel. Always within `[0, min(H(S), H(O))]` up
     /// to floating-point rounding.
     pub fn mutual_information_bits(&self) -> f64 {
-        let joint = self.joint();
-        let p_in: Vec<f64> = joint.iter().map(|row| row.iter().sum()).collect();
-        let p_out: Vec<f64> =
-            (0..self.symbols.len()).map(|j| joint.iter().map(|row| row[j]).sum()).collect();
-        let mut mi = 0.0;
-        for (row, &ps) in joint.iter().zip(&p_in) {
-            for (&pso, &po) in row.iter().zip(&p_out) {
-                if pso > 0.0 {
-                    mi += pso * (pso / (ps * po)).log2();
+        mi_of_counts(&self.counts)
+    }
+
+    /// Miller–Madow bias-corrected mutual information, in bits.
+    ///
+    /// The plug-in estimate biases upward by roughly
+    /// `(|S| − 1)(|O| − 1) / (2·N·ln 2)` bits over the nonzero support —
+    /// at 8 secrets × 4 trials that is a sizeable fraction of a bit.
+    /// This subtracts the first-order term and clamps at zero, so it is
+    /// always ≤ [`Channel::mutual_information_bits`].
+    pub fn mi_bits_corrected(&self) -> f64 {
+        let n = self.total_trials();
+        if n == 0 {
+            return 0.0;
+        }
+        let k_in = self.counts.iter().filter(|row| row.iter().any(|&c| c > 0)).count();
+        let k_out =
+            (0..self.symbols.len()).filter(|&j| self.counts.iter().any(|row| row[j] > 0)).count();
+        let bias =
+            (k_in.saturating_sub(1) * k_out.saturating_sub(1)) as f64 / (2.0 * n as f64 * LN_2);
+        (self.mutual_information_bits() - bias).max(0.0)
+    }
+
+    /// Tests the observed mutual information against its label-shuffled
+    /// null: the recorded trials are expanded, their secret labels
+    /// permuted `n_perms` times (deterministic SplitMix-seeded
+    /// Fisher–Yates), and the MI re-estimated on each shuffle.
+    ///
+    /// The same `(n_perms, seed)` always yields the same [`NullTest`],
+    /// bit for bit, wherever it runs.
+    pub fn permutation_test(&self, n_perms: u32, seed: u64) -> NullTest {
+        let observed = self.mutual_information_bits();
+        // Expand the count matrix into one (label, symbol-index) record
+        // per trial, in fixed (input, symbol) order.
+        let mut labels: Vec<usize> = Vec::new();
+        let mut sym_idx: Vec<usize> = Vec::new();
+        for (i, row) in self.counts.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                for _ in 0..c {
+                    labels.push(i);
+                    sym_idx.push(j);
                 }
             }
         }
-        // Rounding can leave a tiny negative residue on independent data.
-        mi.max(0.0)
+        let mut rng = SplitMix64::new(seed);
+        let m = self.symbols.len();
+        let mut null = Vec::with_capacity(n_perms as usize);
+        for _ in 0..n_perms {
+            shuffle(&mut rng, &mut labels);
+            let mut counts = vec![vec![0u64; m]; self.n_inputs];
+            for (&i, &j) in labels.iter().zip(&sym_idx) {
+                counts[i][j] += 1;
+            }
+            null.push(mi_of_counts(&counts));
+        }
+        let p_value = p_value_ge(&null, observed);
+        let null_mean_bits =
+            if null.is_empty() { 0.0 } else { null.iter().sum::<f64>() / null.len() as f64 };
+        let mut sorted = null;
+        sorted.sort_by(f64::total_cmp);
+        NullTest {
+            n_perms,
+            observed_bits: observed,
+            null_mean_bits,
+            null_q95_bits: quantile(&sorted, 0.95),
+            p_value,
+        }
+    }
+
+    /// One multinomial bootstrap resample of the channel: the same total
+    /// trial count redrawn over the cells of the empirical joint.
+    fn bootstrap_sample(&self, rng: &mut SplitMix64) -> Channel {
+        let m = self.symbols.len();
+        let flat: Vec<u64> = self.counts.iter().flatten().copied().collect();
+        let drawn = multinomial(rng, &flat, self.total_trials());
+        let counts: Vec<Vec<u64>> =
+            (0..self.n_inputs).map(|i| drawn[i * m..(i + 1) * m].to_vec()).collect();
+        Channel { n_inputs: self.n_inputs, symbols: self.symbols.clone(), counts }
+    }
+
+    /// A `1 − alpha` bootstrap confidence interval for any channel
+    /// metric: `n_boot` multinomial resamples of the count matrix, the
+    /// metric re-computed on each, and the `alpha/2` / `1 − alpha/2`
+    /// percentile interval — widened, if necessary, to contain the point
+    /// estimate, so the interval always brackets what it annotates.
+    ///
+    /// Deterministic for a given `(n_boot, alpha, seed)`.
+    pub fn bootstrap_ci(
+        &self,
+        n_boot: u32,
+        alpha: f64,
+        seed: u64,
+        metric: impl Fn(&Channel) -> f64,
+    ) -> (f64, f64) {
+        let point = metric(self);
+        if n_boot == 0 || self.total_trials() == 0 {
+            return (point, point);
+        }
+        let mut rng = SplitMix64::new(seed);
+        let mut samples: Vec<f64> =
+            (0..n_boot).map(|_| metric(&self.bootstrap_sample(&mut rng))).collect();
+        samples.sort_by(f64::total_cmp);
+        let a = alpha.clamp(1e-9, 1.0 - 1e-9);
+        let lo = quantile(&samples, a / 2.0);
+        let hi = quantile(&samples, 1.0 - a / 2.0);
+        (lo.min(point), hi.max(point))
     }
 
     /// Channel capacity in bits via Blahut–Arimoto over the empirical
@@ -161,7 +307,9 @@ impl Channel {
             // q(o) under the current prior.
             let q: Vec<f64> =
                 (0..m).map(|j| rows.iter().zip(&prior).map(|(row, &p)| p * row[j]).sum()).collect();
-            // D(p(o|s) || q) per input, in bits.
+            // D(p(o|s) || q) per input, in bits. The prior floor below
+            // keeps every q(o) with support strictly positive, so no
+            // term here divides by zero.
             let d: Vec<f64> = rows
                 .iter()
                 .map(|row| {
@@ -180,12 +328,26 @@ impl Channel {
             if upper - lower < CAPACITY_TOL_BITS {
                 break;
             }
-            // Reweight the prior toward informative inputs.
+            // Reweight the prior toward informative inputs, clamped away
+            // from zero (then renormalized): on near-deterministic
+            // channels the dominated inputs' mass otherwise decays until
+            // it underflows to exactly 0.0, their q(o) columns collapse,
+            // and the KL terms above blow up to inf/NaN.
             let weights: Vec<f64> = prior.iter().zip(&d).map(|(&p, &di)| p * di.exp2()).collect();
             let z: f64 = weights.iter().sum();
-            prior = weights.iter().map(|&w| w / z).collect();
+            let clamped: Vec<f64> =
+                weights.iter().map(|&w| (w / z).max(CAPACITY_PRIOR_FLOOR)).collect();
+            let z2: f64 = clamped.iter().sum();
+            prior = clamped.iter().map(|&w| w / z2).collect();
         }
-        capacity.max(0.0)
+        // The estimate is a prior-weighted KL mean, so it can only land
+        // outside [0, log2 n] through floating-point pathology; pin it.
+        let cap_max = (n as f64).log2();
+        if capacity.is_finite() {
+            capacity.clamp(0.0, cap_max)
+        } else {
+            cap_max
+        }
     }
 
     /// Max-likelihood attacker accuracy: the attacker guesses the secret
@@ -226,18 +388,23 @@ impl Channel {
             return 0.0;
         }
         let mut rank_sum = 0.0;
+        let mut sorted: Vec<u64> = Vec::with_capacity(self.n_inputs);
         for j in 0..self.symbols.len() {
-            for (i, row) in self.counts.iter().enumerate() {
+            // Sort the column once; ranks then come from two binary
+            // searches per nonzero cell instead of a rescan of all n
+            // rows (O(n log n + nnz·log n) per symbol, not O(n²)).
+            sorted.clear();
+            sorted.extend(self.counts.iter().map(|row| row[j]));
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            for row in &self.counts {
                 let c = row[j];
                 if c == 0 {
                     continue;
                 }
-                let better = self.counts.iter().filter(|r| r[j] > c).count() as f64;
-                let tied =
-                    self.counts.iter().enumerate().filter(|&(k, r)| k != i && r[j] == c).count()
-                        as f64;
+                let better = sorted.partition_point(|&x| x > c);
+                let tied = sorted.partition_point(|&x| x >= c) - better - 1;
                 // Average position among the tied block.
-                let rank = 1.0 + better + tied / 2.0;
+                let rank = 1.0 + better as f64 + tied as f64 / 2.0;
                 rank_sum += c as f64 * rank;
             }
         }
@@ -421,5 +588,143 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_input_panics() {
         Channel::new(2).record(2, 0);
+    }
+
+    #[test]
+    fn permutation_test_rejects_identity_and_accepts_constant() {
+        // A noiseless channel: label shuffles destroy the dependence, so
+        // the observed 3 bits sit far above every null re-estimate.
+        let open = identity(8, 4).permutation_test(199, 7);
+        assert_eq!(open.n_perms, 199);
+        assert!((open.observed_bits - 3.0).abs() < 1e-12);
+        assert!(open.null_mean_bits < open.observed_bits, "null must sit below a real channel");
+        assert!(open.null_q95_bits < open.observed_bits);
+        assert!((open.p_value - 1.0 / 200.0).abs() < 1e-12, "p = 1/(n+1), got {}", open.p_value);
+        // A useless channel: every shuffle is just as informative (MI 0),
+        // so the null is accepted outright.
+        let sealed = constant(8, 4).permutation_test(199, 7);
+        assert_eq!(sealed.observed_bits, 0.0);
+        assert_eq!(sealed.p_value, 1.0);
+        assert_eq!(sealed.null_mean_bits, 0.0);
+        // Determinism: same channel, same seed, same null.
+        assert_eq!(identity(8, 4).permutation_test(50, 3), identity(8, 4).permutation_test(50, 3));
+        assert_ne!(
+            identity(8, 4).permutation_test(50, 3).null_mean_bits,
+            identity(8, 4).permutation_test(50, 4).null_mean_bits,
+            "different seeds draw different permutations"
+        );
+    }
+
+    #[test]
+    fn permutation_test_degenerate_channels() {
+        let empty = Channel::new(4).permutation_test(20, 1);
+        assert_eq!(empty.p_value, 1.0);
+        assert_eq!(empty.null_q95_bits, 0.0);
+        let zero = identity(3, 2).permutation_test(0, 1);
+        assert_eq!(zero.p_value, 1.0, "no permutations: the null cannot reject");
+    }
+
+    #[test]
+    fn miller_madow_correction_shrinks_mi() {
+        let c = identity(8, 4);
+        let mi = c.mutual_information_bits();
+        let corrected = c.mi_bits_corrected();
+        assert!(corrected <= mi, "corrected {corrected} must not exceed plug-in {mi}");
+        // 8 inputs × 8 symbols over 32 trials: bias = 49/(64·ln 2).
+        let expected = mi - 49.0 / (64.0 * std::f64::consts::LN_2);
+        assert!((corrected - expected).abs() < 1e-12);
+        assert_eq!(constant(8, 4).mi_bits_corrected(), 0.0, "clamped at zero");
+        assert_eq!(Channel::new(3).mi_bits_corrected(), 0.0);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_point_estimate() {
+        let c = identity(4, 8);
+        let (lo, hi) = c.bootstrap_ci(60, 0.05, 9, Channel::mutual_information_bits);
+        let mi = c.mutual_information_bits();
+        assert!(lo <= mi && mi <= hi, "CI [{lo}, {hi}] must contain MI {mi}");
+        assert!(lo <= hi);
+        // Resampling a noiseless channel can only lose information.
+        assert!(hi <= mi + 1e-9, "identity resamples cannot exceed log2 n");
+        let (alo, ahi) = c.bootstrap_ci(60, 0.05, 9, Channel::ml_accuracy);
+        let acc = c.ml_accuracy();
+        assert!(alo <= acc && acc <= ahi);
+        // Zero resamples or an empty channel degenerate to the point.
+        assert_eq!(c.bootstrap_ci(0, 0.05, 9, Channel::ml_accuracy), (acc, acc));
+        let e = Channel::new(2);
+        assert_eq!(e.bootstrap_ci(10, 0.05, 9, Channel::mutual_information_bits), (0.0, 0.0));
+        // Determinism across calls.
+        assert_eq!(
+            c.bootstrap_ci(30, 0.1, 5, Channel::mutual_information_bits),
+            c.bootstrap_ci(30, 0.1, 5, Channel::mutual_information_bits)
+        );
+    }
+
+    #[test]
+    fn capacity_survives_pathological_channels() {
+        // Near-deterministic channels with strictly dominated inputs and
+        // extreme count asymmetry drive the Blahut–Arimoto prior toward
+        // zero; the clamped prior must keep capacity finite and inside
+        // [MI, log2 n].
+        let mut dominated = Channel::new(6);
+        for i in 0..4 {
+            for _ in 0..50 {
+                dominated.record(i, i as u64);
+            }
+        }
+        // Two dominated inputs: mixtures of the informative symbols.
+        for j in 0..4 {
+            dominated.record(4, j);
+            dominated.record(5, 3 - j);
+        }
+        let mut extreme = Channel::new(3);
+        extreme.record(0, 0);
+        for _ in 0..1_000_000 {
+            extreme.record(0, 1);
+        }
+        for _ in 0..7 {
+            extreme.record(1, 0);
+            extreme.record(2, 2);
+        }
+        for c in [dominated, extreme, identity(32, 1)] {
+            let cap = c.capacity_bits();
+            let mi = c.mutual_information_bits();
+            let max = (c.n_inputs() as f64).log2();
+            assert!(cap.is_finite(), "capacity must stay finite");
+            assert!(cap >= mi - 1e-3, "capacity {cap} must dominate MI {mi}");
+            assert!(cap <= max + 1e-9, "capacity {cap} above log2 n = {max}");
+        }
+    }
+
+    #[test]
+    fn guessing_entropy_matches_naive_rescan() {
+        // The sorted-column ranking must reproduce the O(n²·m) rescan
+        // bit for bit (same rank values, same accumulation order).
+        let naive = |c: &Channel| -> f64 {
+            let total = c.total_trials();
+            if total == 0 {
+                return 0.0;
+            }
+            let mut rank_sum = 0.0;
+            for s in 0..c.symbols().len() {
+                let sym = c.symbols()[s];
+                let col: Vec<u64> = (0..c.n_inputs()).map(|i| c.count(i, sym)).collect();
+                for (i, &cnt) in col.iter().enumerate() {
+                    if cnt == 0 {
+                        continue;
+                    }
+                    let better = col.iter().filter(|&&x| x > cnt).count() as f64;
+                    let tied =
+                        col.iter().enumerate().filter(|&(k, &x)| k != i && x == cnt).count() as f64;
+                    rank_sum += cnt as f64 * (1.0 + better + tied / 2.0);
+                }
+            }
+            rank_sum / total as f64
+        };
+        let pattern = [(0, 0), (0, 1), (1, 1), (1, 1), (2, 2), (2, 0), (2, 2), (3, 1), (3, 1)];
+        let c = Channel::from_trials(4, pattern);
+        assert_eq!(c.guessing_entropy(), naive(&c));
+        assert_eq!(identity(8, 4).guessing_entropy(), naive(&identity(8, 4)));
+        assert_eq!(constant(8, 4).guessing_entropy(), naive(&constant(8, 4)));
     }
 }

@@ -21,6 +21,16 @@
 //! * **guessing entropy** — the expected posterior rank of the true
 //!   secret (1 = recovered first try).
 //!
+//! Because small-sample MI estimates bias upward, every estimate can be
+//! calibrated against its **label-permutation null**
+//! ([`Channel::permutation_test`]): shuffle the secret labels, re-estimate,
+//! and report how often pure estimator noise matches the observed MI — a
+//! p-value that lets a leakage-map cell say "indistinguishable from 0
+//! bits". [`Channel::mi_bits_corrected`] subtracts the Miller–Madow
+//! first-order bias, and [`Channel::bootstrap_ci`] brackets any channel
+//! metric with a deterministic multinomial-bootstrap confidence interval
+//! ([`ResampleOptions`] wires all three into a campaign).
+//!
 //! An undefended Flush+Reload is a noiseless channel: MI ≈
 //! `log2(n_secrets)` and ML accuracy 1.0. Under the full PREFENDER the
 //! probe profile decouples from the secret and MI collapses toward 0.
@@ -43,6 +53,9 @@ mod campaign;
 mod channel;
 mod observe;
 
-pub use campaign::{evenly_spaced_secrets, LeakageCampaign, LeakageResult};
-pub use channel::{channel_from_map, Channel, CAPACITY_MAX_ITERS, CAPACITY_TOL_BITS};
+pub use campaign::{evenly_spaced_secrets, LeakageCampaign, LeakageResult, ResampleOptions};
+pub use channel::{
+    channel_from_map, Channel, NullTest, CAPACITY_MAX_ITERS, CAPACITY_PRIOR_FLOOR,
+    CAPACITY_TOL_BITS,
+};
 pub use observe::{Decoder, OBS_CONFUSED, OBS_SILENT};

@@ -6,6 +6,10 @@
 //! * [`geo_mean`] / [`speedup_pct`] — the paper's headline metrics;
 //! * [`Histogram`] / [`entropy_bits`] — exact symbol counts and Shannon
 //!   entropy, the substrate of the leakage lab's channel estimates;
+//! * [`SplitMix64`] / [`derive_seed`] / [`shuffle`] / [`multinomial`] /
+//!   [`quantile`] / [`p_value_ge`] — deterministic resampling: seeded
+//!   permutation nulls and bootstrap draws for the statistical-rigor
+//!   layer of the leakage lab;
 //! * [`Table`] — aligned plain-text tables matching the paper's layout;
 //! * [`Series`] — named `(x, y)` sequences with CSV export, for figures.
 //!
@@ -18,11 +22,13 @@
 //! ```
 
 mod dist;
+mod resample;
 mod series;
 mod summary;
 mod table;
 
 pub use dist::{entropy_bits, Histogram};
+pub use resample::{derive_seed, mix64, multinomial, p_value_ge, quantile, shuffle, SplitMix64};
 pub use series::Series;
 pub use summary::{geo_mean, speedup_pct, Summary};
 pub use table::Table;

@@ -10,8 +10,10 @@ use prefender_stats::Table;
 
 use crate::scenario::ScenarioResult;
 
-/// Bumped whenever the JSON/CSV field set changes.
-pub const REPORT_SCHEMA_VERSION: u32 = 2;
+/// Bumped whenever the JSON/CSV field set changes. v3 added the
+/// statistical-rigor columns: `mi_corrected`, `mi_p_value`,
+/// `mi_null_q95`, `mi_ci_lo`, `mi_ci_hi`.
+pub const REPORT_SCHEMA_VERSION: u32 = 3;
 
 /// An executed campaign: the seed it ran under plus every scenario's
 /// result, in scenario-index order.
@@ -106,8 +108,9 @@ impl SweepReport {
                  \"demand_miss_latency\": {}, \"prefetch_issued\": {}, \"prefetch_fills\": {}, \
                  \"prefetch_useful\": {}, \"prefetch_accuracy\": {}, \"st_prefetches\": {}, \
                  \"at_prefetches\": {}, \"rp_prefetches\": {}, \"mi_bits\": {}, \
-                 \"capacity_bits\": {}, \"ml_accuracy\": {}, \"guessing_entropy\": {}, \
-                 \"secrets\": {}, \"trials\": {}, \"latency_hist\": {}}}",
+                 \"mi_corrected\": {}, \"capacity_bits\": {}, \"ml_accuracy\": {}, \
+                 \"guessing_entropy\": {}, \"secrets\": {}, \"trials\": {}, \"mi_p_value\": {}, \
+                 \"mi_null_q95\": {}, \"mi_ci_lo\": {}, \"mi_ci_hi\": {}, \"latency_hist\": {}}}",
                 r.index,
                 json_escape(&r.id),
                 r.seed,
@@ -128,11 +131,16 @@ impl SweepReport {
                 r.at_prefetches,
                 r.rp_prefetches,
                 json_opt_f64(r.mi_bits),
+                json_opt_f64(r.mi_corrected),
                 json_opt_f64(r.capacity_bits),
                 json_opt_f64(r.ml_accuracy),
                 json_opt_f64(r.guessing_entropy),
                 json_opt_u64(r.secrets),
                 json_opt_u64(r.trials),
+                json_opt_f64(r.mi_p_value),
+                json_opt_f64(r.mi_null_q95),
+                json_opt_f64(r.mi_ci_lo),
+                json_opt_f64(r.mi_ci_hi),
                 hist_json(&r.latency_hist),
             );
             out.push_str(if k + 1 < self.results.len() { ",\n" } else { "\n" });
@@ -149,13 +157,14 @@ impl SweepReport {
             "index,id,seed,leaked,anomalies,truncated,cycles,instructions,ipc,\
              demand_accesses,demand_misses,demand_miss_latency,prefetch_issued,\
              prefetch_fills,prefetch_useful,prefetch_accuracy,st_prefetches,\
-             at_prefetches,rp_prefetches,mi_bits,capacity_bits,ml_accuracy,\
-             guessing_entropy,secrets,trials,latency_hist\n",
+             at_prefetches,rp_prefetches,mi_bits,mi_corrected,capacity_bits,ml_accuracy,\
+             guessing_entropy,secrets,trials,mi_p_value,mi_null_q95,mi_ci_lo,mi_ci_hi,\
+             latency_hist\n",
         );
         for r in &self.results {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 r.index,
                 r.id,
                 r.seed,
@@ -176,11 +185,16 @@ impl SweepReport {
                 r.at_prefetches,
                 r.rp_prefetches,
                 r.mi_bits.map_or(String::new(), json_f64),
+                r.mi_corrected.map_or(String::new(), json_f64),
                 r.capacity_bits.map_or(String::new(), json_f64),
                 r.ml_accuracy.map_or(String::new(), json_f64),
                 r.guessing_entropy.map_or(String::new(), json_f64),
                 r.secrets.map_or(String::new(), |s| s.to_string()),
                 r.trials.map_or(String::new(), |t| t.to_string()),
+                r.mi_p_value.map_or(String::new(), json_f64),
+                r.mi_null_q95.map_or(String::new(), json_f64),
+                r.mi_ci_lo.map_or(String::new(), json_f64),
+                r.mi_ci_hi.map_or(String::new(), json_f64),
                 hist_csv(&r.latency_hist),
             );
         }
@@ -210,17 +224,23 @@ impl SweepReport {
             let _ = write!(
                 out,
                 "    {{\"index\": {}, \"id\": \"{}\", \"seed\": {}, \"secrets\": {}, \
-                 \"trials\": {}, \"mi_bits\": {}, \"capacity_bits\": {}, \"ml_accuracy\": {}, \
-                 \"guessing_entropy\": {}, \"cycles\": {}}}",
+                 \"trials\": {}, \"mi_bits\": {}, \"mi_corrected\": {}, \"capacity_bits\": {}, \
+                 \"ml_accuracy\": {}, \"guessing_entropy\": {}, \"mi_p_value\": {}, \
+                 \"mi_null_q95\": {}, \"mi_ci_lo\": {}, \"mi_ci_hi\": {}, \"cycles\": {}}}",
                 r.index,
                 json_escape(&r.id),
                 r.seed,
                 json_opt_u64(r.secrets),
                 json_opt_u64(r.trials),
                 json_opt_f64(r.mi_bits),
+                json_opt_f64(r.mi_corrected),
                 json_opt_f64(r.capacity_bits),
                 json_opt_f64(r.ml_accuracy),
                 json_opt_f64(r.guessing_entropy),
+                json_opt_f64(r.mi_p_value),
+                json_opt_f64(r.mi_null_q95),
+                json_opt_f64(r.mi_ci_lo),
+                json_opt_f64(r.mi_ci_hi),
                 r.cycles,
             );
             out.push_str(if k + 1 < rows.len() { ",\n" } else { "\n" });
@@ -233,22 +253,27 @@ impl SweepReport {
     pub fn leakage_csv(&self) -> String {
         let mut out = String::with_capacity(128);
         out.push_str(
-            "index,id,seed,secrets,trials,mi_bits,capacity_bits,ml_accuracy,\
-             guessing_entropy,cycles\n",
+            "index,id,seed,secrets,trials,mi_bits,mi_corrected,capacity_bits,ml_accuracy,\
+             guessing_entropy,mi_p_value,mi_null_q95,mi_ci_lo,mi_ci_hi,cycles\n",
         );
         for r in self.results.iter().filter(|r| r.is_leakage()) {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 r.index,
                 r.id,
                 r.seed,
                 r.secrets.unwrap_or(0),
                 r.trials.unwrap_or(0),
                 r.mi_bits.map_or(String::new(), json_f64),
+                r.mi_corrected.map_or(String::new(), json_f64),
                 r.capacity_bits.map_or(String::new(), json_f64),
                 r.ml_accuracy.map_or(String::new(), json_f64),
                 r.guessing_entropy.map_or(String::new(), json_f64),
+                r.mi_p_value.map_or(String::new(), json_f64),
+                r.mi_null_q95.map_or(String::new(), json_f64),
+                r.mi_ci_lo.map_or(String::new(), json_f64),
+                r.mi_ci_hi.map_or(String::new(), json_f64),
                 r.cycles,
             );
         }
@@ -283,7 +308,14 @@ impl SweepReport {
                     }
                 },
                 r.anomalies.map_or(String::new(), |a| a.to_string()),
-                r.mi_bits.map_or_else(|| "-".into(), |m| format!("{m:.3}")),
+                // A starred MI rejects the zero-leakage null at p < 0.01.
+                r.mi_bits.map_or_else(
+                    || "-".into(),
+                    |m| match r.mi_p_value {
+                        Some(p) if p < 0.01 => format!("{m:.3}*"),
+                        _ => format!("{m:.3}"),
+                    },
+                ),
                 r.cycles.to_string(),
                 format!("{:.3}", r.ipc),
                 r.prefetch_issued.to_string(),
@@ -322,11 +354,16 @@ mod tests {
             at_prefetches: 2,
             rp_prefetches: 0,
             mi_bits: None,
+            mi_corrected: None,
             capacity_bits: None,
             ml_accuracy: None,
             guessing_entropy: None,
             secrets: None,
             trials: None,
+            mi_p_value: None,
+            mi_null_q95: None,
+            mi_ci_lo: None,
+            mi_ci_hi: None,
         }
     }
 
@@ -335,11 +372,16 @@ mod tests {
             leaked: None,
             anomalies: None,
             mi_bits: Some(2.5),
+            mi_corrected: Some(2.25),
             capacity_bits: Some(2.75),
             ml_accuracy: Some(0.875),
             guessing_entropy: Some(1.25),
             secrets: Some(8),
             trials: Some(4),
+            mi_p_value: Some(0.02),
+            mi_null_q95: Some(0.5),
+            mi_ci_lo: Some(2.0),
+            mi_ci_hi: Some(2.5),
             ..result(index, id)
         }
     }
@@ -360,13 +402,17 @@ mod tests {
         let r = report();
         assert_eq!(r.to_json(), r.clone().to_json());
         let j = r.to_json();
-        assert!(j.contains("\"schema_version\": 2"));
+        assert!(j.contains("\"schema_version\": 3"));
         assert!(j.contains("\"campaign_seed\": 42"));
         assert!(j.contains("\"latency_hist\": [[4,60],[200,1]]"));
         assert!(j.contains("\"ipc\": 0.5"));
         assert!(j.contains("\"leaked\": true") && j.contains("\"leaked\": false"));
         assert!(j.contains("\"mi_bits\": 2.5") && j.contains("\"mi_bits\": null"));
         assert!(j.contains("\"capacity_bits\": 2.75") && j.contains("\"secrets\": 8"));
+        assert!(j.contains("\"mi_corrected\": 2.25") && j.contains("\"mi_corrected\": null"));
+        assert!(j.contains("\"mi_p_value\": 0.02") && j.contains("\"mi_p_value\": null"));
+        assert!(j.contains("\"mi_null_q95\": 0.5"));
+        assert!(j.contains("\"mi_ci_lo\": 2") && j.contains("\"mi_ci_hi\": 2.5"));
     }
 
     #[test]
@@ -375,9 +421,12 @@ mod tests {
         let lines: Vec<&str> = c.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].starts_with("index,id,seed,leaked"));
-        assert!(lines[0].contains("mi_bits,capacity_bits,ml_accuracy,guessing_entropy"));
+        assert!(
+            lines[0].contains("mi_bits,mi_corrected,capacity_bits,ml_accuracy,guessing_entropy")
+        );
+        assert!(lines[0].contains("trials,mi_p_value,mi_null_q95,mi_ci_lo,mi_ci_hi,latency_hist"));
         assert!(lines[1].contains("4:60|200:1"));
-        assert!(lines[3].contains("2.5,2.75,0.875,1.25,8,4"));
+        assert!(lines[3].contains("2.5,2.25,2.75,0.875,1.25,8,4,0.02,0.5,2,2.5"));
     }
 
     #[test]
@@ -393,8 +442,10 @@ mod tests {
         let c = r.leakage_csv();
         let lines: Vec<&str> = c.lines().collect();
         assert_eq!(lines.len(), 2);
-        assert!(lines[0].starts_with("index,id,seed,secrets,trials,mi_bits"));
-        assert!(lines[1].starts_with("2,leak:fr:8x4/base/none/paper/s0,7,8,4,2.5,2.75"));
+        assert!(lines[0].starts_with("index,id,seed,secrets,trials,mi_bits,mi_corrected"));
+        assert!(lines[0].contains("guessing_entropy,mi_p_value,mi_null_q95,mi_ci_lo,mi_ci_hi"));
+        assert!(lines[1].starts_with("2,leak:fr:8x4/base/none/paper/s0,7,8,4,2.5,2.25,2.75"));
+        assert!(lines[1].contains("0.02,0.5,2,2.5"));
         let none = SweepReport { campaign_seed: 1, results: vec![result(0, "atk:x")] };
         assert!(!none.has_leakage());
         assert!(none.leakage_csv().lines().count() == 1, "header only");

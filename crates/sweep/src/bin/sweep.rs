@@ -16,6 +16,11 @@
 //!   --secrets N         secrets per leakage campaign     [default: 8]
 //!   --trials N          trials per secret                [default: 4]
 //!   --jitter N          attacker timer noise, cycles/probe [default: 0]
+//!   --permutations N    label permutations for the MI null test
+//!                       (p-value + null q95 per campaign) [default: 0]
+//!   --bootstrap N       bootstrap resamples for the MI confidence
+//!                       interval                         [default: 0]
+//!   --alpha F           bootstrap CI level, in (0,1)     [default: 0.05]
 //!   --seeds N           seed repetitions per grid point  [default: 1]
 //!
 //! execution / output:
@@ -33,7 +38,11 @@
 //! Leakage campaigns (`--leakage`) share the noise / cross-core /
 //! defense / basic / hierarchy axes with `--attacks`; each campaign runs
 //! its attack for every secret × trial and reports the channel in bits
-//! (see `prefender-leakage`).
+//! (see `prefender-leakage`). With `--permutations` each campaign also
+//! reports the label-permutation null of its MI estimate (`mi_p_value`,
+//! `mi_null_q95`) and with `--bootstrap` a `1 − alpha` confidence
+//! interval (`mi_ci_lo`/`mi_ci_hi`) — both fully deterministic, so
+//! artifacts stay byte-identical at any `--threads` value.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -136,6 +145,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--jitter" => {
                 args.grid.leakage_jitter =
                     val("--jitter")?.parse().map_err(|_| "invalid --jitter".to_string())?
+            }
+            "--permutations" => {
+                args.grid.leakage_permutations = val("--permutations")?
+                    .parse()
+                    .map_err(|_| "invalid --permutations".to_string())?
+            }
+            "--bootstrap" => {
+                args.grid.leakage_bootstrap =
+                    val("--bootstrap")?.parse().map_err(|_| "invalid --bootstrap".to_string())?
+            }
+            "--alpha" => {
+                args.grid.leakage_alpha =
+                    val("--alpha")?.parse().map_err(|_| "invalid --alpha".to_string())?
             }
             "--seeds" => {
                 seeds = val("--seeds")?.parse().map_err(|_| "invalid --seeds".to_string())?
@@ -245,6 +267,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             return Err("--trials must be at least 1".to_string());
         }
     }
+    // Resampling knobs only make sense when a leakage campaign runs, and
+    // alpha must be a usable significance level.
+    args.grid.resample().validate().map_err(|e| format!("--alpha: {e}"))?;
+    if args.grid.resample().is_enabled() && args.grid.leakages.is_empty() {
+        return Err("--permutations/--bootstrap need at least one --leakage campaign".to_string());
+    }
     Ok(args)
 }
 
@@ -261,6 +289,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "             [--leakage L] [--secrets N] [--trials N] [--jitter N] [--seeds N]"
             );
+            eprintln!("             [--permutations N] [--bootstrap N] [--alpha F]");
             eprintln!("             [--threads N] [--seed S] [--out DIR] [--bench-json PATH]");
             eprintln!("             [--list] [--quiet]");
             return if e == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };

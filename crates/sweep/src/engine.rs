@@ -5,7 +5,7 @@ use std::sync::Mutex;
 
 use crate::artifact::SweepReport;
 use crate::grid::SweepGrid;
-use crate::scenario::{run_scenario, ScenarioResult};
+use crate::scenario::{run_scenario_with, ScenarioResult};
 
 /// Campaign-level execution options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,8 +108,10 @@ where
 /// count**.
 pub fn run_sweep(grid: &SweepGrid, opts: &SweepOptions) -> SweepReport {
     let scenarios = grid.enumerate();
-    let results: Vec<ScenarioResult> =
-        parallel_map(&scenarios, opts.threads, |s| run_scenario(s, opts.campaign_seed));
+    let resample = grid.resample();
+    let results: Vec<ScenarioResult> = parallel_map(&scenarios, opts.threads, |s| {
+        run_scenario_with(s, opts.campaign_seed, &resample)
+    });
     SweepReport { campaign_seed: opts.campaign_seed, results }
 }
 

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use prefender_attacks::{AttackKind, Basic, DefenseConfig, NoiseSpec};
+use prefender_leakage::ResampleOptions;
 use prefender_sim::{CacheConfig, HierarchyConfig, ReplacementPolicy};
 
 use crate::scenario::{Payload, Scenario};
@@ -216,6 +217,15 @@ pub struct SweepGrid {
     /// Attacker timer-noise amplitude for leakage campaigns, in cycles
     /// per probe (0 = the paper's clean timer).
     pub leakage_jitter: u64,
+    /// Label permutations per leakage campaign for the MI null test
+    /// (0 = no permutation test; see `prefender_leakage::NullTest`).
+    pub leakage_permutations: u32,
+    /// Multinomial bootstrap resamples per leakage campaign for the
+    /// MI / accuracy confidence intervals (0 = no CIs).
+    pub leakage_bootstrap: u32,
+    /// Bootstrap CI level for the leakage resampling analyses (the
+    /// intervals cover `1 − alpha`).
+    pub leakage_alpha: f64,
     /// Defense axis.
     pub defenses: Vec<DefensePoint>,
     /// Basic-prefetcher axis.
@@ -237,6 +247,9 @@ impl SweepGrid {
             leakage_secrets: 8,
             leakage_trials: 4,
             leakage_jitter: 0,
+            leakage_permutations: 0,
+            leakage_bootstrap: 0,
+            leakage_alpha: 0.05,
             defenses: vec![DefensePoint::new(DefenseConfig::Full)],
             basics: vec![Basic::None],
             hierarchies: vec![Hierarchy::Paper],
@@ -306,6 +319,16 @@ impl SweepGrid {
     /// `true` when the grid has no payloads.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The leakage-campaign resampling configuration this grid runs
+    /// with (permutation null + bootstrap CIs).
+    pub fn resample(&self) -> ResampleOptions {
+        ResampleOptions {
+            permutations: self.leakage_permutations,
+            bootstrap: self.leakage_bootstrap,
+            alpha: self.leakage_alpha,
+        }
     }
 
     /// Enumerates the flat, stably-ordered work-list.

@@ -43,8 +43,9 @@ mod scenario;
 pub use artifact::{SweepReport, REPORT_SCHEMA_VERSION};
 pub use engine::{parallel_map, parallel_map_2d, run_sweep, SweepOptions};
 pub use grid::{AttackCase, DefensePoint, Hierarchy, SweepGrid};
-pub use scenario::{basic_tag, run_scenario, Payload, Scenario, ScenarioResult};
+pub use scenario::{basic_tag, run_scenario, run_scenario_with, Payload, Scenario, ScenarioResult};
 
 // The axes a grid is built from, re-exported so callers need only this
 // crate.
 pub use prefender_attacks::{AttackKind, Basic, DefenseConfig, NoiseSpec};
+pub use prefender_leakage::{NullTest, ResampleOptions};

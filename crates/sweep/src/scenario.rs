@@ -5,7 +5,8 @@ use std::fmt;
 
 use prefender_attacks::{run_attack_full, AttackSpec, Basic};
 use prefender_cpu::Machine;
-use prefender_leakage::LeakageCampaign;
+use prefender_leakage::{LeakageCampaign, ResampleOptions};
+use prefender_stats::derive_seed;
 use prefender_workloads::Workload;
 
 use crate::grid::{AttackCase, DefensePoint, Hierarchy};
@@ -104,17 +105,18 @@ impl Scenario {
         )
     }
 
-    /// The per-scenario probe seed: a SplitMix64 mix of the campaign seed,
-    /// the scenario index and the seed slot. Depends only on grid shape —
-    /// never on thread count or execution order.
+    /// The per-scenario probe seed: the campaign seed with the scenario
+    /// index and seed slot folded in through a chained SplitMix64
+    /// finalize per axis (`prefender_stats::derive_seed`). Depends only
+    /// on grid shape — never on thread count or execution order.
+    ///
+    /// The earlier scheme XORed both axes' multiplied contributions into
+    /// one accumulator before a single finalize, so distinct (index,
+    /// slot) pairs could cancel to the same pre-mix value and collide;
+    /// chaining the finalizer (a bijection) per axis removes that
+    /// structural cancellation.
     pub fn derived_seed(&self, campaign_seed: u64) -> u64 {
-        let mut z = campaign_seed
-            ^ (self.index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            ^ (self.seed_slot as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        derive_seed(campaign_seed, &[self.index as u64, self.seed_slot as u64])
     }
 }
 
@@ -178,6 +180,8 @@ pub struct ScenarioResult {
     pub rp_prefetches: u64,
     /// Mutual information `I(secret; observation)` in bits (leakage only).
     pub mi_bits: Option<f64>,
+    /// Miller–Madow bias-corrected MI in bits (leakage only).
+    pub mi_corrected: Option<f64>,
     /// Blahut–Arimoto channel capacity in bits (leakage only).
     pub capacity_bits: Option<f64>,
     /// Max-likelihood attacker accuracy (leakage only).
@@ -188,6 +192,16 @@ pub struct ScenarioResult {
     pub secrets: Option<u64>,
     /// Trials per secret (leakage only).
     pub trials: Option<u64>,
+    /// Permutation p-value of the MI against its label-shuffled null
+    /// (leakage campaigns run with `--permutations`, else `None`).
+    pub mi_p_value: Option<f64>,
+    /// 95th percentile of the null MI distribution — the estimator's
+    /// noise floor (leakage with `--permutations` only).
+    pub mi_null_q95: Option<f64>,
+    /// Bootstrap CI lower bound on the MI (leakage with `--bootstrap`).
+    pub mi_ci_lo: Option<f64>,
+    /// Bootstrap CI upper bound on the MI (leakage with `--bootstrap`).
+    pub mi_ci_hi: Option<f64>,
 }
 
 impl ScenarioResult {
@@ -197,8 +211,9 @@ impl ScenarioResult {
     }
 }
 
-/// Runs one scenario to completion. Pure: builds a private machine,
-/// runs, measures — safe to call from any worker thread.
+/// Runs one scenario to completion without any resampling analysis.
+/// Equivalent to [`run_scenario_with`] at default (disabled)
+/// [`ResampleOptions`].
 ///
 /// # Panics
 ///
@@ -206,12 +221,31 @@ impl ScenarioResult {
 /// catalog, or if an attack run fails outright (invalid hierarchy); grid
 /// builders validate both up front.
 pub fn run_scenario(s: &Scenario, campaign_seed: u64) -> ScenarioResult {
+    run_scenario_with(s, campaign_seed, &ResampleOptions::default())
+}
+
+/// Runs one scenario to completion. Pure: builds a private machine,
+/// runs, measures — safe to call from any worker thread. Leakage
+/// scenarios run `resample`'s permutation-null and bootstrap analyses
+/// with seeds derived from the scenario seed, so the statistical columns
+/// are as thread-count-independent as the raw metrics.
+///
+/// # Panics
+///
+/// Panics if a workload payload names a workload missing from the
+/// catalog, or if an attack run fails outright (invalid hierarchy); grid
+/// builders validate both up front.
+pub fn run_scenario_with(
+    s: &Scenario,
+    campaign_seed: u64,
+    resample: &ResampleOptions,
+) -> ScenarioResult {
     let seed = s.derived_seed(campaign_seed);
     match &s.payload {
         Payload::Attack(case) => run_attack_scenario(s, case, seed),
         Payload::Workload(name) => run_workload_scenario(s, name, seed),
         Payload::Leakage { case, n_secrets, trials, jitter } => {
-            run_leakage_scenario(s, case, *n_secrets, *trials, *jitter, seed)
+            run_leakage_scenario(s, case, *n_secrets, *trials, *jitter, seed, resample)
         }
     }
 }
@@ -235,10 +269,16 @@ fn run_leakage_scenario(
     trials: u32,
     jitter: u64,
     seed: u64,
+    resample: &ResampleOptions,
 ) -> ScenarioResult {
     let base = attack_spec(s, case, seed).with_latency_jitter(jitter);
     let campaign = LeakageCampaign::new(base, n_secrets.max(1) as usize, trials.max(1));
-    let r = campaign.run(seed).unwrap_or_else(|e| panic!("scenario {}: {e}", s.id()));
+    // The resampling seed streams inside `run_with` derive from the
+    // scenario seed, so the null test and CIs — like every other column
+    // — depend only on the campaign seed and grid shape, never the
+    // thread count.
+    let r =
+        campaign.run_with(seed, resample).unwrap_or_else(|e| panic!("scenario {}: {e}", s.id()));
     ScenarioResult {
         index: s.index,
         id: s.id(),
@@ -261,11 +301,16 @@ fn run_leakage_scenario(
         at_prefetches: r.metrics.prefender.at_prefetches,
         rp_prefetches: r.metrics.prefender.rp_prefetches,
         mi_bits: Some(r.mi_bits),
+        mi_corrected: Some(r.mi_corrected),
         capacity_bits: Some(r.capacity_bits),
         ml_accuracy: Some(r.ml_accuracy),
         guessing_entropy: Some(r.guessing_entropy),
         secrets: Some(campaign.secrets.len() as u64),
         trials: Some(u64::from(campaign.trials)),
+        mi_p_value: r.mi_null.as_ref().map(|n| n.p_value),
+        mi_null_q95: r.mi_null.as_ref().map(|n| n.null_q95_bits),
+        mi_ci_lo: r.mi_ci.map(|(lo, _)| lo),
+        mi_ci_hi: r.mi_ci.map(|(_, hi)| hi),
     }
 }
 
@@ -299,11 +344,16 @@ fn run_attack_scenario(s: &Scenario, case: &AttackCase, seed: u64) -> ScenarioRe
         at_prefetches: metrics.prefender.at_prefetches,
         rp_prefetches: metrics.prefender.rp_prefetches,
         mi_bits: None,
+        mi_corrected: None,
         capacity_bits: None,
         ml_accuracy: None,
         guessing_entropy: None,
         secrets: None,
         trials: None,
+        mi_p_value: None,
+        mi_null_q95: None,
+        mi_ci_lo: None,
+        mi_ci_hi: None,
     }
 }
 
@@ -345,11 +395,16 @@ fn run_workload_scenario(s: &Scenario, name: &str, seed: u64) -> ScenarioResult 
         at_prefetches: prefender.at_prefetches,
         rp_prefetches: prefender.rp_prefetches,
         mi_bits: None,
+        mi_corrected: None,
         capacity_bits: None,
         ml_accuracy: None,
         guessing_entropy: None,
         secrets: None,
         trials: None,
+        mi_p_value: None,
+        mi_null_q95: None,
+        mi_ci_lo: None,
+        mi_ci_hi: None,
     }
 }
 
@@ -384,6 +439,26 @@ mod tests {
         assert_ne!(a.derived_seed(1), b.derived_seed(1));
         assert_ne!(a.derived_seed(1), c.derived_seed(1));
         assert_eq!(a.derived_seed(1), a.clone().derived_seed(1));
+    }
+
+    #[test]
+    fn derived_seeds_never_collide_across_index_slot_grids() {
+        // Regression: the old derivation XORed multiplied (index, slot)
+        // contributions before one finalize, so distinct grid points
+        // could cancel to the same seed. The chained derivation must
+        // stay collision-free over a grid far larger than any campaign.
+        let mut s = attack_scenario(DefenseConfig::None);
+        let mut seen = std::collections::HashSet::with_capacity(4096 * 64);
+        for index in 0..4096usize {
+            for slot in 0..64u32 {
+                s.index = index;
+                s.seed_slot = slot;
+                assert!(
+                    seen.insert(s.derived_seed(0xC0FFEE)),
+                    "seed collision at index {index}, slot {slot}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -24,6 +24,9 @@ fn mixed_grid() -> SweepGrid {
         leakage_secrets: 4,
         leakage_trials: 2,
         leakage_jitter: 0,
+        leakage_permutations: 0,
+        leakage_bootstrap: 0,
+        leakage_alpha: 0.05,
         defenses: vec![
             DefensePoint::new(DefenseConfig::None),
             DefensePoint { config: DefenseConfig::Full, buffers: 16 },
@@ -53,6 +56,38 @@ fn artifacts_are_byte_identical_across_thread_counts() {
         one.results[0].seed, other.results[0].seed,
         "campaign seed must flow into per-scenario seeds"
     );
+}
+
+/// The schema-v3 statistical columns obey the same determinism contract:
+/// with the permutation null and bootstrap CIs enabled, `leakage.json` /
+/// `leakage.csv` stay byte-identical at `--threads 1` and `--threads 8`
+/// (per-scenario resampling seeds derive from the campaign seed, never
+/// from execution order).
+#[test]
+fn resampled_artifacts_are_byte_identical_across_thread_counts() {
+    let mut grid = SweepGrid::leakage_quick();
+    grid.leakage_secrets = 4;
+    grid.leakage_trials = 2;
+    grid.leakage_permutations = 50;
+    grid.leakage_bootstrap = 30;
+    let one = run_sweep(&grid, &SweepOptions { threads: 1, campaign_seed: 0xC0FFEE });
+    let eight = run_sweep(&grid, &SweepOptions { threads: 8, campaign_seed: 0xC0FFEE });
+    assert_eq!(one.leakage_json(), eight.leakage_json());
+    assert_eq!(one.leakage_csv(), eight.leakage_csv());
+    assert_eq!(one.to_json(), eight.to_json());
+    for r in &one.results {
+        let mi = r.mi_bits.unwrap();
+        assert!(r.mi_p_value.is_some() && r.mi_null_q95.is_some(), "{}", r.id);
+        assert!(r.mi_corrected.unwrap() <= mi + 1e-12, "{}", r.id);
+        let (lo, hi) = (r.mi_ci_lo.unwrap(), r.mi_ci_hi.unwrap());
+        assert!(lo <= mi && mi <= hi, "{}: CI [{lo}, {hi}] must bracket MI {mi}", r.id);
+    }
+    // The undefended campaign rejects the zero-leakage null; the sealed
+    // one accepts it.
+    let open = one.by_id("leak:fr:4x2/base/none/paper/s0").unwrap();
+    assert!(open.mi_p_value.unwrap() < 0.05, "open p = {:?}", open.mi_p_value);
+    let sealed = one.by_id("leak:fr:4x2/full32/none/paper/s0").unwrap();
+    assert!(sealed.mi_p_value.unwrap() >= 0.05, "sealed p = {:?}", sealed.mi_p_value);
 }
 
 /// Grid enumeration: the count matches the axis product and every

@@ -4,7 +4,8 @@
 use proptest::prelude::*;
 
 use prefender::leakage::{Channel, OBS_SILENT};
-use prefender::stats::{entropy_bits, Histogram};
+use prefender::stats::{derive_seed, entropy_bits, Histogram, SplitMix64};
+use prefender::sweep::{run_sweep, SweepGrid, SweepOptions};
 
 /// Random trial records for a channel over `n_inputs` secrets.
 fn arb_trials(n_inputs: usize, max_trials: usize) -> impl Strategy<Value = Vec<(usize, u64)>> {
@@ -104,4 +105,100 @@ proptest! {
         prop_assert!((c.ml_accuracy() - 1.0).abs() < 1e-12);
         prop_assert!((c.guessing_entropy() - 1.0).abs() < 1e-12);
     }
+
+    /// The Miller–Madow correction only ever shrinks the plug-in MI, and
+    /// both bootstrap confidence intervals bracket their point estimate.
+    #[test]
+    fn corrected_mi_and_bootstrap_cis_are_consistent(trials in arb_trials(4, 60), seed in 0u64..1000) {
+        let c = Channel::from_trials(4, trials);
+        let mi = c.mutual_information_bits();
+        let corrected = c.mi_bits_corrected();
+        prop_assert!(corrected >= 0.0);
+        prop_assert!(corrected <= mi + 1e-12, "corrected {corrected} above plug-in {mi}");
+        let (lo, hi) = c.bootstrap_ci(40, 0.1, seed, Channel::mutual_information_bits);
+        prop_assert!(lo <= mi && mi <= hi, "MI CI [{lo}, {hi}] misses point {mi}");
+        let acc = c.ml_accuracy();
+        let (alo, ahi) = c.bootstrap_ci(40, 0.1, seed, Channel::ml_accuracy);
+        prop_assert!(alo <= acc && acc <= ahi, "acc CI [{alo}, {ahi}] misses point {acc}");
+    }
+
+    /// The sorted-column guessing-entropy ranking matches the original
+    /// O(n²·m) rescan bit for bit on arbitrary channels.
+    #[test]
+    fn guessing_entropy_matches_naive_rescan(trials in arb_trials(6, 120)) {
+        let c = Channel::from_trials(6, trials);
+        let total = c.total_trials();
+        let mut rank_sum = 0.0;
+        for &sym in c.symbols() {
+            let col: Vec<u64> = (0..c.n_inputs()).map(|i| c.count(i, sym)).collect();
+            for (i, &cnt) in col.iter().enumerate() {
+                if cnt == 0 {
+                    continue;
+                }
+                let better = col.iter().filter(|&&x| x > cnt).count() as f64;
+                let tied =
+                    col.iter().enumerate().filter(|&(k, &x)| k != i && x == cnt).count() as f64;
+                rank_sum += cnt as f64 * (1.0 + better + tied / 2.0);
+            }
+        }
+        let naive = rank_sum / total as f64;
+        prop_assert_eq!(c.guessing_entropy(), naive, "refactor must match the rescan exactly");
+    }
+
+    /// Capacity stays finite and inside `[MI, log2 n]` on arbitrary
+    /// channels — including ones whose Blahut–Arimoto prior collapses.
+    #[test]
+    fn capacity_is_finite_and_bounded(trials in arb_trials(5, 100)) {
+        let c = Channel::from_trials(5, trials);
+        let cap = c.capacity_bits();
+        prop_assert!(cap.is_finite());
+        prop_assert!(cap >= c.mutual_information_bits() - 1e-3);
+        prop_assert!(cap <= (c.n_inputs() as f64).log2() + 1e-9);
+    }
+}
+
+/// On a channel whose observations are independent of the secret label,
+/// the permutation test must accept the zero-leakage null (`p ≥ alpha`)
+/// in at least the `1 − alpha` expected fraction of instances — the
+/// p-value is super-uniform, so at `alpha = 0.05` at most ~5% of
+/// label-independent channels may still reject. Fully deterministic:
+/// both the channels and the permutation draws are SplitMix-seeded.
+#[test]
+fn permutation_p_values_are_calibrated_on_independent_channels() {
+    const INSTANCES: u64 = 200;
+    const ALPHA: f64 = 0.05;
+    let mut accepted = 0u32;
+    for k in 0..INSTANCES {
+        let mut rng = SplitMix64::new(derive_seed(0xCA11_B4A7, &[k]));
+        // 4 secrets × 8 trials; the symbol distribution ignores the label.
+        let c = Channel::from_trials(4, (0..32).map(|t| (t % 4, rng.below(3))).collect::<Vec<_>>());
+        let null = c.permutation_test(99, derive_seed(0x9E57, &[k]));
+        if null.p_value >= ALPHA {
+            accepted += 1;
+        }
+    }
+    let fraction = f64::from(accepted) / INSTANCES as f64;
+    assert!(
+        fraction >= 1.0 - ALPHA - 0.05,
+        "only {fraction:.2} of label-independent channels accepted the null (expect ≥ ~0.95)"
+    );
+}
+
+/// Satellite acceptance: `leakage.json` / `leakage.csv` with
+/// `--permutations 50` (and bootstrap CIs) are byte-identical at 1 vs 8
+/// threads — the resampling layer inherits the engine's determinism
+/// contract.
+#[test]
+fn resampled_leakage_artifacts_are_thread_count_invariant() {
+    let mut grid = SweepGrid::leakage_quick();
+    grid.leakage_secrets = 4;
+    grid.leakage_trials = 2;
+    grid.leakage_permutations = 50;
+    grid.leakage_bootstrap = 25;
+    let one = run_sweep(&grid, &SweepOptions { threads: 1, campaign_seed: 0xC0FFEE });
+    let eight = run_sweep(&grid, &SweepOptions { threads: 8, campaign_seed: 0xC0FFEE });
+    assert_eq!(one.leakage_json(), eight.leakage_json(), "leakage.json must not depend on threads");
+    assert_eq!(one.leakage_csv(), eight.leakage_csv(), "leakage.csv must not depend on threads");
+    assert!(one.leakage_json().contains("\"mi_p_value\": "));
+    assert!(one.leakage_json().contains("\"schema_version\": 3"));
 }
