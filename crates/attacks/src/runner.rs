@@ -427,26 +427,28 @@ fn total_stats(m: &Machine) -> (PrefenderStats, u64) {
 
 /// Runs one attack experiment.
 ///
+/// One-shot convenience over [`Runner`]: builds a machine, runs, drops
+/// it. Campaign-style callers running many trials against one
+/// configuration should hold a [`Runner`] instead and reuse the machine.
+///
 /// # Errors
 ///
 /// Returns [`AttackError::Config`] if the paper baseline hierarchy fails
 /// to validate (it cannot for in-range core counts) and
 /// [`AttackError::Truncated`] if a phase hits the instruction cap.
 pub fn run_attack(spec: &AttackSpec) -> Result<AttackOutcome, AttackError> {
-    let (outcome, _, _) = run_inner(spec, None)?;
-    Ok(outcome)
+    Runner::new(spec)?.run(spec)
 }
 
 /// Runs one attack experiment and also returns machine-level metrics
 /// (cycles, IPC, L1D stats, prefetch counts) — the sweep engine's entry
-/// point.
+/// point. One-shot wrapper over [`Runner`]; see [`run_attack`].
 ///
 /// # Errors
 ///
 /// See [`run_attack`].
 pub fn run_attack_full(spec: &AttackSpec) -> Result<(AttackOutcome, RunMetrics), AttackError> {
-    let (outcome, _, metrics) = run_inner(spec, None)?;
-    Ok((outcome, metrics))
+    Runner::new(spec)?.run_full(spec)
 }
 
 /// Runs one attack experiment, sampling prefetch counters every
@@ -459,17 +461,161 @@ pub fn run_attack_with_timeline(
     spec: &AttackSpec,
     bucket_cycles: u64,
 ) -> Result<(AttackOutcome, Vec<TimelinePoint>), AttackError> {
-    let (outcome, timeline, _) = run_inner(spec, Some(bucket_cycles))?;
+    let mut runner = Runner::new(spec)?;
+    let (outcome, timeline, _) = runner.run_inner(spec, Some(bucket_cycles))?;
     Ok((outcome, timeline))
 }
 
-fn run_inner(
-    spec: &AttackSpec,
-    bucket: Option<u64>,
-) -> Result<(AttackOutcome, Vec<TimelinePoint>, RunMetrics), AttackError> {
-    let l = &spec.layout;
-    let n_cores = if spec.cross_core { 2 } else { 1 };
-    let hierarchy = match &spec.hierarchy {
+/// The machine-shaping axes of an [`AttackSpec`]: two specs with equal
+/// keys run on identically constructed machines, so a [`Runner`] can
+/// serve both with an in-place reset instead of a rebuild.
+#[derive(Debug, Clone, PartialEq)]
+struct RunnerKey {
+    cross_core: bool,
+    defense: DefenseConfig,
+    basic: Basic,
+    buffers: usize,
+    hierarchy: Option<HierarchyConfig>,
+}
+
+impl RunnerKey {
+    fn of(spec: &AttackSpec) -> Self {
+        RunnerKey {
+            cross_core: spec.cross_core,
+            defense: spec.defense,
+            basic: spec.basic,
+            buffers: spec.buffers,
+            hierarchy: spec.hierarchy.clone(),
+        }
+    }
+}
+
+/// A reusable attack executor: owns one [`Machine`] (and its prefetcher
+/// stack) per machine-shaping configuration and runs specs against it
+/// through an in-place [`Machine::reset`] instead of reconstructing the
+/// whole hierarchy — every cache's set arrays, the MSHR file, the trace
+/// — for each trial.
+///
+/// Reuse is bit-exact: a reset machine replays any spec identically to a
+/// freshly built one (pinned by `tests/runner_reuse.rs`), so campaign
+/// artifacts do not change — trials just stop paying the construction
+/// and teardown cost. Specs whose machine-shaping axes (`cross_core`,
+/// `defense`, `basic`, `buffers`, `hierarchy`) differ from the current
+/// machine's transparently trigger a rebuild, so a single `Runner` can
+/// be long-lived and fed arbitrary specs.
+///
+/// # Examples
+///
+/// ```no_run
+/// use prefender_attacks::{AttackKind, AttackSpec, DefenseConfig, Runner};
+///
+/// let base = AttackSpec::new(AttackKind::FlushReload, DefenseConfig::Full);
+/// let mut runner = Runner::new(&base).unwrap();
+/// for trial in 0..100u64 {
+///     let outcome = runner.run(&base.clone().with_seed(trial)).unwrap();
+///     assert!(!outcome.leaked);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Runner {
+    machine: Machine,
+    key: RunnerKey,
+}
+
+impl Runner {
+    /// Builds the machine for `spec`'s configuration (the spec's secret
+    /// and seed do not matter — only its machine-shaping axes do).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::Config`] when the hierarchy override fails
+    /// to validate.
+    pub fn new(spec: &AttackSpec) -> Result<Self, AttackError> {
+        let key = RunnerKey::of(spec);
+        let machine = build_machine(&key)?;
+        Ok(Runner { machine, key })
+    }
+
+    /// Runs one attack experiment on the owned machine.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_attack`].
+    pub fn run(&mut self, spec: &AttackSpec) -> Result<AttackOutcome, AttackError> {
+        let (outcome, _, _) = self.run_inner(spec, None)?;
+        Ok(outcome)
+    }
+
+    /// Runs one attack experiment and also returns machine-level metrics.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_attack`].
+    pub fn run_full(
+        &mut self,
+        spec: &AttackSpec,
+    ) -> Result<(AttackOutcome, RunMetrics), AttackError> {
+        let (outcome, _, metrics) = self.run_inner(spec, None)?;
+        Ok((outcome, metrics))
+    }
+
+    /// Resets (or, on a configuration change, rebuilds) the machine so it
+    /// is cold and shaped for `spec`.
+    fn prepare(&mut self, spec: &AttackSpec) -> Result<(), AttackError> {
+        let key = RunnerKey::of(spec);
+        if key == self.key {
+            self.machine.reset();
+        } else {
+            self.machine = build_machine(&key)?;
+            self.key = key;
+        }
+        Ok(())
+    }
+
+    fn run_inner(
+        &mut self,
+        spec: &AttackSpec,
+        bucket: Option<u64>,
+    ) -> Result<(AttackOutcome, Vec<TimelinePoint>, RunMetrics), AttackError> {
+        self.prepare(spec)?;
+        let m = &mut self.machine;
+        let l = &spec.layout;
+        m.write_data(l.secret_addr, l.secret as u64);
+
+        // Reload-style attacks probe through a shuffled pointer table.
+        let reload_targets = build_reload_targets(spec);
+        for (k, t) in reload_targets.iter().enumerate() {
+            m.write_data(l.order_table + 8 * k as u64, t.raw());
+        }
+
+        let mut timeline = Vec::new();
+        let probe_pcs = if spec.cross_core {
+            run_cross_core(spec, m, reload_targets.len(), bucket, &mut timeline)?
+        } else {
+            run_single_core(spec, m, reload_targets.len(), bucket, &mut timeline)?
+        };
+
+        let mut samples = collect_samples(spec, m, &probe_pcs);
+        apply_latency_jitter(spec, &mut samples);
+        // Reload-style attacks leak through the single hit (L2-or-better
+        // vs. memory). Prime+Probe leaks through the single miss: at
+        // L1-vs-L2 granularity single-core, at L2-vs-memory granularity
+        // cross-core.
+        let (threshold, anomaly_is_hit) = match spec.kind {
+            AttackKind::FlushReload | AttackKind::EvictReload => (l.hit_threshold, true),
+            AttackKind::PrimeProbe if spec.cross_core => (l.hit_threshold, false),
+            AttackKind::PrimeProbe => (l.l1_hit_threshold, false),
+        };
+        let metrics = run_metrics(m);
+        Ok((classify(samples, threshold, anomaly_is_hit, l.secret), timeline, metrics))
+    }
+}
+
+/// Builds the machine a [`RunnerKey`] describes: resolved hierarchy, CPU
+/// config, trace enabled, one prefetcher per core.
+fn build_machine(key: &RunnerKey) -> Result<Machine, AttackError> {
+    let n_cores = if key.cross_core { 2 } else { 1 };
+    let hierarchy = match &key.hierarchy {
         Some(h) => {
             let mut h = h.clone();
             h.n_cores = n_cores;
@@ -487,37 +633,11 @@ fn run_inner(
     let mut m = Machine::with_cpu_config(hierarchy, cpu);
     m.trace_mut().set_enabled(true);
     for core in 0..n_cores {
-        if let Some(p) = spec.defense.build_prefetcher(line, page, spec.buffers, spec.basic) {
+        if let Some(p) = key.defense.build_prefetcher(line, page, key.buffers, key.basic) {
             m.set_prefetcher(core, p);
         }
     }
-    m.write_data(l.secret_addr, l.secret as u64);
-
-    // Reload-style attacks probe through a shuffled pointer table.
-    let reload_targets = build_reload_targets(spec);
-    for (k, t) in reload_targets.iter().enumerate() {
-        m.write_data(l.order_table + 8 * k as u64, t.raw());
-    }
-
-    let mut timeline = Vec::new();
-    let probe_pcs = if spec.cross_core {
-        run_cross_core(spec, &mut m, reload_targets.len(), bucket, &mut timeline)?
-    } else {
-        run_single_core(spec, &mut m, reload_targets.len(), bucket, &mut timeline)?
-    };
-
-    let mut samples = collect_samples(spec, &m, &probe_pcs);
-    apply_latency_jitter(spec, &mut samples);
-    // Reload-style attacks leak through the single hit (L2-or-better vs.
-    // memory). Prime+Probe leaks through the single miss: at L1-vs-L2
-    // granularity single-core, at L2-vs-memory granularity cross-core.
-    let (threshold, anomaly_is_hit) = match spec.kind {
-        AttackKind::FlushReload | AttackKind::EvictReload => (l.hit_threshold, true),
-        AttackKind::PrimeProbe if spec.cross_core => (l.hit_threshold, false),
-        AttackKind::PrimeProbe => (l.l1_hit_threshold, false),
-    };
-    let metrics = run_metrics(&m);
-    Ok((classify(samples, threshold, anomaly_is_hit, l.secret), timeline, metrics))
+    Ok(m)
 }
 
 /// The probe-order pointer table: all eviction lines shuffled

@@ -1,0 +1,84 @@
+//! Regression tests pinning the reusable [`Runner`] against one-shot
+//! fresh-machine runs: machine reuse must be bit-exact, for every attack
+//! × defense combination, or campaign artifacts would silently drift.
+
+use prefender_attacks::{
+    run_attack_full, AttackKind, AttackSpec, Basic, DefenseConfig, NoiseSpec, Runner,
+};
+
+const KINDS: [AttackKind; 3] =
+    [AttackKind::FlushReload, AttackKind::EvictReload, AttackKind::PrimeProbe];
+
+/// A trial sequence representative of a leakage campaign: varying secret
+/// and seed against one machine configuration.
+fn trials(base: &AttackSpec) -> Vec<AttackSpec> {
+    (0..3u64)
+        .map(|t| {
+            base.clone()
+                .with_seed(0xC0FFEE ^ t)
+                .with_secret(base.layout.first_index + 7 * t as usize)
+        })
+        .collect()
+}
+
+#[test]
+fn reused_machines_match_fresh_for_every_attack_and_defense() {
+    for kind in KINDS {
+        for defense in DefenseConfig::ALL {
+            for cross_core in [false, true] {
+                let base = AttackSpec::new(kind, defense).cross_core(cross_core);
+                let mut runner = Runner::new(&base).expect("valid baseline");
+                // Dirty the machine first so every compared run exercises
+                // the reset path, never a fresh machine.
+                runner.run(&base.clone().with_seed(0xD1DF)).expect("dirtying run");
+                for spec in trials(&base) {
+                    let fresh = run_attack_full(&spec).expect("fresh run");
+                    let reused = runner.run_full(&spec).expect("reused run");
+                    assert_eq!(
+                        fresh, reused,
+                        "fresh/reused divergence: {kind} x {defense} cross_core={cross_core}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reused_machines_match_fresh_under_noise_basic_and_jitter() {
+    // The noisy corners: challenge noise, a chained basic prefetcher and
+    // attacker timer jitter all flow through the same reset contract.
+    let specs = [
+        AttackSpec::new(AttackKind::PrimeProbe, DefenseConfig::Full).with_noise(NoiseSpec::C3C4),
+        AttackSpec::new(AttackKind::FlushReload, DefenseConfig::StAt).with_basic(Basic::Stride),
+        AttackSpec::new(AttackKind::EvictReload, DefenseConfig::Full)
+            .with_noise(NoiseSpec::C4)
+            .with_basic(Basic::Tagged),
+        AttackSpec::new(AttackKind::FlushReload, DefenseConfig::None).with_latency_jitter(25),
+    ];
+    for base in specs {
+        let mut runner = Runner::new(&base).expect("valid baseline");
+        runner.run(&base.clone().with_seed(0xD1DF)).expect("dirtying run");
+        for spec in trials(&base) {
+            let fresh = run_attack_full(&spec).expect("fresh run");
+            let reused = runner.run_full(&spec).expect("reused run");
+            assert_eq!(fresh, reused, "fresh/reused divergence on noisy spec");
+        }
+    }
+}
+
+#[test]
+fn runner_rebuilds_on_configuration_change() {
+    // One runner fed alternating configurations must transparently
+    // rebuild and still match fresh runs each time.
+    let a = AttackSpec::new(AttackKind::FlushReload, DefenseConfig::None);
+    let b = AttackSpec::new(AttackKind::PrimeProbe, DefenseConfig::Full).cross_core(true);
+    let mut runner = Runner::new(&a).expect("valid baseline");
+    for round in 0..2u64 {
+        for spec in [a.clone().with_seed(round), b.clone().with_seed(round)] {
+            let fresh = run_attack_full(&spec).expect("fresh run");
+            let reused = runner.run_full(&spec).expect("reused run");
+            assert_eq!(fresh, reused, "divergence after config switch (round {round})");
+        }
+    }
+}

@@ -1,11 +1,13 @@
-//! Criterion microbenchmarks of the core data structures: cache access,
-//! Scale Tracker retire stream, Access Tracker activation, Record
-//! Protector record/hit.
+//! Criterion microbenchmarks of the simulation hot path and the core
+//! data structures: the settled access fast path, an in-flight-heavy
+//! prefetch storm, fresh-vs-runner leakage-cell trials, Scale Tracker
+//! retire stream, Access Tracker activation, Record Protector record/hit.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use prefender_attacks::{run_attack_full, AttackKind, AttackSpec, DefenseConfig, Runner};
 use prefender_core::{AccessTracker, AtConfig, CalculationBuffer, RecordProtector, RpConfig};
 use prefender_isa::Program;
-use prefender_sim::{AccessKind, Addr, Cycle, HierarchyConfig, MemorySystem};
+use prefender_sim::{AccessKind, Addr, Cycle, HierarchyConfig, MemorySystem, PrefetchSource};
 
 fn bench_cache(c: &mut Criterion) {
     c.bench_function("memory_system_access_hit", |b| {
@@ -26,6 +28,66 @@ fn bench_cache(c: &mut Criterion) {
             t += 300;
             addr = (addr + 64) % (1 << 24);
             m.access(0, Addr::new(addr), AccessKind::Read, Cycle::new(t))
+        });
+    });
+    c.bench_function("memory_system_access_settled_pending", |b| {
+        // The settled fast path with a *pending* (far-future) prefetch in
+        // every completion queue: settle must early-exit on one peek.
+        // Issued far enough out that it never completes during the run.
+        let mut m = MemorySystem::new(HierarchyConfig::paper_baseline(1).unwrap());
+        let a = Addr::new(0x4000);
+        m.access(0, a, AccessKind::Read, Cycle::ZERO);
+        m.prefetch(0, Addr::new(0x10_0000), PrefetchSource::Other, Cycle::new(1 << 40));
+        let mut t = 1000u64;
+        b.iter(|| {
+            t += 1;
+            m.access(0, a, AccessKind::Read, Cycle::new(t))
+        });
+    });
+    c.bench_function("memory_system_prefetch_storm", |b| {
+        // In-flight-heavy: a stream of prefetches expiring while demand
+        // accesses interleave — the completion queues never go idle.
+        let mut m = MemorySystem::new(HierarchyConfig::paper_baseline(1).unwrap());
+        let mut now = 0u64;
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            m.prefetch(
+                0,
+                Addr::new(0x100_0000 + (k % 4096) * 64),
+                PrefetchSource::Basic,
+                Cycle::new(now),
+            );
+            let out = m.access(
+                0,
+                Addr::new(0x4000 + (k % 16) * 64),
+                AccessKind::Read,
+                Cycle::new(now + 2),
+            );
+            now += 7;
+            out
+        });
+    });
+}
+
+fn bench_leakage_cell(c: &mut Criterion) {
+    // One leakage-campaign trial (cross-core Flush+Reload cell), fresh
+    // machine per trial versus one reused Runner — the BENCH_sim.json
+    // headline, sampled at criterion granularity.
+    let base = AttackSpec::new(AttackKind::FlushReload, DefenseConfig::None).cross_core(true);
+    c.bench_function("leakage_cell_trial_fresh_machine", |b| {
+        let mut trial = 0u64;
+        b.iter(|| {
+            trial += 1;
+            run_attack_full(&base.clone().with_seed(trial)).unwrap()
+        });
+    });
+    c.bench_function("leakage_cell_trial_reused_runner", |b| {
+        let mut runner = Runner::new(&base).unwrap();
+        let mut trial = 0u64;
+        b.iter(|| {
+            trial += 1;
+            runner.run_full(&base.clone().with_seed(trial)).unwrap()
         });
     });
 }
@@ -84,6 +146,7 @@ fn bench_record_protector(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_cache,
+    bench_leakage_cell,
     bench_scale_tracker,
     bench_access_tracker,
     bench_record_protector

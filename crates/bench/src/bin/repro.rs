@@ -18,7 +18,11 @@
 //!   leakage   Figure 8 re-measured in bits: secret-sweep campaigns per
 //!             panel, mutual information calibrated against a
 //!             200-permutation null (* = rejects 0-bit leakage, p<0.01)
-//!   all       everything above
+//!   bench-sim simulator-throughput microbenches (access fast path,
+//!             prefetch storm, fresh-vs-runner leakage cells); writes
+//!             BENCH_sim.json in the working directory
+//!   all       everything above except bench-sim (whose output is
+//!             timing-dependent, not a paper artifact)
 //! ```
 //!
 //! Every grid-shaped experiment is sharded across the sweep engine's
@@ -103,6 +107,14 @@ fn run_one(name: &str) -> Result<(), String> {
             println!("=== Leakage map: Figure 8 measured in bits (permutation-calibrated) ===\n");
             println!("{}", leakage::leakage_map().render());
         }
+        "bench-sim" => {
+            println!("=== Simulator throughput: hot path + fresh-vs-runner cells ===\n");
+            let report = prefender_bench::simbench::run(200);
+            print!("{}", report.render());
+            std::fs::write("BENCH_sim.json", report.to_json())
+                .map_err(|e| format!("writing BENCH_sim.json: {e}"))?;
+            println!("\nwrote BENCH_sim.json");
+        }
         "all" => {
             for e in [
                 "fig8",
@@ -133,7 +145,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <fig8|fig9|fig10|fig11|fig12|table4|table5|table6|hwcost|ablate-*|sweep|leakage|all> ..."
+            "usage: repro <fig8|fig9|fig10|fig11|fig12|table4|table5|table6|hwcost|ablate-*|sweep|leakage|bench-sim|all> ..."
         );
         return ExitCode::FAILURE;
     }

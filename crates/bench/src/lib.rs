@@ -16,6 +16,7 @@
 //! | Section V-E | [`hwcost::report`] | `hwcost` |
 //! | (extensions) | [`ablation`] | `ablate-*` |
 //! | (extension: Figure 8 in bits) | [`leakage::leakage_map`] | `leakage` |
+//! | (extension: hot-path throughput) | [`simbench::run`] | `bench-sim` |
 //!
 //! Every runner is a pure function returning printable text plus
 //! structured data, so the integration tests can assert the paper's
@@ -27,6 +28,7 @@ pub mod figures;
 pub mod hwcost;
 pub mod leakage;
 pub mod security;
+pub mod simbench;
 pub mod tables;
 
 // The performance-run machinery lives beside the sweep engine

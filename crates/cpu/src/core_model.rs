@@ -89,6 +89,17 @@ impl Core {
         self.retired
     }
 
+    /// Returns the core to its just-constructed state: no program,
+    /// zeroed registers, idle at cycle zero.
+    pub(crate) fn reset(&mut self) {
+        self.regs.reset();
+        self.program = None;
+        self.pc_index = 0;
+        self.state = CoreState::Idle;
+        self.ready_at = Cycle::ZERO;
+        self.retired = 0;
+    }
+
     pub(crate) fn load(&mut self, program: Program, start_at: Cycle) {
         self.program = Some(program);
         self.pc_index = 0;

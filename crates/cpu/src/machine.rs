@@ -78,6 +78,36 @@ impl fmt::Display for RunSummary {
     }
 }
 
+/// A fast deterministic hasher for the sparse data memory. The map is
+/// keyed by 64-bit addresses and never iterated, so one SplitMix64
+/// finalizer round replaces the default SipHash with no observable
+/// difference — it just makes every simulated load/store cheaper.
+#[derive(Debug, Default, Clone, Copy)]
+struct AddrHasher(u64);
+
+impl std::hash::Hasher for AddrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (FNV-1a); the u64 key path below is the one
+        // the data map actually exercises.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        let mut z = n.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+type AddrMap = HashMap<u64, u64, std::hash::BuildHasherDefault<AddrHasher>>;
+
 /// A multi-core machine: cores + hierarchy + per-core prefetchers + sparse
 /// data memory + access trace.
 ///
@@ -90,7 +120,7 @@ pub struct Machine {
     mem: MemorySystem,
     cores: Vec<Core>,
     prefetchers: Vec<Option<Box<dyn Prefetcher>>>,
-    data: HashMap<u64, u64>,
+    data: AddrMap,
     trace: MemTrace,
 }
 
@@ -117,9 +147,29 @@ impl Machine {
             mem: MemorySystem::new(hierarchy),
             cores: (0..n).map(Core::new).collect(),
             prefetchers: (0..n).map(|_| None).collect(),
-            data: HashMap::new(),
+            data: AddrMap::default(),
             trace: MemTrace::new(),
         }
+    }
+
+    /// Returns the machine to its just-constructed state without
+    /// releasing any allocation: the hierarchy and every core reset in
+    /// place, attached prefetchers keep their configuration but lose all
+    /// learned state and counters, and the sparse data memory and trace
+    /// are cleared (trace enablement is kept). Behaviour after `reset`
+    /// is bit-identical to a freshly built machine with the same
+    /// hierarchy, CPU config and prefetcher stack — the contract the
+    /// reusable attack runner in `prefender-attacks` builds on.
+    pub fn reset(&mut self) {
+        self.mem.reset();
+        for c in &mut self.cores {
+            c.reset();
+        }
+        for p in self.prefetchers.iter_mut().flatten() {
+            p.reset();
+        }
+        self.data.clear();
+        self.trace.clear();
     }
 
     /// The memory hierarchy (stats, probes).
@@ -687,5 +737,54 @@ mod tests {
     fn summary_display() {
         let s = RunSummary { cycles: 100, instructions: 50, truncated: false };
         assert!(s.to_string().contains("IPC 0.500"));
+    }
+
+    fn attack_like_program() -> Program {
+        Program::parse(
+            "
+            li r1, 0x9000
+            ld r2, 0(r1)
+            ld r3, 64(r1)
+            flush 0(r1)
+            ld r2, 0(r1)
+            st r2, 128(r1)
+            halt
+            ",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reset_replays_bit_identically_to_fresh() {
+        let build = || {
+            let mut m = Machine::new(HierarchyConfig::paper_baseline(1).unwrap());
+            m.set_prefetcher(0, Box::new(TaggedPrefetcher::new(64, 1)));
+            m.trace_mut().set_enabled(true);
+            m
+        };
+        let mut fresh = build();
+        fresh.write_data(0x9000, 7);
+        fresh.load_program(0, attack_like_program());
+        let fresh_summary = fresh.run();
+
+        let mut reused = build();
+        reused.write_data(0x9040, 99); // different data, to be wiped
+        reused.load_program(0, attack_like_program());
+        reused.run();
+        reused.reset();
+        assert_eq!(reused.now(), Cycle::ZERO);
+        assert_eq!(reused.core(0).state(), CoreState::Idle);
+        assert_eq!(reused.read_data(0x9040), 0, "data memory cleared");
+        assert_eq!(reused.prefetcher(0).unwrap().issued(), 0);
+        assert!(reused.trace().entries().is_empty());
+        assert!(reused.trace().is_enabled(), "enablement survives reset");
+
+        reused.write_data(0x9000, 7);
+        reused.load_program(0, attack_like_program());
+        let replay = reused.run();
+        assert_eq!(replay, fresh_summary);
+        assert_eq!(reused.trace().entries(), fresh.trace().entries());
+        assert_eq!(reused.mem().l1d(0).stats(), fresh.mem().l1d(0).stats());
+        assert_eq!(reused.core(0).regs().read(Reg::R2), fresh.core(0).regs().read(Reg::R2));
     }
 }

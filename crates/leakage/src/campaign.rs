@@ -1,6 +1,6 @@
 //! Secret-sweep campaigns: run every secret × trial, estimate the channel.
 
-use prefender_attacks::{run_attack_full, AttackError, AttackSpec, RunMetrics};
+use prefender_attacks::{AttackError, AttackSpec, RunMetrics, Runner};
 use prefender_stats::{derive_seed, Histogram};
 
 use crate::channel::{Channel, NullTest};
@@ -150,14 +150,16 @@ impl LeakageCampaign {
         let mut channel = Channel::new(self.secrets.len());
         let mut totals = RunMetrics::default();
         let mut hist = Histogram::new();
+        // One reusable runner (machine + prefetcher stack) serves every
+        // trial: only the injected secret and the probe seed vary, so
+        // each trial is an in-place machine reset, not a reconstruction.
+        let mut runner = Runner::new(&self.base)?;
+        let mut spec = self.base.clone();
         for (slot, &secret) in self.secrets.iter().enumerate() {
             for trial in 0..self.trials.max(1) {
-                let spec = self.base.clone().with_secret(secret).with_seed(self.trial_seed(
-                    campaign_seed,
-                    slot,
-                    trial,
-                ));
-                let (outcome, metrics) = run_attack_full(&spec)?;
+                spec.layout.secret = secret;
+                spec.seed = self.trial_seed(campaign_seed, slot, trial);
+                let (outcome, metrics) = runner.run_full(&spec)?;
                 channel.record(slot, self.decoder.observe(&outcome));
                 totals.cycles += metrics.cycles;
                 totals.instructions += metrics.instructions;

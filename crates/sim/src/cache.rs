@@ -1,6 +1,7 @@
 //! A single set-associative cache array with in-flight prefetch tracking.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use crate::addr::Addr;
 use crate::config::CacheConfig;
@@ -74,10 +75,26 @@ pub struct Cache {
     cfg: CacheConfig,
     sets: Vec<Vec<CacheLine>>,
     inflight: HashMap<u64, InFlight>,
+    /// Completion events mirroring `inflight`, min-ordered by
+    /// `(ready_at, line_addr)` so [`Cache::expire_inflight_into`] pops in
+    /// the exact deterministic order the old sort-scan produced — and
+    /// early-exits in O(1) when nothing is due. Entries may be stale
+    /// (cancelled or already materialized); they are skipped on pop by
+    /// checking the map.
+    completions: BinaryHeap<Reverse<(Cycle, u64)>>,
+    /// Sets that have held at least one installed line since the last
+    /// reset; [`Cache::reset`] clears only these instead of sweeping the
+    /// whole array. Capped at `n_sets` recordings — beyond that
+    /// `touched_overflow` triggers a full sweep.
+    touched_sets: Vec<u32>,
+    touched_overflow: bool,
     stats: CacheStats,
     fill_seq: u64,
     rng_state: u64,
 }
+
+/// The replacement RNG's cold-start state (xorshift64* seed).
+const COLD_RNG_STATE: u64 = 0x9E37_79B9_7F4A_7C15;
 
 impl Cache {
     /// Creates an empty cache with the given geometry.
@@ -88,10 +105,46 @@ impl Cache {
             cfg,
             sets: vec![vec![CacheLine::empty(); assoc]; n_sets],
             inflight: HashMap::new(),
+            completions: BinaryHeap::new(),
+            touched_sets: Vec::new(),
+            touched_overflow: false,
             stats: CacheStats::new(),
             fill_seq: 0,
-            rng_state: 0x9E37_79B9_7F4A_7C15,
+            rng_state: COLD_RNG_STATE,
         }
+    }
+
+    /// Returns the cache to its cold (just-constructed) state without
+    /// releasing any allocation: installed lines are emptied (only the
+    /// sets actually touched since the last reset are visited), in-flight
+    /// prefetches are cancelled, statistics and the replacement state are
+    /// zeroed. Behaviour after `reset` is bit-identical to a fresh
+    /// [`Cache::new`] with the same config.
+    pub fn reset(&mut self) {
+        if self.touched_overflow {
+            for set in &mut self.sets {
+                for line in set.iter_mut() {
+                    if line.valid {
+                        *line = CacheLine::empty();
+                    }
+                }
+            }
+        } else {
+            for &set in &self.touched_sets {
+                for line in self.sets[set as usize].iter_mut() {
+                    if line.valid {
+                        *line = CacheLine::empty();
+                    }
+                }
+            }
+        }
+        self.touched_sets.clear();
+        self.touched_overflow = false;
+        self.inflight.clear();
+        self.completions.clear();
+        self.stats.reset();
+        self.fill_seq = 0;
+        self.rng_state = COLD_RNG_STATE;
     }
 
     /// The cache's geometry and timing configuration.
@@ -109,25 +162,35 @@ impl Cache {
         &mut self.stats
     }
 
+    #[inline]
     fn line_addr(&self, addr: Addr) -> u64 {
-        addr.line(self.cfg.line_size()).raw()
+        self.cfg.line_addr_of(addr)
     }
 
+    #[inline]
     fn set_of(&self, addr: Addr) -> usize {
         self.cfg.set_index(addr) as usize
     }
 
+    /// Presence check for an already line-aligned address (the internal
+    /// form: computes the set once and reuses the caller's alignment).
+    #[inline]
+    fn contains_line(&self, la: u64) -> bool {
+        let set = self.cfg.set_index_of_line(la) as usize;
+        self.sets[set].iter().any(|l| l.valid && l.tag == la)
+    }
+
     /// Non-mutating presence check (installed lines only).
     pub fn contains(&self, addr: Addr) -> bool {
-        let la = self.line_addr(addr);
-        self.sets[self.set_of(addr)].iter().any(|l| l.valid && l.tag == la)
+        self.contains_line(self.line_addr(addr))
     }
 
     /// Presence check that also counts lines still in flight from a
     /// prefetch. PREFENDER's "not currently in the L1D cache" test uses
     /// this, so a line is never prefetched twice.
     pub fn contains_or_inflight(&self, addr: Addr) -> bool {
-        self.contains(addr) || self.inflight.contains_key(&self.line_addr(addr))
+        let la = self.line_addr(addr);
+        self.contains_line(la) || self.inflight.contains_key(&la)
     }
 
     /// Number of valid lines currently installed (test/debug helper).
@@ -140,28 +203,43 @@ impl Cache {
     /// completion is invisible to callers.
     ///
     /// Returns evicted lines (write-back / back-invalidation work for the
-    /// hierarchy).
+    /// hierarchy). Convenience wrapper over
+    /// [`Cache::expire_inflight_into`] that allocates the result vector.
     pub fn expire_inflight(&mut self, now: Cycle) -> Vec<EvictedLine> {
-        let mut ready: Vec<(Cycle, u64)> = self
-            .inflight
-            .iter()
-            .filter(|(_, f)| f.ready_at <= now)
-            .map(|(&la, f)| (f.ready_at, la))
-            .collect();
-        // Fill in completion order (ties by address): the map's iteration
-        // order is hash-randomized per process, and when two expiring
-        // fills target the same set the fill order picks the eviction
-        // victim — sorting keeps whole-machine runs bit-deterministic.
-        ready.sort_unstable();
-        let ready: Vec<u64> = ready.into_iter().map(|(_, la)| la).collect();
         let mut evicted = Vec::new();
-        for la in ready {
-            let f = self.inflight.remove(&la).expect("key collected above");
+        self.expire_inflight_into(now, &mut evicted);
+        evicted
+    }
+
+    /// Allocation-free form of [`Cache::expire_inflight`]: evicted lines
+    /// are appended to the caller-provided `evicted` buffer.
+    ///
+    /// Completions pop off a min-heap ordered by `(ready_at, line_addr)`,
+    /// which is exactly the fill order the earlier scan-and-sort
+    /// implementation produced (when two expiring fills target the same
+    /// set the fill order picks the eviction victim, so this ordering is
+    /// load-bearing for whole-machine bit-determinism). When nothing is
+    /// due — the common case — the method returns after one heap peek
+    /// without touching the in-flight map.
+    pub fn expire_inflight_into(&mut self, now: Cycle, evicted: &mut Vec<EvictedLine>) {
+        while let Some(&Reverse((ready_at, la))) = self.completions.peek() {
+            if ready_at > now {
+                break;
+            }
+            self.completions.pop();
+            // Heap entries outlive cancellations (flush, late-prefetch
+            // materialization, reinsertion after invalidate): an entry is
+            // live only while the map still holds this line at this exact
+            // completion time.
+            match self.inflight.get(&la) {
+                Some(f) if f.ready_at == ready_at => {}
+                _ => continue,
+            }
+            let f = self.inflight.remove(&la).expect("checked live above");
             if let Some(e) = self.fill(Addr::new(la), f.ready_at, Some(f.source), false) {
                 evicted.push(e);
             }
         }
-        evicted
     }
 
     /// Performs a demand lookup, updating recency and prefetch-use
@@ -187,12 +265,12 @@ impl Cache {
             // moment the demand access can actually use it); the caller
             // charges the remaining latency.
             self.stats.prefetch_late += 1;
-            let evicted = self.fill(addr, f.ready_at.max(now), Some(f.source), false);
+            let (set, way, evicted) =
+                self.fill_resolved(addr, f.ready_at.max(now), Some(f.source), false);
             debug_assert!(evicted.is_none() || evicted.unwrap().addr.raw() != la);
-            // The demand access is about to use it: clear the tag bit.
-            if let Some(line) = self.line_mut(addr) {
-                line.prefetched = false;
-            }
+            // The demand access is about to use it: clear the tag bit
+            // (the fill resolved the way, so no second set scan).
+            self.sets[set][way].prefetched = false;
             return LookupResult::InFlight { ready_at: f.ready_at, source: f.source };
         }
         LookupResult::Miss
@@ -234,19 +312,34 @@ impl Cache {
         prefetch: Option<PrefetchSource>,
         write: bool,
     ) -> Option<EvictedLine> {
+        self.fill_resolved(addr, now, prefetch, write).2
+    }
+
+    /// [`Cache::fill`] that also reports `(set, way)` where the line now
+    /// lives, so callers needing to adjust line state afterwards (the
+    /// late-prefetch path) avoid a second set scan.
+    fn fill_resolved(
+        &mut self,
+        addr: Addr,
+        now: Cycle,
+        prefetch: Option<PrefetchSource>,
+        write: bool,
+    ) -> (usize, usize, Option<EvictedLine>) {
         let la = self.line_addr(addr);
+        let set = self.set_of(addr);
         // Already present: refresh.
-        if let Some(line) = self.line_mut(addr) {
+        if let Some(way) = self.sets[set].iter().position(|l| l.valid && l.tag == la) {
+            let line = &mut self.sets[set][way];
             line.last_touch = now;
             if write {
                 line.dirty = true;
             }
-            return None;
+            return (set, way, None);
         }
         self.inflight.remove(&la);
+        self.record_touched(set);
         let seq = self.fill_seq;
         self.fill_seq += 1;
-        let set = self.set_of(addr);
         let victim_way = self.pick_victim(set);
         let victim = &mut self.sets[set][victim_way];
         let evicted = if victim.valid {
@@ -270,7 +363,23 @@ impl Cache {
         if prefetch.is_some() {
             self.stats.prefetch_fills += 1;
         }
-        evicted
+        (set, victim_way, evicted)
+    }
+
+    /// Remembers that `set` may now hold installed lines, so
+    /// [`Cache::reset`] can clear only the touched portion of the array.
+    #[inline]
+    fn record_touched(&mut self, set: usize) {
+        if self.touched_overflow {
+            return;
+        }
+        if self.touched_sets.len() >= self.sets.len() {
+            // More recordings than sets: a full sweep is cheaper than
+            // deduplicating, and the list stays bounded.
+            self.touched_overflow = true;
+            return;
+        }
+        self.touched_sets.push(set as u32);
     }
 
     /// Registers an in-flight prefetch completing at `ready_at`.
@@ -278,10 +387,11 @@ impl Cache {
     /// No-op when the line is already installed or already in flight.
     pub fn fill_inflight(&mut self, addr: Addr, ready_at: Cycle, source: PrefetchSource) {
         let la = self.line_addr(addr);
-        if self.contains(addr) || self.inflight.contains_key(&la) {
+        if self.contains_line(la) || self.inflight.contains_key(&la) {
             return;
         }
         self.inflight.insert(la, InFlight { ready_at, source });
+        self.completions.push(Reverse((ready_at, la)));
     }
 
     /// Removes a line (flush or back-invalidation). Also cancels any
@@ -533,5 +643,99 @@ mod tests {
         c.fill(Addr::new(0x400), Cycle::ZERO, None, false);
         c.fill(Addr::new(0x100), Cycle::ZERO, None, false);
         assert_eq!(c.resident_lines(), vec![Addr::new(0x100), Addr::new(0x400)]);
+    }
+
+    #[test]
+    fn expire_pops_in_ready_then_address_order() {
+        // Two same-set lines expiring together: fills must land in
+        // (ready_at, addr) order so the eviction victim is deterministic.
+        let mut c = tiny(2, ReplacementPolicy::Lru);
+        c.fill_inflight(Addr::new(0x800), Cycle::new(50), PrefetchSource::Basic);
+        c.fill_inflight(Addr::new(0x400), Cycle::new(50), PrefetchSource::Basic);
+        c.fill_inflight(Addr::new(0x000), Cycle::new(40), PrefetchSource::Basic);
+        // Set 0 holds two ways; three fills => one eviction. 0x000 fills
+        // first (earlier ready), then 0x400 (address tie-break), then
+        // 0x800 evicts the LRU line 0x000.
+        let evicted = c.expire_inflight(Cycle::new(60));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].addr, Addr::new(0x000));
+        assert!(c.contains(Addr::new(0x400)) && c.contains(Addr::new(0x800)));
+    }
+
+    #[test]
+    fn cancelled_inflight_never_materializes() {
+        // A stale completion-queue entry (invalidated, then re-prefetched
+        // at a different time) must not fill early or twice.
+        let mut c = tiny(2, ReplacementPolicy::Lru);
+        let a = Addr::new(0x100);
+        c.fill_inflight(a, Cycle::new(100), PrefetchSource::Basic);
+        c.invalidate(a);
+        assert!(!c.contains_or_inflight(a));
+        assert!(c.expire_inflight(Cycle::new(200)).is_empty());
+        assert!(!c.contains(a), "cancelled prefetch must not materialize");
+
+        c.fill_inflight(a, Cycle::new(300), PrefetchSource::ScaleTracker);
+        c.invalidate(a);
+        c.fill_inflight(a, Cycle::new(250), PrefetchSource::AccessTracker);
+        c.expire_inflight(Cycle::new(400));
+        assert!(c.contains(a));
+        assert_eq!(c.stats().prefetch_fills, 1, "exactly one fill despite stale queue entries");
+        match c.demand_lookup(a, Cycle::new(500)) {
+            LookupResult::Hit { first_prefetch_use, source } => {
+                assert!(first_prefetch_use);
+                assert_eq!(source, PrefetchSource::AccessTracker, "the live (second) prefetch won");
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expire_into_appends_without_clearing() {
+        let mut c = tiny(2, ReplacementPolicy::Lru);
+        c.fill(Addr::new(0x000), Cycle::new(0), None, false);
+        c.fill(Addr::new(0x400), Cycle::new(1), None, false);
+        c.fill_inflight(Addr::new(0x800), Cycle::new(10), PrefetchSource::Basic);
+        let mut sink = vec![EvictedLine { addr: Addr::new(0xDEAD), dirty: false }];
+        c.expire_inflight_into(Cycle::new(10), &mut sink);
+        assert_eq!(sink.len(), 2, "appends after existing content");
+        assert_eq!(sink[1].addr, Addr::new(0x000));
+    }
+
+    #[test]
+    fn reset_restores_cold_state_including_replacement_rng() {
+        let run = |c: &mut Cache| {
+            let mut evictions = Vec::new();
+            for i in 0..16u64 {
+                if let Some(e) = c.fill(Addr::new(i * 0x400), Cycle::new(i), None, false) {
+                    evictions.push(e.addr.raw());
+                }
+            }
+            evictions
+        };
+        let mut c = tiny(2, ReplacementPolicy::Random);
+        let first = run(&mut c);
+        c.fill_inflight(Addr::new(0x7000), Cycle::new(999), PrefetchSource::Basic);
+        c.reset();
+        assert_eq!(c.occupancy(), 0);
+        assert!(!c.contains_or_inflight(Addr::new(0x7000)));
+        assert_eq!(c.stats(), &CacheStats::new());
+        let second = run(&mut c);
+        assert_eq!(first, second, "reset must restore the cold replacement RNG stream");
+        assert!(c.expire_inflight(Cycle::new(10_000)).is_empty(), "completion queue drained");
+    }
+
+    #[test]
+    fn reset_survives_touched_set_overflow() {
+        // More installs than sets: the touched list overflows and reset
+        // falls back to a full sweep — still leaving a cold cache.
+        let mut c = tiny(2, ReplacementPolicy::Lru);
+        for i in 0..64u64 {
+            c.fill(Addr::new(i * 0x40), Cycle::new(i), None, false);
+        }
+        c.reset();
+        assert_eq!(c.occupancy(), 0);
+        for i in 0..64u64 {
+            assert!(!c.contains(Addr::new(i * 0x40)), "line {i} must be gone");
+        }
     }
 }

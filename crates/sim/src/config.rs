@@ -75,6 +75,12 @@ pub struct CacheConfig {
     line_size: u64,
     hit_latency: u64,
     replacement: ReplacementPolicy,
+    // Derived geometry, precomputed once so the per-access hot path does
+    // shift-and-mask instead of div/mod (all parameters are validated
+    // powers of two, so these are exact).
+    line_shift: u32,
+    line_mask: u64,
+    set_mask: u64,
 }
 
 impl CacheConfig {
@@ -111,6 +117,12 @@ impl CacheConfig {
         if lines == 0 || !lines.is_multiple_of(associativity as u64) {
             return Err(ConfigError::Indivisible { size, associativity, line_size });
         }
+        let n_sets = lines / associativity as u64;
+        if !n_sets.is_power_of_two() {
+            // size, line_size and associativity are powers of two, so this
+            // cannot trip; it guards the mask arithmetic below regardless.
+            return Err(ConfigError::Indivisible { size, associativity, line_size });
+        }
         Ok(CacheConfig {
             name: name.to_owned(),
             size,
@@ -118,6 +130,9 @@ impl CacheConfig {
             line_size,
             hit_latency,
             replacement: ReplacementPolicy::Lru,
+            line_shift: line_size.trailing_zeros(),
+            line_mask: !(line_size - 1),
+            set_mask: n_sets - 1,
         })
     }
 
@@ -160,12 +175,26 @@ impl CacheConfig {
 
     /// Number of sets (`size / line_size / associativity`).
     pub fn n_sets(&self) -> u64 {
-        self.size / self.line_size / self.associativity as u64
+        self.set_mask + 1
     }
 
     /// The set index an address maps to.
+    #[inline]
     pub fn set_index(&self, addr: crate::Addr) -> u64 {
-        (addr.raw() / self.line_size) % self.n_sets()
+        (addr.raw() >> self.line_shift) & self.set_mask
+    }
+
+    /// The set index a line-aligned address maps to (same value as
+    /// [`CacheConfig::set_index`]; the alignment makes no difference).
+    #[inline]
+    pub(crate) fn set_index_of_line(&self, line_addr: u64) -> u64 {
+        (line_addr >> self.line_shift) & self.set_mask
+    }
+
+    /// The line-aligned address containing `addr` (the cache tag).
+    #[inline]
+    pub(crate) fn line_addr_of(&self, addr: crate::Addr) -> u64 {
+        addr.raw() & self.line_mask
     }
 }
 

@@ -87,6 +87,14 @@ impl MshrFile {
         }
     }
 
+    /// Drops every outstanding entry and zeroes the counters, returning
+    /// the file to its just-constructed state (capacity is kept).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.stalls = 0;
+        self.merges = 0;
+    }
+
     /// Number of entries still outstanding at `now`.
     pub fn occupancy(&self, now: Cycle) -> usize {
         self.entries.iter().filter(|e| e.ready_at > now).count()

@@ -1,0 +1,185 @@
+//! Property tests pinning the event-driven (min-heap) in-flight
+//! completion path bit-for-bit against the original scan-and-sort
+//! semantics on random prefetch schedules.
+//!
+//! The reference model re-implements the pre-heap algorithm through the
+//! public API: it mirrors the in-flight set in its own map and, at each
+//! expiry point, collects the due entries, sorts them by `(ready_at,
+//! line_addr)` and applies them through plain [`Cache::fill`] calls in
+//! that order — exactly what `expire_inflight` used to do. Any
+//! divergence in fill order, eviction victims, statistics or residency
+//! between the model and the real cache fails the property.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use prefender_sim::{
+    Addr, Cache, CacheConfig, Cycle, EvictedLine, PrefetchSource, ReplacementPolicy,
+};
+
+/// One step of a random prefetch schedule.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Register an in-flight prefetch of line `slot` completing after
+    /// `delay` cycles.
+    Inflight { slot: u64, delay: u64 },
+    /// Cancel line `slot` (flush / back-invalidation path).
+    Invalidate { slot: u64 },
+    /// Demand-fill line `slot` right now (cancels any in-flight copy).
+    Fill { slot: u64 },
+    /// Advance time by `advance` and materialize everything due.
+    Expire { advance: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // 24 line slots over an 8-set cache: constant same-set collisions.
+    prop_oneof![
+        (0u64..24, 0u64..60).prop_map(|(slot, delay)| Op::Inflight { slot, delay }),
+        (0u64..24).prop_map(|slot| Op::Invalidate { slot }),
+        (0u64..24).prop_map(|slot| Op::Fill { slot }),
+        (0u64..40).prop_map(|advance| Op::Expire { advance }),
+    ]
+}
+
+fn addr_of(slot: u64) -> Addr {
+    Addr::new(slot * 64)
+}
+
+fn source_of(slot: u64) -> PrefetchSource {
+    match slot % 3 {
+        0 => PrefetchSource::Basic,
+        1 => PrefetchSource::ScaleTracker,
+        _ => PrefetchSource::AccessTracker,
+    }
+}
+
+/// The pre-heap reference: a cache that never uses `fill_inflight`, plus
+/// a hand-maintained in-flight map replaying the old scan-sort-fill
+/// expiry through public `fill` calls.
+struct SortScanModel {
+    cache: Cache,
+    inflight: HashMap<u64, (Cycle, PrefetchSource)>,
+}
+
+impl SortScanModel {
+    fn new(cfg: CacheConfig) -> Self {
+        SortScanModel { cache: Cache::new(cfg), inflight: HashMap::new() }
+    }
+
+    fn fill_inflight(&mut self, addr: Addr, ready_at: Cycle, source: PrefetchSource) {
+        let la = addr.line(64).raw();
+        if self.cache.contains(addr) || self.inflight.contains_key(&la) {
+            return;
+        }
+        self.inflight.insert(la, (ready_at, source));
+    }
+
+    fn invalidate(&mut self, addr: Addr) -> Option<EvictedLine> {
+        self.inflight.remove(&addr.line(64).raw());
+        self.cache.invalidate(addr)
+    }
+
+    fn fill(&mut self, addr: Addr, now: Cycle) -> Option<EvictedLine> {
+        self.inflight.remove(&addr.line(64).raw());
+        self.cache.fill(addr, now, None, false)
+    }
+
+    fn expire(&mut self, now: Cycle) -> Vec<EvictedLine> {
+        // Verbatim old algorithm: collect due entries, sort by
+        // (ready_at, line_addr), fill in that order.
+        let mut ready: Vec<(Cycle, u64)> = self
+            .inflight
+            .iter()
+            .filter(|(_, (t, _))| *t <= now)
+            .map(|(&la, &(t, _))| (t, la))
+            .collect();
+        ready.sort_unstable();
+        let mut evicted = Vec::new();
+        for (_, la) in ready {
+            let (t, source) = self.inflight.remove(&la).expect("collected above");
+            if let Some(e) = self.cache.fill(Addr::new(la), t, Some(source), false) {
+                evicted.push(e);
+            }
+        }
+        evicted
+    }
+}
+
+fn tiny_cfg() -> CacheConfig {
+    // 1 KB, 2-way, 64 B lines => 8 sets; 24 slots = 3 lines per set.
+    CacheConfig::new("P", 1024, 2, 64, 4).unwrap().with_replacement(ReplacementPolicy::Lru)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The heap-based cache and the sort-scan model stay bit-identical —
+    /// same evictions in the same order, same residency, same stats —
+    /// across random schedules of prefetches, cancellations, demand
+    /// fills and expiries with mixed ready times and same-set collisions.
+    #[test]
+    fn heap_expiry_matches_sort_scan(ops in prop::collection::vec(arb_op(), 1..120)) {
+        let mut real = Cache::new(tiny_cfg());
+        let mut model = SortScanModel::new(tiny_cfg());
+        let mut now = 0u64;
+        for op in ops {
+            match op {
+                Op::Inflight { slot, delay } => {
+                    let (a, t) = (addr_of(slot), Cycle::new(now + delay));
+                    real.fill_inflight(a, t, source_of(slot));
+                    model.fill_inflight(a, t, source_of(slot));
+                }
+                Op::Invalidate { slot } => {
+                    let a = addr_of(slot);
+                    prop_assert_eq!(real.invalidate(a), model.invalidate(a));
+                }
+                Op::Fill { slot } => {
+                    let a = addr_of(slot);
+                    prop_assert_eq!(real.fill(a, Cycle::new(now), None, false),
+                                    model.fill(a, Cycle::new(now)));
+                }
+                Op::Expire { advance } => {
+                    now += advance;
+                    let evs = real.expire_inflight(Cycle::new(now));
+                    let model_evs = model.expire(Cycle::new(now));
+                    prop_assert_eq!(evs, model_evs, "eviction stream diverged at t={}", now);
+                }
+            }
+            // The in-flight view must agree at every step, not just at
+            // expiry points.
+            for slot in 0..24u64 {
+                let a = addr_of(slot);
+                prop_assert_eq!(
+                    real.contains_or_inflight(a),
+                    model.cache.contains(a)
+                        || model.inflight.contains_key(&a.line(64).raw()),
+                    "in-flight view diverged for slot {} at t={}", slot, now
+                );
+            }
+        }
+        // Drain everything still pending and compare the final states.
+        now += 10_000;
+        prop_assert_eq!(real.expire_inflight(Cycle::new(now)), model.expire(Cycle::new(now)));
+        prop_assert_eq!(real.resident_lines(), model.cache.resident_lines());
+        prop_assert_eq!(real.occupancy(), model.cache.occupancy());
+        prop_assert_eq!(real.stats(), model.cache.stats());
+    }
+
+    /// `expire_inflight` on an idle (or all-pending) queue returns
+    /// nothing and changes nothing, at any time.
+    #[test]
+    fn idle_expiry_is_inert(slots in prop::collection::vec(0u64..24, 0..8), at in 0u64..100) {
+        let mut c = Cache::new(tiny_cfg());
+        for &s in &slots {
+            c.fill_inflight(addr_of(s), Cycle::new(200 + s), source_of(s));
+        }
+        let before = *c.stats();
+        prop_assert!(c.expire_inflight(Cycle::new(at)).is_empty());
+        prop_assert_eq!(c.occupancy(), 0);
+        prop_assert_eq!(c.stats(), &before);
+        for &s in &slots {
+            prop_assert!(c.contains_or_inflight(addr_of(s)), "pending entry lost");
+        }
+    }
+}

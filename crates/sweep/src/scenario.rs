@@ -1,9 +1,10 @@
 //! Scenarios: one grid point, its execution, and its result record.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 
-use prefender_attacks::{run_attack_full, AttackSpec, Basic};
+use prefender_attacks::{AttackOutcome, AttackSpec, Basic, RunMetrics, Runner};
 use prefender_cpu::Machine;
 use prefender_leakage::{LeakageCampaign, ResampleOptions};
 use prefender_stats::derive_seed;
@@ -314,10 +315,33 @@ fn run_leakage_scenario(
     }
 }
 
+thread_local! {
+    /// One cached [`Runner`] per worker thread: consecutive scenarios
+    /// sharing machine-shaping axes reuse the machine via an in-place
+    /// reset (the `Runner` itself rebuilds on a configuration change).
+    /// Reuse is bit-exact, so results stay independent of which
+    /// scenarios a thread happened to run before — the determinism
+    /// contract (byte-identical artifacts at any thread count) holds.
+    static ATTACK_RUNNER: RefCell<Option<Runner>> = const { RefCell::new(None) };
+}
+
+/// Runs `spec` on the calling thread's cached [`Runner`].
+fn run_attack_cached(
+    spec: &AttackSpec,
+) -> Result<(AttackOutcome, RunMetrics), prefender_attacks::AttackError> {
+    ATTACK_RUNNER.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(Runner::new(spec)?);
+        }
+        slot.as_mut().expect("populated above").run_full(spec)
+    })
+}
+
 fn run_attack_scenario(s: &Scenario, case: &AttackCase, seed: u64) -> ScenarioResult {
     let spec = attack_spec(s, case, seed);
     let (outcome, metrics) =
-        run_attack_full(&spec).unwrap_or_else(|e| panic!("scenario {}: {e}", s.id()));
+        run_attack_cached(&spec).unwrap_or_else(|e| panic!("scenario {}: {e}", s.id()));
     let mut hist: BTreeMap<u64, u64> = BTreeMap::new();
     for p in &outcome.samples {
         *hist.entry(p.latency).or_insert(0) += 1;
