@@ -45,5 +45,5 @@ pub use programs::{
 };
 pub use runner::{
     run_attack, run_attack_full, run_attack_with_timeline, AttackError, AttackKind, AttackSpec,
-    Basic, DefenseConfig, NoiseSpec, RunMetrics, Runner, TimelinePoint,
+    Basic, DefenseConfig, MachineKey, NoiseSpec, RunMetrics, Runner, TimelinePoint,
 };

@@ -20,7 +20,7 @@ use crate::programs::{
 };
 
 /// Which attack to run (paper Section II-A / Figure 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AttackKind {
     /// Flush the eviction set with `clflush`, reload and time.
     FlushReload,
@@ -43,7 +43,7 @@ impl fmt::Display for AttackKind {
 
 /// The conventional (basic) prefetcher of a configuration — either alone
 /// or chained under PREFENDER (paper Tables IV–VI columns).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Basic {
     /// No basic prefetcher.
     #[default]
@@ -100,7 +100,7 @@ impl NoiseSpec {
 }
 
 /// Which PREFENDER units defend (the paper's Figure 8 legend).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DefenseConfig {
     /// No prefetcher at all (the "Base" curves).
     None,
@@ -469,18 +469,28 @@ pub fn run_attack_with_timeline(
 /// The machine-shaping axes of an [`AttackSpec`]: two specs with equal
 /// keys run on identically constructed machines, so a [`Runner`] can
 /// serve both with an in-place reset instead of a rebuild.
+///
+/// Campaign schedulers group work by this key so consecutive items on a
+/// worker hit the runner's cheap reset path — the sweep engine's
+/// config-major dispatch sorts its work-list by exactly these axes.
 #[derive(Debug, Clone, PartialEq)]
-struct RunnerKey {
-    cross_core: bool,
-    defense: DefenseConfig,
-    basic: Basic,
-    buffers: usize,
-    hierarchy: Option<HierarchyConfig>,
+pub struct MachineKey {
+    /// Attacker and victim on different cores (fixes the core count).
+    pub cross_core: bool,
+    /// Which PREFENDER units defend.
+    pub defense: DefenseConfig,
+    /// Basic prefetcher on every core.
+    pub basic: Basic,
+    /// Access-buffer count for the defense.
+    pub buffers: usize,
+    /// Cache-hierarchy override, when the spec carries one.
+    pub hierarchy: Option<HierarchyConfig>,
 }
 
-impl RunnerKey {
-    fn of(spec: &AttackSpec) -> Self {
-        RunnerKey {
+impl MachineKey {
+    /// The machine-shaping axes of `spec`.
+    pub fn of(spec: &AttackSpec) -> Self {
+        MachineKey {
             cross_core: spec.cross_core,
             defense: spec.defense,
             basic: spec.basic,
@@ -519,7 +529,7 @@ impl RunnerKey {
 #[derive(Debug)]
 pub struct Runner {
     machine: Machine,
-    key: RunnerKey,
+    key: MachineKey,
 }
 
 impl Runner {
@@ -531,9 +541,16 @@ impl Runner {
     /// Returns [`AttackError::Config`] when the hierarchy override fails
     /// to validate.
     pub fn new(spec: &AttackSpec) -> Result<Self, AttackError> {
-        let key = RunnerKey::of(spec);
+        let key = MachineKey::of(spec);
         let machine = build_machine(&key)?;
         Ok(Runner { machine, key })
+    }
+
+    /// The machine-shaping key the owned machine was built for. Specs
+    /// matching this key run through an in-place reset; any other spec
+    /// transparently rebuilds the machine (and updates the key).
+    pub fn key(&self) -> &MachineKey {
+        &self.key
     }
 
     /// Runs one attack experiment on the owned machine.
@@ -562,7 +579,7 @@ impl Runner {
     /// Resets (or, on a configuration change, rebuilds) the machine so it
     /// is cold and shaped for `spec`.
     fn prepare(&mut self, spec: &AttackSpec) -> Result<(), AttackError> {
-        let key = RunnerKey::of(spec);
+        let key = MachineKey::of(spec);
         if key == self.key {
             self.machine.reset();
         } else {
@@ -613,7 +630,7 @@ impl Runner {
 
 /// Builds the machine a [`RunnerKey`] describes: resolved hierarchy, CPU
 /// config, trace enabled, one prefetcher per core.
-fn build_machine(key: &RunnerKey) -> Result<Machine, AttackError> {
+fn build_machine(key: &MachineKey) -> Result<Machine, AttackError> {
     let n_cores = if key.cross_core { 2 } else { 1 };
     let hierarchy = match &key.hierarchy {
         Some(h) => {

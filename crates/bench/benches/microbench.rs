@@ -131,6 +131,107 @@ fn bench_access_tracker(c: &mut Criterion) {
     });
 }
 
+fn bench_prefender_on_access(c: &mut Criterion) {
+    use prefender_core::Prefender;
+    use prefender_isa::{Program, Reg};
+    use prefender_prefetch::{AccessEvent, PrefetchRequest, Prefetcher, RetireEvent};
+    use prefender_sim::{AccessOutcome, Level};
+
+    // The composed defense's per-load cost in isolation, per path, so a
+    // defense-model regression is caught without running a leakage cell.
+    fn load_event(pc: u64, addr: u64, l1_hit: bool) -> AccessEvent {
+        AccessEvent {
+            core: 0,
+            pc,
+            vaddr: Addr::new(addr),
+            base: Some(Reg::R5),
+            kind: AccessKind::Read,
+            outcome: AccessOutcome {
+                latency: if l1_hit { 4 } else { 200 },
+                served_by: if l1_hit { Level::L1 } else { Level::Memory },
+                first_prefetch_use: false,
+                prefetch_source: None,
+            },
+            now: Cycle::ZERO,
+        }
+    }
+
+    fn full() -> Prefender {
+        Prefender::builder(64, 4096).access_buffers(32).build()
+    }
+
+    // Entry-update (hit) path: the same block re-touched — no insert, no
+    // DiffMin work, no prefetch.
+    c.bench_function("prefender_on_access_hit", |b| {
+        let mut p = full();
+        let mut out: Vec<PrefetchRequest> = Vec::new();
+        let ev = load_event(0x8008, 0x10_0000, true);
+        b.iter(|| {
+            out.clear();
+            p.on_access_into(&ev, &|_| false, &mut out);
+        });
+    });
+
+    // Insert (miss) path: a fresh block every call — one incremental
+    // DiffMin pass, an LRU entry eviction that keeps the minimum
+    // (uniform stride), and a DiffMin prefetch decision.
+    c.bench_function("prefender_on_access_miss_insert", |b| {
+        let mut p = full();
+        let mut out: Vec<PrefetchRequest> = Vec::new();
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            out.clear();
+            p.on_access_into(
+                &load_event(0x8008, 0x10_0000 + k * 0x200, false),
+                &|_| false,
+                &mut out,
+            );
+        });
+    });
+
+    // DiffMin-recompute path: quadratically spaced blocks make the two
+    // oldest entries the unique minimum pair, so every LRU eviction
+    // removes the last minimum pair and forces the full pairwise rescan.
+    c.bench_function("prefender_on_access_diffmin_recompute", |b| {
+        let mut p = full();
+        let mut out: Vec<PrefetchRequest> = Vec::new();
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            out.clear();
+            p.on_access_into(
+                &load_event(0x8008, 0x10_0000 + k * k * 0x40, false),
+                &|_| false,
+                &mut out,
+            );
+        });
+    });
+
+    // Protected-buffer path: a victim's `mul`-derived scale records a
+    // pattern; on-pattern probe accesses hit the scale buffer, protect
+    // the buffer and take the RP-guided prefetch branch.
+    c.bench_function("prefender_on_access_protected", |b| {
+        let mut p = full();
+        for i in Program::parse("ld r1, 0(r0)\nmul r5, r1, 0x200\n").unwrap().instrs() {
+            p.on_retire(&RetireEvent { core: 0, pc: 0, instr: i, now: Cycle::ZERO });
+        }
+        // Record the (0x200, victim block) pattern once.
+        let mut out: Vec<PrefetchRequest> = Vec::new();
+        p.on_access_into(&load_event(0x8000, 0x10_0800, false), &|_| false, &mut out);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            out.clear();
+            p.on_access_into(
+                &load_event(0x9000, 0x10_0800 + (k % 61) * 0x200, false),
+                &|_| false,
+                &mut out,
+            );
+        });
+    });
+}
+
 fn bench_record_protector(c: &mut Criterion) {
     c.bench_function("record_protector_record_and_hit", |b| {
         let mut rp = RecordProtector::new(RpConfig::paper());
@@ -149,6 +250,7 @@ criterion_group!(
     bench_leakage_cell,
     bench_scale_tracker,
     bench_access_tracker,
+    bench_prefender_on_access,
     bench_record_protector
 );
 criterion_main!(benches);

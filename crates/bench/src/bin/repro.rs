@@ -21,8 +21,13 @@
 //!   bench-sim simulator-throughput microbenches (access fast path,
 //!             prefetch storm, fresh-vs-runner leakage cells); writes
 //!             BENCH_sim.json in the working directory
-//!   all       everything above except bench-sim (whose output is
-//!             timing-dependent, not a paper artifact)
+//!   bench-sweep
+//!             sweep-engine thread-scaling bench: the CI 576-scenario
+//!             grid at 1/2/4/8 threads with parallel efficiency per row
+//!             (artifacts asserted byte-identical across thread counts);
+//!             writes BENCH_sweep.json (schema v2)
+//!   all       everything above except bench-sim and bench-sweep (whose
+//!             output is timing-dependent, not a paper artifact)
 //! ```
 //!
 //! Every grid-shaped experiment is sharded across the sweep engine's
@@ -107,6 +112,14 @@ fn run_one(name: &str) -> Result<(), String> {
             println!("=== Leakage map: Figure 8 measured in bits (permutation-calibrated) ===\n");
             println!("{}", leakage::leakage_map().render());
         }
+        "bench-sweep" => {
+            println!("=== Sweep-engine thread scaling: 576-scenario grid ===\n");
+            let report = prefender_bench::sweepbench::run(&[1, 2, 4, 8]);
+            print!("{}", report.render());
+            std::fs::write("BENCH_sweep.json", report.to_json())
+                .map_err(|e| format!("writing BENCH_sweep.json: {e}"))?;
+            println!("\nwrote BENCH_sweep.json");
+        }
         "bench-sim" => {
             println!("=== Simulator throughput: hot path + fresh-vs-runner cells ===\n");
             let report = prefender_bench::simbench::run(200);
@@ -145,7 +158,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <fig8|fig9|fig10|fig11|fig12|table4|table5|table6|hwcost|ablate-*|sweep|leakage|bench-sim|all> ..."
+            "usage: repro <fig8|fig9|fig10|fig11|fig12|table4|table5|table6|hwcost|ablate-*|sweep|leakage|bench-sim|bench-sweep|all> ..."
         );
         return ExitCode::FAILURE;
     }

@@ -29,6 +29,7 @@ pub mod hwcost;
 pub mod leakage;
 pub mod security;
 pub mod simbench;
+pub mod sweepbench;
 pub mod tables;
 
 // The performance-run machinery lives beside the sweep engine

@@ -4,6 +4,12 @@ use prefender_sim::{Addr, Cycle, PrefetchSource};
 
 use crate::config::{AtConfig, RpConfig};
 
+/// The PC → buffer index map: keyed by 64-bit instruction addresses and
+/// never iterated, so the shared SplitMix64-finalizer hasher applies
+/// (see [`prefender_sim::Mix64Map`]) — stage 1's associative match
+/// becomes one cheap hash probe.
+type PcMap = prefender_sim::Mix64Map<usize>;
+
 /// One access buffer: the recorded behaviour of a single load instruction.
 #[derive(Debug, Clone)]
 pub struct AccessBuffer {
@@ -12,6 +18,10 @@ pub struct AccessBuffer {
     /// `(block address, entry-LRU sequence)`.
     entries: Vec<(u64, u64)>,
     diffmin: Option<u64>,
+    /// Number of unordered entry pairs achieving `diffmin` — the
+    /// incremental-maintenance bookkeeping: an eviction only forces the
+    /// O(n²) rescan when it removes the *last* minimum pair.
+    diffmin_pairs: u32,
     protected: bool,
     protected_scale: Option<(u64, u64)>,
     guided_prefetches: u32,
@@ -26,6 +36,7 @@ impl AccessBuffer {
             inst_addr: 0,
             entries: Vec::with_capacity(capacity),
             diffmin: None,
+            diffmin_pairs: 0,
             protected: false,
             protected_scale: None,
             guided_prefetches: 0,
@@ -39,6 +50,7 @@ impl AccessBuffer {
         self.inst_addr = pc;
         self.entries.clear();
         self.diffmin = None;
+        self.diffmin_pairs = 0;
         self.protected = false;
         self.protected_scale = None;
         self.guided_prefetches = 0;
@@ -54,9 +66,16 @@ impl AccessBuffer {
         self.inst_addr
     }
 
-    /// Recorded block addresses, most data-structure order (not LRU order).
-    pub fn blocks(&self) -> Vec<u64> {
-        self.entries.iter().map(|&(b, _)| b).collect()
+    /// Recorded block addresses, in data-structure order (not LRU order)
+    /// — a borrowed view over the entry slice, no allocation.
+    pub fn blocks(&self) -> impl ExactSizeIterator<Item = u64> + '_ {
+        self.entries.iter().map(|&(b, _)| b)
+    }
+
+    /// [`AccessBuffer::blocks`] collected into an owned `Vec` — the shim
+    /// for tests and analysis callers that want indexing or `contains`.
+    pub fn blocks_vec(&self) -> Vec<u64> {
+        self.blocks().collect()
     }
 
     /// The current minimum pairwise difference, if computed.
@@ -78,17 +97,77 @@ impl AccessBuffer {
         self.entries.iter().any(|&(b, _)| b == blk)
     }
 
+    /// DiffMin update for an entry about to be inserted: one O(n) pass
+    /// against the existing (distinct) blocks. Call **before** pushing
+    /// `blk` so the pass never pairs the block with itself.
+    fn diffmin_on_insert(&mut self, blk: u64) {
+        let mut min: Option<u64> = None;
+        let mut pairs = 0u32;
+        for &(b, _) in &self.entries {
+            let d = b.abs_diff(blk);
+            debug_assert!(d != 0, "entries hold distinct blocks");
+            match min {
+                Some(m) if d > m => {}
+                Some(m) if d == m => pairs += 1,
+                _ => {
+                    min = Some(d);
+                    pairs = 1;
+                }
+            }
+        }
+        match (self.diffmin, min) {
+            (Some(cur), Some(new)) if new < cur => {
+                self.diffmin = Some(new);
+                self.diffmin_pairs = pairs;
+            }
+            (Some(cur), Some(new)) if new == cur => self.diffmin_pairs += pairs,
+            (None, Some(new)) => {
+                self.diffmin = Some(new);
+                self.diffmin_pairs = pairs;
+            }
+            _ => {}
+        }
+    }
+
+    /// DiffMin update for an entry just evicted: drop the minimum pairs
+    /// the victim participated in; only when it carried the *last* ones
+    /// does the full O(n²) rescan run.
+    fn diffmin_on_evict(&mut self, victim_blk: u64) {
+        let Some(cur) = self.diffmin else { return };
+        let lost =
+            self.entries.iter().filter(|&&(b, _)| b.abs_diff(victim_blk) == cur).count() as u32;
+        if lost < self.diffmin_pairs {
+            self.diffmin_pairs -= lost;
+        } else {
+            self.recompute_diffmin();
+        }
+    }
+
+    /// The full O(n²) rescan: sets both `diffmin` and the pair count.
+    /// The incremental insert/evict hooks above must agree with this
+    /// exactly (pinned by `diffmin_incremental_matches_rescan` and the
+    /// root-level `diffmin_is_brute_force_minimum` proptest).
     fn recompute_diffmin(&mut self) {
         let mut min: Option<u64> = None;
+        let mut pairs = 0u32;
         for i in 0..self.entries.len() {
             for j in (i + 1)..self.entries.len() {
                 let d = self.entries[i].0.abs_diff(self.entries[j].0);
-                if d != 0 {
-                    min = Some(min.map_or(d, |m| m.min(d)));
+                if d == 0 {
+                    continue;
+                }
+                match min {
+                    Some(m) if d > m => {}
+                    Some(m) if d == m => pairs += 1,
+                    _ => {
+                        min = Some(d);
+                        pairs = 1;
+                    }
                 }
             }
         }
         self.diffmin = min;
+        self.diffmin_pairs = pairs;
     }
 }
 
@@ -122,6 +201,17 @@ impl AtDecision {
 #[derive(Debug, Clone)]
 pub struct AccessTracker {
     buffers: Vec<AccessBuffer>,
+    /// PC → buffer index for every valid buffer (stage 1's associative
+    /// match as one hash probe instead of a scan over all buffers).
+    pc_index: PcMap,
+    /// Buffers associated so far. Buffers only become valid (never
+    /// invalid, short of [`AccessTracker::reset`]) and are handed out in
+    /// slot order, so this doubles as the next free slot.
+    n_valid: usize,
+    /// Currently protected buffers, maintained on every protect /
+    /// unprotect transition so the per-load expiry walk can skip when
+    /// nothing is protected (the common case without an active RP).
+    n_protected: usize,
     cfg: AtConfig,
     unprotect_prefetch_threshold: u32,
     unprotect_idle_cycles: u64,
@@ -135,6 +225,9 @@ impl AccessTracker {
             buffers: (0..cfg.n_buffers)
                 .map(|_| AccessBuffer::empty(cfg.entries_per_buffer))
                 .collect(),
+            pc_index: PcMap::default(),
+            n_valid: 0,
+            n_protected: 0,
             cfg,
             unprotect_prefetch_threshold: u32::MAX,
             unprotect_idle_cycles: u64::MAX,
@@ -164,12 +257,17 @@ impl AccessTracker {
 
     /// Number of currently protected buffers (paper Figure 12's quantity).
     pub fn protected_count(&self) -> usize {
-        self.buffers.iter().filter(|b| b.valid && b.protected).count()
+        debug_assert_eq!(
+            self.n_protected,
+            self.buffers.iter().filter(|b| b.valid && b.protected).count()
+        );
+        self.n_protected
     }
 
     /// Number of valid (associated) buffers.
     pub fn valid_count(&self) -> usize {
-        self.buffers.iter().filter(|b| b.valid).count()
+        debug_assert_eq!(self.n_valid, self.buffers.iter().filter(|b| b.valid).count());
+        self.n_valid
     }
 
     /// Clears all buffers.
@@ -178,6 +276,9 @@ impl AccessTracker {
         for b in &mut self.buffers {
             *b = AccessBuffer::empty(cap);
         }
+        self.pc_index.clear();
+        self.n_valid = 0;
+        self.n_protected = 0;
         self.seq = 0;
     }
 
@@ -198,33 +299,33 @@ impl AccessTracker {
     ) -> AtDecision {
         self.expire_protection(now);
 
-        // Stage 1: buffer allocation.
-        let idx = match self.buffers.iter().position(|b| b.valid && b.inst_addr == pc) {
+        // Stage 1: buffer allocation — one hash probe on the PC map; on
+        // a miss, the next never-associated slot (buffers fill in slot
+        // order and only a full reset invalidates them), else LRU.
+        let idx = match self.pc_index.get(&pc).copied() {
             Some(i) => i,
-            None => match self.buffers.iter().position(|b| !b.valid) {
-                Some(i) => {
-                    self.buffers[i].reset_for(pc);
-                    i
-                }
-                None => {
+            None => {
+                let slot = if self.n_valid < self.buffers.len() {
+                    self.n_valid += 1;
+                    Some(self.n_valid - 1)
+                } else {
                     // LRU over unprotected buffers only (RP stage 2's rule;
                     // without RP every buffer is unprotected).
-                    match self
-                        .buffers
+                    self.buffers
                         .iter()
                         .enumerate()
                         .filter(|(_, b)| !b.protected)
                         .min_by_key(|(_, b)| b.touch_seq)
                         .map(|(i, _)| i)
-                    {
-                        Some(i) => {
-                            self.buffers[i].reset_for(pc);
-                            i
-                        }
-                        None => return AtDecision::NONE,
+                };
+                match slot {
+                    Some(i) => {
+                        self.associate(i, pc);
+                        i
                     }
+                    None => return AtDecision::NONE,
                 }
-            },
+            }
         };
 
         self.seq += 1;
@@ -240,12 +341,16 @@ impl AccessTracker {
         if let Some((sc, pat_blk)) = rp_hit {
             if !b.protected {
                 b.guided_prefetches = 0;
+                self.n_protected += 1;
             }
             b.protected = true;
             b.protected_scale = Some((sc, pat_blk));
         }
 
-        // Stage 2: entry updating.
+        // Stage 2: entry updating, with Stage 3 (DiffMin) maintained
+        // incrementally — O(n) against the existing entries on insert,
+        // the full pairwise rescan only when an eviction removes the
+        // last minimum pair.
         if let Some(e) = b.entries.iter_mut().find(|(addr, _)| *addr == blk_raw) {
             e.1 = seq;
         } else {
@@ -257,11 +362,11 @@ impl AccessTracker {
                     .min_by_key(|(_, (_, touch))| *touch)
                     .map(|(i, _)| i)
                     .expect("buffer is full, hence nonempty");
-                b.entries.swap_remove(victim);
+                let (victim_blk, _) = b.entries.swap_remove(victim);
+                b.diffmin_on_evict(victim_blk);
             }
+            b.diffmin_on_insert(blk_raw);
             b.entries.push((blk_raw, seq));
-            // Stage 3: DiffMin updating.
-            b.recompute_diffmin();
         }
 
         // Record Protector stage 3 / AT stage 4: prefetching.
@@ -269,8 +374,7 @@ impl AccessTracker {
             Some(sc)
         } else if b.protected {
             b.protected_scale.and_then(|(sc, pat_blk)| {
-                let diff = blk_raw as i128 - pat_blk as i128;
-                (diff.rem_euclid(sc as i128) == 0).then_some(sc)
+                blk_raw.abs_diff(pat_blk).is_multiple_of(sc).then_some(sc)
             })
         } else {
             None
@@ -300,6 +404,7 @@ impl AccessTracker {
                     b.protected = false;
                     b.protected_scale = None;
                     b.guided_prefetches = 0;
+                    self.n_protected -= 1;
                 }
             }
         }
@@ -307,13 +412,43 @@ impl AccessTracker {
         AtDecision { prefetch, buffer: Some(idx) }
     }
 
+    /// Associates buffer `i` with `pc`: drops the old PC mapping (LRU
+    /// victims stay indexed until they are stolen), clears the buffer and
+    /// indexes the new PC. Only unprotected buffers are ever handed in
+    /// (fresh slots and LRU victims alike), so the protected count is
+    /// untouched.
+    fn associate(&mut self, i: usize, pc: u64) {
+        let b = &mut self.buffers[i];
+        debug_assert!(!b.protected, "protected buffers are exempt from replacement");
+        if b.valid {
+            let removed = self.pc_index.remove(&b.inst_addr);
+            debug_assert_eq!(removed, Some(i));
+        }
+        b.reset_for(pc);
+        self.pc_index.insert(pc, i);
+    }
+
     fn expire_protection(&mut self, now: Cycle) {
+        if self.n_protected == 0 {
+            return;
+        }
+        // Stop as soon as every protected buffer has been visited — with
+        // one or two protections live (the common attack shape) the walk
+        // ends after a handful of slots instead of the whole file.
         let idle = self.unprotect_idle_cycles;
+        let mut remaining = self.n_protected;
         for b in &mut self.buffers {
-            if b.protected && now.since(b.last_active) > idle {
-                b.protected = false;
-                b.protected_scale = None;
-                b.guided_prefetches = 0;
+            if b.protected {
+                if now.since(b.last_active) > idle {
+                    b.protected = false;
+                    b.protected_scale = None;
+                    b.guided_prefetches = 0;
+                    self.n_protected -= 1;
+                }
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
+                }
             }
         }
     }
@@ -399,7 +534,7 @@ mod tests {
         probe(&mut t, 0x8008, 0x1000, 0);
         probe(&mut t, 0x8008, 0x1000, 1);
         let d = probe(&mut t, 0x8008, 0x1000, 2);
-        assert_eq!(t.buffer(d.buffer.unwrap()).blocks(), vec![0x1000]);
+        assert_eq!(t.buffer(d.buffer.unwrap()).blocks_vec(), vec![0x1000]);
     }
 
     #[test]
@@ -409,7 +544,7 @@ mod tests {
         for (i, k) in (0..9u64).enumerate() {
             probe(&mut t, 0x8008, 0x1000 + k * 0x100, i as u64);
         }
-        let blocks = t.buffer(0).blocks();
+        let blocks = t.buffer(0).blocks_vec();
         assert_eq!(blocks.len(), 8);
         assert!(!blocks.contains(&0x1000));
         assert!(blocks.contains(&0x1800));
@@ -536,5 +671,61 @@ mod tests {
         t.reset();
         assert_eq!(t.valid_count(), 0);
         assert_eq!(t.protected_count(), 0);
+        // A buffer re-associates cleanly after the reset (the PC index
+        // and free-slot counter restart together).
+        let d = probe(&mut t, 0x8008, 0x2000, 1);
+        assert_eq!(d.buffer, Some(0));
+        assert_eq!(t.buffer(0).blocks_vec(), vec![0x2000]);
+    }
+
+    /// Brute-force DiffMin over a slice of blocks (the pre-incremental
+    /// O(n²) rescan, reimplemented independently).
+    fn rescan_diffmin(blocks: &[u64]) -> Option<u64> {
+        let mut min = None;
+        for i in 0..blocks.len() {
+            for j in (i + 1)..blocks.len() {
+                let d = blocks[i].abs_diff(blocks[j]);
+                if d != 0 {
+                    min = Some(min.map_or(d, |m: u64| m.min(d)));
+                }
+            }
+        }
+        min
+    }
+
+    #[test]
+    fn diffmin_incremental_matches_rescan() {
+        // Random insert/evict sequences through a single 8-entry buffer:
+        // after every load the incrementally maintained DiffMin must
+        // equal the full pairwise rescan over the recorded blocks. Block
+        // values repeat often (duplicate touches) and cluster (ties for
+        // the minimum), and sequences run far past capacity so LRU
+        // evictions — including evictions of min-pair participants —
+        // happen continuously.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut rng = move || {
+            // SplitMix64: deterministic, no external dependency.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for round in 0..64 {
+            let mut t = at(1);
+            // Narrow alphabets force duplicates and ties; wide ones
+            // exercise the generic path.
+            let span = [5, 9, 17, 64][round % 4];
+            for k in 0..200u64 {
+                let blk = 0x10_0000 + (rng() % span) * 0x40;
+                let d = probe(&mut t, 0x8008, blk, k);
+                let buf = t.buffer(d.buffer.unwrap());
+                assert_eq!(
+                    buf.diffmin(),
+                    rescan_diffmin(&buf.blocks_vec()),
+                    "round {round}, step {k}: incremental DiffMin diverged from the rescan"
+                );
+            }
+        }
     }
 }

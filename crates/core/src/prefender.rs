@@ -1,6 +1,6 @@
 //! The composed PREFENDER prefetcher.
 
-use prefender_prefetch::{AccessEvent, PrefetchRequest, Prefetcher, RetireEvent};
+use prefender_prefetch::{AccessEvent, PrefetchRequest, Prefetcher, RetireEvent, RetireInterest};
 use prefender_sim::{AccessKind, Addr, PrefetchSource};
 
 use crate::access_tracker::AccessTracker;
@@ -125,27 +125,39 @@ impl Prefetcher for Prefender {
         }
     }
 
-    fn on_access(
+    fn retire_interest(&self) -> RetireInterest {
+        // The Scale Tracker's Table III rules only fire for instructions
+        // that write a register (everything else leaves the calculation
+        // buffer untouched); the basic prefetcher contributes its own
+        // interest. Without an ST the composite needs whatever the basic
+        // prefetcher needs.
+        let st = if self.st.is_some() { RetireInterest::RegWriters } else { RetireInterest::None };
+        let basic = self.basic.as_ref().map_or(RetireInterest::None, |b| b.retire_interest());
+        st.max(basic)
+    }
+
+    fn on_access_into(
         &mut self,
         ev: &AccessEvent,
         resident: &dyn Fn(Addr) -> bool,
-    ) -> Vec<PrefetchRequest> {
-        let mut reqs = Vec::new();
-
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         // ST, AT and RP watch loads only (the paper applies them to "all
         // the load instructions"); the basic prefetcher sees everything.
         if ev.kind == AccessKind::Read {
             let blk = ev.vaddr.line(self.line_size);
 
             // --- Scale Tracker: phase-2 defense (higher priority) ---
+            // The scale is looked up once; prefetch candidates derive
+            // from it directly (no second register lookup, no Vec).
             let mut st_scale = None;
             if let (Some(st), Some(base)) = (self.st.as_ref(), ev.base) {
                 if let Some(sc) = st.usable_scale(base) {
                     st_scale = Some(sc);
                     if self.st_prefetching {
-                        for cand in st.candidates(base, ev.vaddr) {
+                        for cand in st.candidates_at(sc, ev.vaddr) {
                             if !resident(cand) {
-                                reqs.push(PrefetchRequest::new(cand, PrefetchSource::ScaleTracker));
+                                out.push(PrefetchRequest::new(cand, PrefetchSource::ScaleTracker));
                                 self.stats.st_prefetches += 1;
                             }
                         }
@@ -165,7 +177,7 @@ impl Prefetcher for Prefender {
             if let Some(at) = self.at.as_mut() {
                 let decision = at.on_load(ev.pc, blk, ev.now, rp_hit, resident);
                 if let Some((addr, source)) = decision.prefetch {
-                    reqs.push(PrefetchRequest::new(addr, source));
+                    out.push(PrefetchRequest::new(addr, source));
                     match source {
                         PrefetchSource::AccessTracker => self.stats.at_prefetches += 1,
                         PrefetchSource::RecordProtector => self.stats.rp_prefetches += 1,
@@ -177,9 +189,8 @@ impl Prefetcher for Prefender {
 
         // --- Basic prefetcher: lower priority, appended last ---
         if let Some(b) = self.basic.as_mut() {
-            reqs.extend(b.on_access(ev, resident));
+            b.on_access_into(ev, resident, out);
         }
-        reqs
     }
 
     fn issued(&self) -> u64 {

@@ -15,10 +15,11 @@ pub struct ScaleEntry {
 }
 
 impl ScaleEntry {
-    /// `true` when `blk` is a member of this pattern.
+    /// `true` when `blk` is a member of this pattern. (`sc` divides the
+    /// signed difference exactly when it divides its magnitude, so this
+    /// is one u64 remainder — no wide signed arithmetic.)
     pub fn matches(&self, blk: u64) -> bool {
-        let diff = blk as i128 - self.blk as i128;
-        diff.rem_euclid(self.sc as i128) == 0
+        blk.abs_diff(self.blk).is_multiple_of(self.sc)
     }
 }
 
@@ -85,8 +86,7 @@ impl RecordProtector {
         // sparser (larger-scale) pattern.
         for (e, lru) in self.entries.iter_mut().flatten() {
             let m = sc.min(e.sc);
-            let diff = blk as i128 - e.blk as i128;
-            if diff.rem_euclid(m as i128) == 0 {
+            if blk.abs_diff(e.blk) % m == 0 {
                 if sc > e.sc {
                     *e = ScaleEntry { sc, blk };
                 }

@@ -68,16 +68,24 @@ impl ScaleTracker {
     /// `addr`: `addr + sc` then `addr - sc`, each only if it stays on
     /// `addr`'s page. Empty when the scale is not usable.
     pub fn candidates(&self, base: Reg, addr: Addr) -> Vec<Addr> {
-        let Some(sc) = self.usable_scale(base) else { return Vec::new() };
-        let mut out = Vec::with_capacity(2);
-        for delta in [sc as i64, -(sc as i64)] {
-            if let Some(cand) = addr.offset(delta) {
-                if cand.same_page(addr, self.cfg.page_size) {
-                    out.push(cand);
-                }
-            }
+        match self.usable_scale(base) {
+            Some(sc) => self.candidates_at(sc, addr).collect(),
+            None => Vec::new(),
         }
-        out
+    }
+
+    /// The candidate prefetch addresses for an already-resolved usable
+    /// scale `sc`: `addr + sc` then `addr - sc`, each only if it stays on
+    /// `addr`'s page. The allocation-free inner loop of
+    /// [`ScaleTracker::candidates`] — hot-path callers that looked the
+    /// scale up once (`Prefender::on_access`) iterate this directly
+    /// instead of paying a second register lookup and a `Vec`.
+    pub fn candidates_at(&self, sc: u64, addr: Addr) -> impl Iterator<Item = Addr> + '_ {
+        let page_size = self.cfg.page_size;
+        [sc as i64, -(sc as i64)]
+            .into_iter()
+            .filter_map(move |delta| addr.offset(delta))
+            .filter(move |cand| cand.same_page(addr, page_size))
     }
 
     /// Resets the calculation buffer (e.g. on context switch).

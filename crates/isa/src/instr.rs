@@ -197,6 +197,14 @@ pub enum Instr {
 }
 
 impl Instr {
+    /// `true` when executing this instruction writes an architectural
+    /// register — the instructions a register-dataflow tracker (the
+    /// Scale Tracker's calculation buffer) can observe an effect from.
+    /// Branches, stores, flushes, `nop` and `halt` return `false`.
+    pub fn writes_reg(&self) -> bool {
+        self.dest().is_some()
+    }
+
     /// The destination register this instruction writes, if any.
     pub fn dest(&self) -> Option<Reg> {
         match *self {

@@ -147,13 +147,36 @@ impl LeakageCampaign {
         campaign_seed: u64,
         resample: &ResampleOptions,
     ) -> Result<LeakageResult, AttackError> {
-        let mut channel = Channel::new(self.secrets.len());
-        let mut totals = RunMetrics::default();
-        let mut hist = Histogram::new();
         // One reusable runner (machine + prefetcher stack) serves every
         // trial: only the injected secret and the probe seed vary, so
         // each trial is an in-place machine reset, not a reconstruction.
         let mut runner = Runner::new(&self.base)?;
+        self.run_with_runner(campaign_seed, resample, &mut runner)
+    }
+
+    /// Like [`run_with`](LeakageCampaign::run_with), but running every
+    /// trial through a caller-owned [`Runner`] instead of building a
+    /// private one. Campaign schedulers that batch many cells sharing one
+    /// machine configuration (the sweep engine's config-major dispatch)
+    /// hand each worker's long-lived runner in here, so consecutive
+    /// campaigns pay an in-place machine reset instead of a hierarchy
+    /// construction per cell. Runner reuse is bit-exact, so the result is
+    /// identical to [`run_with`](LeakageCampaign::run_with) whatever state
+    /// `runner` arrives in (it is reshaped on configuration mismatch).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AttackError`] any trial hits (invalid
+    /// hierarchy override or an instruction-cap truncation).
+    pub fn run_with_runner(
+        &self,
+        campaign_seed: u64,
+        resample: &ResampleOptions,
+        runner: &mut Runner,
+    ) -> Result<LeakageResult, AttackError> {
+        let mut channel = Channel::new(self.secrets.len());
+        let mut totals = RunMetrics::default();
+        let mut hist = Histogram::new();
         let mut spec = self.base.clone();
         for (slot, &secret) in self.secrets.iter().enumerate() {
             for trial in 0..self.trials.max(1) {
@@ -375,6 +398,35 @@ mod tests {
             assert!(o.validate().is_err(), "alpha {alpha} must be rejected");
         }
         assert!(ResampleOptions { alpha: 0.01, ..Default::default() }.validate().is_ok());
+    }
+
+    #[test]
+    fn shared_runner_matches_private_runner() {
+        use prefender_attacks::Runner;
+        // A campaign run through a caller-owned runner — even one shaped
+        // for a *different* configuration, as the sweep engine's
+        // config-major batching may hand over at a group boundary — must
+        // reproduce `run_with`'s result exactly.
+        let c = LeakageCampaign::new(
+            AttackSpec::new(AttackKind::FlushReload, DefenseConfig::Full),
+            4,
+            2,
+        );
+        let private = c.run(0xC0FFEE).unwrap();
+        let foreign = AttackSpec::new(AttackKind::PrimeProbe, DefenseConfig::None).cross_core(true);
+        let mut runner = Runner::new(&foreign).unwrap();
+        let shared = c.run_with_runner(0xC0FFEE, &ResampleOptions::default(), &mut runner).unwrap();
+        assert_eq!(shared.mi_bits, private.mi_bits);
+        assert_eq!(shared.channel, private.channel);
+        assert_eq!(shared.metrics, private.metrics);
+        assert_eq!(
+            shared.latency_hist.counts().collect::<Vec<_>>(),
+            private.latency_hist.counts().collect::<Vec<_>>()
+        );
+        // The runner is now shaped for the campaign's configuration and
+        // serves a second campaign identically.
+        let again = c.run_with_runner(0xC0FFEE, &ResampleOptions::default(), &mut runner).unwrap();
+        assert_eq!(again.mi_bits, private.mi_bits);
     }
 
     #[test]

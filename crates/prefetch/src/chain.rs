@@ -59,16 +59,23 @@ impl Prefetcher for Chain {
         }
     }
 
-    fn on_access(
+    fn on_access_into(
         &mut self,
         ev: &AccessEvent,
         resident: &dyn Fn(Addr) -> bool,
-    ) -> Vec<PrefetchRequest> {
-        let mut out = Vec::new();
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         for m in &mut self.members {
-            out.extend(m.on_access(ev, resident));
+            m.on_access_into(ev, resident, out);
         }
-        out
+    }
+
+    fn retire_interest(&self) -> crate::RetireInterest {
+        self.members
+            .iter()
+            .map(|m| m.retire_interest())
+            .max()
+            .unwrap_or(crate::RetireInterest::None)
     }
 
     fn issued(&self) -> u64 {

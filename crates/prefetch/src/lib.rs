@@ -50,6 +50,26 @@ pub use tagged::TaggedPrefetcher;
 
 use prefender_sim::Addr;
 
+/// Which retired instructions a prefetcher wants to observe through
+/// [`Prefetcher::on_retire`].
+///
+/// The machine model asks once per attached prefetcher and skips the
+/// retire notification (the `RetireEvent` construction and virtual call,
+/// paid on **every** instruction) for instructions the prefetcher
+/// declares it ignores. Declaring an interest is a contract: `on_retire`
+/// must be a no-op for every instruction outside the declared class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum RetireInterest {
+    /// `on_retire` is a no-op (the trait default): never notify.
+    None,
+    /// Only instructions that write an architectural register matter
+    /// (`Instr::writes_reg`) — a register-dataflow tracker's class.
+    RegWriters,
+    /// Every retired instruction matters.
+    #[default]
+    All,
+}
+
 /// A hardware prefetcher attached to one core's L1D cache.
 ///
 /// Implementations receive retire and access events and return
@@ -64,16 +84,46 @@ pub trait Prefetcher {
     /// Observes one retired instruction. Default: ignore.
     fn on_retire(&mut self, _ev: &RetireEvent<'_>) {}
 
-    /// Observes one demand L1D access and proposes prefetches.
+    /// Which retired instructions [`Prefetcher::on_retire`] cares about.
+    /// The conservative default is [`RetireInterest::All`]; prefetchers
+    /// whose `on_retire` ignores some (or every) instruction class
+    /// should narrow this so the machine can skip the call entirely.
+    fn retire_interest(&self) -> RetireInterest {
+        RetireInterest::All
+    }
+
+    /// Observes one demand L1D access and appends proposed prefetches to
+    /// `out` — the allocation-free form the machine model drives with a
+    /// reusable scratch buffer (one per machine, cleared between
+    /// accesses, so the per-access hot path never allocates).
     ///
     /// `resident` reports whether the line holding an address is already in
     /// (or in flight to) this core's L1D — the "not currently in the L1D
     /// cache" test of the paper.
+    ///
+    /// Implementations must only *append* to `out`: composed prefetchers
+    /// ([`Chain`], PREFENDER over a basic prefetcher) pass one shared
+    /// buffer down their member stack to concatenate requests in
+    /// priority order.
+    fn on_access_into(
+        &mut self,
+        ev: &AccessEvent,
+        resident: &dyn Fn(Addr) -> bool,
+        out: &mut Vec<PrefetchRequest>,
+    );
+
+    /// Observes one demand L1D access and returns the proposed prefetches
+    /// as an owned `Vec` — a convenience wrapper over
+    /// [`Prefetcher::on_access_into`] for tests and one-shot callers.
     fn on_access(
         &mut self,
         ev: &AccessEvent,
         resident: &dyn Fn(Addr) -> bool,
-    ) -> Vec<PrefetchRequest>;
+    ) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        self.on_access_into(ev, resident, &mut out);
+        out
+    }
 
     /// Total prefetch requests this prefetcher has proposed.
     fn issued(&self) -> u64;

@@ -24,12 +24,16 @@ impl Prefetcher for NullPrefetcher {
         "null"
     }
 
-    fn on_access(
+    fn on_access_into(
         &mut self,
         _ev: &AccessEvent,
         _resident: &dyn Fn(Addr) -> bool,
-    ) -> Vec<PrefetchRequest> {
-        Vec::new()
+        _out: &mut Vec<PrefetchRequest>,
+    ) {
+    }
+
+    fn retire_interest(&self) -> crate::RetireInterest {
+        crate::RetireInterest::None
     }
 
     fn issued(&self) -> u64 {

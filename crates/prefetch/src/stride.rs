@@ -93,11 +93,12 @@ impl Prefetcher for StridePrefetcher {
         "stride"
     }
 
-    fn on_access(
+    fn on_access_into(
         &mut self,
         ev: &AccessEvent,
         resident: &dyn Fn(Addr) -> bool,
-    ) -> Vec<PrefetchRequest> {
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         let slot = self.slot(ev.pc);
         let line_size = self.line_size;
         let degree = self.degree;
@@ -112,7 +113,7 @@ impl Prefetcher for StridePrefetcher {
                 state: StrideState::Initial,
                 valid: true,
             };
-            return Vec::new();
+            return;
         }
 
         let observed = addr as i64 - e.last_addr as i64;
@@ -138,19 +139,22 @@ impl Prefetcher for StridePrefetcher {
         };
         e.last_addr = addr;
 
-        let mut reqs = Vec::new();
+        let before = out.len();
         if e.state == StrideState::Steady && e.stride != 0 {
             let stride = e.stride;
             for k in 1..=degree as i64 {
                 if let Some(target) = ev.vaddr.offset(k * stride) {
                     if !target.same_line(ev.vaddr, line_size) && !resident(target) {
-                        reqs.push(PrefetchRequest::new(target, PrefetchSource::Basic));
+                        out.push(PrefetchRequest::new(target, PrefetchSource::Basic));
                     }
                 }
             }
         }
-        self.issued += reqs.len() as u64;
-        reqs
+        self.issued += (out.len() - before) as u64;
+    }
+
+    fn retire_interest(&self) -> crate::RetireInterest {
+        crate::RetireInterest::None
     }
 
     fn issued(&self) -> u64 {

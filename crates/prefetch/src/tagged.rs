@@ -44,26 +44,30 @@ impl Prefetcher for TaggedPrefetcher {
         "tagged"
     }
 
-    fn on_access(
+    fn on_access_into(
         &mut self,
         ev: &AccessEvent,
         resident: &dyn Fn(Addr) -> bool,
-    ) -> Vec<PrefetchRequest> {
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         let trigger = ev.l1_miss() || ev.outcome.first_prefetch_use;
         if !trigger {
-            return Vec::new();
+            return;
         }
-        let mut reqs = Vec::new();
+        let before = out.len();
         let line = ev.vaddr.line(self.line_size);
         for k in 1..=self.degree as i64 {
             if let Some(next) = line.offset(k * self.line_size as i64) {
                 if !resident(next) {
-                    reqs.push(PrefetchRequest::new(next, PrefetchSource::Basic));
+                    out.push(PrefetchRequest::new(next, PrefetchSource::Basic));
                 }
             }
         }
-        self.issued += reqs.len() as u64;
-        reqs
+        self.issued += (out.len() - before) as u64;
+    }
+
+    fn retire_interest(&self) -> crate::RetireInterest {
+        crate::RetireInterest::None
     }
 
     fn issued(&self) -> u64 {

@@ -1,7 +1,7 @@
 //! A single set-associative cache array with in-flight prefetch tracking.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use crate::addr::Addr;
 use crate::config::CacheConfig;
@@ -73,8 +73,14 @@ struct InFlight {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<CacheLine>>,
-    inflight: HashMap<u64, InFlight>,
+    /// All lines, flattened set-major: set `s` occupies
+    /// `sets[s * assoc .. (s + 1) * assoc]`. One contiguous allocation —
+    /// a set lookup is one slice index, not a pointer chase through a
+    /// nested `Vec`, and neighbouring ways share cache lines of the
+    /// *host* machine.
+    sets: Vec<CacheLine>,
+    assoc: usize,
+    inflight: crate::hash::Mix64Map<InFlight>,
     /// Completion events mirroring `inflight`, min-ordered by
     /// `(ready_at, line_addr)` so [`Cache::expire_inflight_into`] pops in
     /// the exact deterministic order the old sort-scan produced — and
@@ -103,8 +109,9 @@ impl Cache {
         let assoc = cfg.associativity() as usize;
         Cache {
             cfg,
-            sets: vec![vec![CacheLine::empty(); assoc]; n_sets],
-            inflight: HashMap::new(),
+            sets: vec![CacheLine::empty(); n_sets * assoc],
+            assoc,
+            inflight: crate::hash::Mix64Map::default(),
             completions: BinaryHeap::new(),
             touched_sets: Vec::new(),
             touched_overflow: false,
@@ -122,16 +129,16 @@ impl Cache {
     /// [`Cache::new`] with the same config.
     pub fn reset(&mut self) {
         if self.touched_overflow {
-            for set in &mut self.sets {
-                for line in set.iter_mut() {
-                    if line.valid {
-                        *line = CacheLine::empty();
-                    }
+            for line in &mut self.sets {
+                if line.valid {
+                    *line = CacheLine::empty();
                 }
             }
         } else {
-            for &set in &self.touched_sets {
-                for line in self.sets[set as usize].iter_mut() {
+            let assoc = self.assoc;
+            for i in 0..self.touched_sets.len() {
+                let set = self.touched_sets[i] as usize;
+                for line in &mut self.sets[set * assoc..(set + 1) * assoc] {
                     if line.valid {
                         *line = CacheLine::empty();
                     }
@@ -172,12 +179,24 @@ impl Cache {
         self.cfg.set_index(addr) as usize
     }
 
+    /// The ways of one set, as a contiguous slice (way order preserved —
+    /// victim choice and fill order are identical to the nested layout).
+    #[inline]
+    fn ways(&self, set: usize) -> &[CacheLine] {
+        &self.sets[set * self.assoc..(set + 1) * self.assoc]
+    }
+
+    #[inline]
+    fn ways_mut(&mut self, set: usize) -> &mut [CacheLine] {
+        &mut self.sets[set * self.assoc..(set + 1) * self.assoc]
+    }
+
     /// Presence check for an already line-aligned address (the internal
     /// form: computes the set once and reuses the caller's alignment).
     #[inline]
     fn contains_line(&self, la: u64) -> bool {
         let set = self.cfg.set_index_of_line(la) as usize;
-        self.sets[set].iter().any(|l| l.valid && l.tag == la)
+        self.ways(set).iter().any(|l| l.valid && l.tag == la)
     }
 
     /// Non-mutating presence check (installed lines only).
@@ -195,7 +214,7 @@ impl Cache {
 
     /// Number of valid lines currently installed (test/debug helper).
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().flatten().filter(|l| l.valid).count()
+        self.sets.iter().filter(|l| l.valid).count()
     }
 
     /// Materializes every in-flight prefetch whose completion time has
@@ -248,7 +267,7 @@ impl Cache {
     pub fn demand_lookup(&mut self, addr: Addr, now: Cycle) -> LookupResult {
         let la = self.line_addr(addr);
         let set = self.set_of(addr);
-        for line in &mut self.sets[set] {
+        for line in self.ways_mut(set) {
             if line.valid && line.tag == la {
                 line.last_touch = now;
                 let first_use = line.prefetched;
@@ -270,7 +289,7 @@ impl Cache {
             debug_assert!(evicted.is_none() || evicted.unwrap().addr.raw() != la);
             // The demand access is about to use it: clear the tag bit
             // (the fill resolved the way, so no second set scan).
-            self.sets[set][way].prefetched = false;
+            self.sets[set * self.assoc + way].prefetched = false;
             return LookupResult::InFlight { ready_at: f.ready_at, source: f.source };
         }
         LookupResult::Miss
@@ -279,7 +298,7 @@ impl Cache {
     fn line_mut(&mut self, addr: Addr) -> Option<&mut CacheLine> {
         let la = self.line_addr(addr);
         let set = self.set_of(addr);
-        self.sets[set].iter_mut().find(|l| l.valid && l.tag == la)
+        self.ways_mut(set).iter_mut().find(|l| l.valid && l.tag == la)
     }
 
     /// Marks an installed line dirty (store hit).
@@ -328,8 +347,8 @@ impl Cache {
         let la = self.line_addr(addr);
         let set = self.set_of(addr);
         // Already present: refresh.
-        if let Some(way) = self.sets[set].iter().position(|l| l.valid && l.tag == la) {
-            let line = &mut self.sets[set][way];
+        if let Some(way) = self.ways(set).iter().position(|l| l.valid && l.tag == la) {
+            let line = &mut self.sets[set * self.assoc + way];
             line.last_touch = now;
             if write {
                 line.dirty = true;
@@ -341,7 +360,7 @@ impl Cache {
         let seq = self.fill_seq;
         self.fill_seq += 1;
         let victim_way = self.pick_victim(set);
-        let victim = &mut self.sets[set][victim_way];
+        let victim = &mut self.sets[set * self.assoc + victim_way];
         let evicted = if victim.valid {
             self.stats.evictions += 1;
             if victim.prefetched {
@@ -373,7 +392,7 @@ impl Cache {
         if self.touched_overflow {
             return;
         }
-        if self.touched_sets.len() >= self.sets.len() {
+        if self.touched_sets.len() * self.assoc >= self.sets.len() {
             // More recordings than sets: a full sweep is cheaper than
             // deduplicating, and the list stays bounded.
             self.touched_overflow = true;
@@ -400,10 +419,17 @@ impl Cache {
     /// Returns the line's state if it was present (so the hierarchy can
     /// write back dirty data), `None` otherwise.
     pub fn invalidate(&mut self, addr: Addr) -> Option<EvictedLine> {
+        // A cache that has never been filled since its last reset (e.g.
+        // the L1I when instruction fetch is not modelled) holds nothing
+        // to invalidate — skip the map probe and set scan entirely.
+        if self.touched_sets.is_empty() && !self.touched_overflow && self.inflight.is_empty() {
+            return None;
+        }
         let la = self.line_addr(addr);
         self.inflight.remove(&la);
         let set = self.set_of(addr);
-        for line in &mut self.sets[set] {
+        let assoc = self.assoc;
+        for line in &mut self.sets[set * assoc..(set + 1) * assoc] {
             if line.valid && line.tag == la {
                 self.stats.invalidations += 1;
                 if line.prefetched {
@@ -420,13 +446,13 @@ impl Cache {
     /// All line-aligned addresses currently installed (test/debug helper).
     pub fn resident_lines(&self) -> Vec<Addr> {
         let mut v: Vec<Addr> =
-            self.sets.iter().flatten().filter(|l| l.valid).map(|l| Addr::new(l.tag)).collect();
+            self.sets.iter().filter(|l| l.valid).map(|l| Addr::new(l.tag)).collect();
         v.sort_unstable();
         v
     }
 
     fn pick_victim(&mut self, set: usize) -> usize {
-        let ways = &self.sets[set];
+        let ways = &self.sets[set * self.assoc..(set + 1) * self.assoc];
         if let Some(i) = ways.iter().position(|l| !l.valid) {
             return i;
         }
@@ -445,12 +471,13 @@ impl Cache {
                 .expect("associativity >= 1"),
             ReplacementPolicy::Random => {
                 // xorshift64*: deterministic, cheap, good enough to ablate.
+                let n = ways.len() as u64;
                 let mut x = self.rng_state;
                 x ^= x >> 12;
                 x ^= x << 25;
                 x ^= x >> 27;
                 self.rng_state = x;
-                (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % ways.len() as u64) as usize
+                (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % n) as usize
             }
         }
     }

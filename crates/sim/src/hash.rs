@@ -1,0 +1,70 @@
+//! A fast deterministic hasher for u64-keyed maps that are never
+//! iterated.
+//!
+//! Several simulator-internal maps — a cache's in-flight prefetches, the
+//! CPU's sparse data memory, the Access Tracker's PC index — are keyed by
+//! 64-bit addresses, looked up on the hot path, and *never iterated*, so
+//! their bucket order is unobservable. For those maps one SplitMix64
+//! finalizer round replaces the standard library's SipHash with no
+//! behavioural difference; it just makes every simulated access cheaper.
+//! Do **not** use it for maps whose iteration order can reach an
+//! artifact.
+
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+/// One-round SplitMix64-finalizer [`std::hash::Hasher`] for u64 keys.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Mix64Hasher(u64);
+
+impl std::hash::Hasher for Mix64Hasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (FNV-1a); the u64 key path below is the one
+        // these maps actually exercise.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        let mut z = n.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+/// A `u64 → V` hash map on [`Mix64Hasher`].
+pub type Mix64Map<V> = HashMap<u64, V, BuildHasherDefault<Mix64Hasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: Mix64Map<u32> = Mix64Map::default();
+        for k in 0..1000u64 {
+            m.insert(k * 0x40, k as u32);
+        }
+        for k in 0..1000u64 {
+            assert_eq!(m.get(&(k * 0x40)), Some(&(k as u32)));
+        }
+        assert!(!m.contains_key(&1));
+    }
+
+    #[test]
+    fn byte_fallback_hashes() {
+        use std::hash::Hasher as _;
+        let mut h = Mix64Hasher::default();
+        h.write(b"abc");
+        let a = h.finish();
+        let mut h = Mix64Hasher::default();
+        h.write(b"abd");
+        assert_ne!(a, h.finish());
+    }
+}

@@ -31,6 +31,7 @@
 mod addr;
 mod cache;
 mod config;
+mod hash;
 mod hierarchy;
 mod line;
 mod mshr;
@@ -41,6 +42,7 @@ mod time;
 pub use addr::Addr;
 pub use cache::{Cache, EvictedLine, LookupResult};
 pub use config::{CacheConfig, ConfigError, HierarchyConfig};
+pub use hash::{Mix64Hasher, Mix64Map};
 pub use hierarchy::{AccessKind, AccessOutcome, Level, MemorySystem};
 pub use line::CacheLine;
 pub use mshr::{MshrFile, MshrOutcome};

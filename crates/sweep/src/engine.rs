@@ -5,7 +5,7 @@ use std::sync::Mutex;
 
 use crate::artifact::SweepReport;
 use crate::grid::SweepGrid;
-use crate::scenario::{run_scenario_with, ScenarioResult};
+use crate::scenario::{run_scenario_with, Scenario, ScenarioResult};
 
 /// Campaign-level execution options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,14 +31,27 @@ fn effective_threads(requested: usize, items: usize) -> usize {
     t.clamp(1, items.max(1))
 }
 
+/// The dynamic-sharding chunk size: small enough that stragglers cannot
+/// idle the pool (at least eight claims per worker on balanced grids),
+/// large enough that workers keep runs of *consecutive* items — which is
+/// what lets a config-major-ordered work-list reuse per-worker machines —
+/// and the cursor is touched once per chunk instead of once per item.
+fn chunk_size(items: usize, threads: usize) -> usize {
+    (items / (threads * 8)).clamp(1, 64)
+}
+
 /// Applies `f` to every item on a worker pool and returns the results in
 /// item order.
 ///
-/// Sharding is dynamic (an atomic cursor), but the output is **ordered by
-/// item index**, so as long as `f` itself is a pure function of its item
-/// the result vector is identical for every thread count — this is the
-/// primitive both [`run_sweep`] and the bench ablations build on. Workers
-/// share nothing mutable beyond the cursor and the result sink.
+/// Sharding is dynamic — an atomic cursor hands out *chunks* of
+/// consecutive items (see [`chunk_size`]) — but the output is **ordered
+/// by item index**, so as long as `f` itself is a pure function of its
+/// item the result vector is identical for every thread count — this is
+/// the primitive both [`run_sweep`] and the bench ablations build on.
+/// Workers share nothing mutable beyond the cursor and the result sink;
+/// each worker buffers whole chunks locally (capacity reserved up front)
+/// and touches the sink lock once, and the final assembly places every
+/// chunk by its start index in O(n) — no comparison sort.
 ///
 /// # Panics
 ///
@@ -53,29 +66,40 @@ where
     if threads <= 1 || items.len() <= 1 {
         return items.iter().map(&f).collect();
     }
+    let chunk = chunk_size(items.len(), threads);
     let cursor = AtomicUsize::new(0);
-    let sink: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    let sink: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(threads * 2));
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                // Each worker drains the cursor, keeping results local so
-                // the sink lock is touched once per worker.
-                let mut local = Vec::new();
+                // Each worker drains the cursor chunk by chunk, keeping
+                // results local so the sink lock is touched once per
+                // worker at the very end.
+                let mut local: Vec<(usize, Vec<R>)> = Vec::new();
                 loop {
-                    let k = cursor.fetch_add(1, Ordering::Relaxed);
-                    if k >= items.len() {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= items.len() {
                         break;
                     }
-                    local.push((k, f(&items[k])));
+                    let end = (start + chunk).min(items.len());
+                    let mut out = Vec::with_capacity(end - start);
+                    out.extend(items[start..end].iter().map(&f));
+                    local.push((start, out));
                 }
                 sink.lock().expect("result sink").extend(local);
             });
         }
     });
-    let mut pairs = sink.into_inner().expect("result sink");
-    pairs.sort_by_key(|&(k, _)| k);
-    assert_eq!(pairs.len(), items.len(), "every item produces exactly one result");
-    pairs.into_iter().map(|(_, r)| r).collect()
+    let chunks = sink.into_inner().expect("result sink");
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for (start, out) in chunks {
+        for (off, r) in out.into_iter().enumerate() {
+            debug_assert!(slots[start + off].is_none(), "chunk overlap at {}", start + off);
+            slots[start + off] = Some(r);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("every item produces exactly one result")).collect()
 }
 
 /// Applies `f` to every `(row, col)` cell of a 2-D grid on the worker
@@ -102,16 +126,35 @@ where
 
 /// Enumerates `grid` and runs every scenario on the worker pool.
 ///
-/// The report's result order is scenario-index order and every scenario's
-/// seed is derived from `opts.campaign_seed` + its index, so the same
-/// grid and campaign seed produce **bit-identical artifacts at any thread
-/// count**.
+/// Scenarios are **dispatched in config-major order** — stably grouped by
+/// their machine-shaping axes ([`Scenario::machine_key`]: cross-core
+/// scope, defense point, basic prefetcher, hierarchy) — so a worker's
+/// consecutive claims overwhelmingly share one machine configuration and
+/// its thread-local `Runner` resets in place instead of rebuilding the
+/// hierarchy on nearly every item. This is purely a *scheduling* choice:
+/// every scenario's seed is derived from `opts.campaign_seed` + its grid
+/// index (never from execution order), each result carries that index,
+/// and the report is restored to scenario-index order before returning —
+/// so the same grid and campaign seed produce **bit-identical artifacts
+/// at any thread count**, pinned against plain index-order execution by
+/// `tests/scheduling_props.rs`.
 pub fn run_sweep(grid: &SweepGrid, opts: &SweepOptions) -> SweepReport {
     let scenarios = grid.enumerate();
     let resample = grid.resample();
-    let results: Vec<ScenarioResult> = parallel_map(&scenarios, opts.threads, |s| {
-        run_scenario_with(s, opts.campaign_seed, &resample)
-    });
+    let mut order: Vec<&Scenario> = scenarios.iter().collect();
+    order.sort_by_key(|s| s.machine_key());
+    let grouped: Vec<ScenarioResult> =
+        parallel_map(&order, opts.threads, |s| run_scenario_with(s, opts.campaign_seed, &resample));
+    let mut slots: Vec<Option<ScenarioResult>> = Vec::with_capacity(scenarios.len());
+    slots.resize_with(scenarios.len(), || None);
+    for r in grouped {
+        let index = r.index;
+        slots[index] = Some(r);
+    }
+    let results = slots
+        .into_iter()
+        .map(|s| s.expect("every scenario index produces exactly one result"))
+        .collect();
     SweepReport { campaign_seed: opts.campaign_seed, results }
 }
 

@@ -79,7 +79,7 @@ impl fmt::Display for AttackCase {
 }
 
 /// One defense point: configuration plus access-buffer count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct DefensePoint {
     /// Which PREFENDER units defend.
     pub config: DefenseConfig,
@@ -118,7 +118,7 @@ impl DefensePoint {
 /// All variants keep the paper's 64-byte lines and 4 KB pages so attack
 /// layouts stay meaningful; they move the sizes, latencies and policies
 /// the paper holds fixed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Hierarchy {
     /// The paper's gem5 baseline (Section V-A).
     Paper,

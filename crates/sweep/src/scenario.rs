@@ -94,6 +94,26 @@ pub struct Scenario {
 }
 
 impl Scenario {
+    /// `true` when the scenario's payload splits attacker and victim
+    /// across two cores (workload payloads are always single-core).
+    pub fn cross_core(&self) -> bool {
+        match &self.payload {
+            Payload::Attack(case) | Payload::Leakage { case, .. } => case.cross_core,
+            Payload::Workload(_) => false,
+        }
+    }
+
+    /// The machine-shaping axes of this scenario: two scenarios with
+    /// equal keys run on identically constructed machines (same core
+    /// count, defense stack, basic prefetcher and hierarchy), so a
+    /// reusable `prefender_attacks::Runner` serves both through an
+    /// in-place reset. `run_sweep` stably sorts its work-list by this key
+    /// (config-major dispatch) before sharding; the key mirrors the
+    /// runner's own `prefender_attacks::MachineKey`.
+    pub fn machine_key(&self) -> (bool, DefensePoint, Basic, Hierarchy) {
+        (self.cross_core(), self.defense, self.basic, self.hierarchy)
+    }
+
     /// The stable scenario id, unique within a grid.
     pub fn id(&self) -> String {
         format!(
@@ -274,12 +294,16 @@ fn run_leakage_scenario(
 ) -> ScenarioResult {
     let base = attack_spec(s, case, seed).with_latency_jitter(jitter);
     let campaign = LeakageCampaign::new(base, n_secrets.max(1) as usize, trials.max(1));
-    // The resampling seed streams inside `run_with` derive from the
-    // scenario seed, so the null test and CIs — like every other column
-    // — depend only on the campaign seed and grid shape, never the
-    // thread count.
-    let r =
-        campaign.run_with(seed, resample).unwrap_or_else(|e| panic!("scenario {}: {e}", s.id()));
+    // The resampling seed streams inside `run_with_runner` derive from
+    // the scenario seed, so the null test and CIs — like every other
+    // column — depend only on the campaign seed and grid shape, never
+    // the thread count. The campaign batches its secrets × trials over
+    // the calling worker's cached runner: under config-major dispatch,
+    // consecutive leakage cells share one machine via in-place resets.
+    let r = with_thread_runner(&campaign.base, |runner| {
+        campaign.run_with_runner(seed, resample, runner)
+    })
+    .unwrap_or_else(|e| panic!("scenario {}: {e}", s.id()));
     ScenarioResult {
         index: s.index,
         id: s.id(),
@@ -325,17 +349,26 @@ thread_local! {
     static ATTACK_RUNNER: RefCell<Option<Runner>> = const { RefCell::new(None) };
 }
 
-/// Runs `spec` on the calling thread's cached [`Runner`].
-fn run_attack_cached(
+/// Hands the calling thread's cached [`Runner`] (created on first use,
+/// shaped for `spec`) to `f`.
+fn with_thread_runner<R>(
     spec: &AttackSpec,
-) -> Result<(AttackOutcome, RunMetrics), prefender_attacks::AttackError> {
+    f: impl FnOnce(&mut Runner) -> Result<R, prefender_attacks::AttackError>,
+) -> Result<R, prefender_attacks::AttackError> {
     ATTACK_RUNNER.with(|cell| {
         let mut slot = cell.borrow_mut();
         if slot.is_none() {
             *slot = Some(Runner::new(spec)?);
         }
-        slot.as_mut().expect("populated above").run_full(spec)
+        f(slot.as_mut().expect("populated above"))
     })
+}
+
+/// Runs `spec` on the calling thread's cached [`Runner`].
+fn run_attack_cached(
+    spec: &AttackSpec,
+) -> Result<(AttackOutcome, RunMetrics), prefender_attacks::AttackError> {
+    with_thread_runner(spec, |runner| runner.run_full(spec))
 }
 
 fn run_attack_scenario(s: &Scenario, case: &AttackCase, seed: u64) -> ScenarioResult {
