@@ -44,6 +44,6 @@ pub use programs::{
     reload_probe_program, victim_program, ProbeProgram,
 };
 pub use runner::{
-    run_attack, run_attack_full, run_attack_with_timeline, AttackError, AttackKind, AttackSpec,
-    Basic, DefenseConfig, MachineKey, NoiseSpec, RunMetrics, Runner, TimelinePoint,
+    machine_obs, run_attack, run_attack_full, run_attack_with_timeline, AttackError, AttackKind,
+    AttackSpec, Basic, DefenseConfig, MachineKey, NoiseSpec, RunMetrics, Runner, TimelinePoint,
 };

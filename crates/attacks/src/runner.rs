@@ -9,6 +9,7 @@ use rand::{Rng as _, SeedableRng};
 use prefender_core::{Prefender, PrefenderStats};
 use prefender_cpu::Machine;
 use prefender_isa::ProgramBuilder;
+use prefender_obs::ObsCounters;
 use prefender_prefetch::{Prefetcher, StridePrefetcher, TaggedPrefetcher};
 use prefender_sim::{Addr, CacheStats, ConfigError, HierarchyConfig};
 
@@ -413,6 +414,47 @@ pub(crate) fn prefender_protected(m: &Machine, core: usize) -> usize {
         .map_or(0, |p| p.protected_count())
 }
 
+/// Harvests a machine's observability counters into one [`ObsCounters`]
+/// block: demand/eviction and prefetch-outcome stats summed over the L1Ds
+/// and the L2, per-core prefetcher issue counts, hierarchy prefetch drops,
+/// the MSHR high-water mark, the retire fast-path tallies, and — for
+/// PREFENDER cores — the Access Tracker / Record Protector lifecycle
+/// counters. Everything read here is a pure function of the executed
+/// scenario, so the harvest is deterministic and thread-invariant.
+pub fn machine_obs(m: &Machine) -> ObsCounters {
+    let mem = m.mem();
+    let mut stats = mem.total_l1d_stats();
+    stats += *mem.l2().stats();
+    let mut c = ObsCounters::new();
+    c.cache_demand_hits = stats.demand_hits;
+    c.cache_demand_misses = stats.demand_misses;
+    c.cache_evictions = stats.evictions;
+    c.prefetch_late = stats.prefetch_late;
+    // "Expired": prefetched lines evicted or invalidated without use.
+    c.prefetch_expired = stats.prefetch_unused;
+    c.prefetch_dropped = mem.prefetches_dropped();
+    c.mshr_high_water = mem.mshrs().high_water() as u64;
+    let (dispatches, nops) = m.retire_fast_path();
+    c.retire_fast_dispatches = dispatches;
+    c.retire_fast_nops = nops;
+    for core in 0..m.n_cores() {
+        let Some(p) = m.prefetcher(core) else { continue };
+        c.prefetch_issued += p.issued();
+        let Some(pf) = p.as_any().and_then(|a| a.downcast_ref::<Prefender>()) else { continue };
+        let Some(at) = pf.access_tracker() else { continue };
+        let (allocs, evictions) = at.alloc_counts();
+        let (incremental, rescans) = at.diffmin_update_counts();
+        let (granted, expired) = at.protection_event_counts();
+        c.at_buffer_allocs += allocs;
+        c.at_buffer_evictions += evictions;
+        c.diffmin_incremental += incremental;
+        c.diffmin_rescans += rescans;
+        c.rp_protections_granted += granted;
+        c.rp_protections_expired += expired;
+    }
+    c
+}
+
 fn total_stats(m: &Machine) -> (PrefenderStats, u64) {
     let mut s = PrefenderStats::new();
     let mut protected = 0u64;
@@ -530,6 +572,13 @@ impl MachineKey {
 pub struct Runner {
     machine: Machine,
     key: MachineKey,
+    /// Counters harvested from the machine at the end of every run,
+    /// accumulated until [`Runner::take_obs`] drains them.
+    obs: ObsCounters,
+    /// Runs served by the cheap in-place reset path.
+    resets: u64,
+    /// Machine constructions (the initial build counts as one).
+    rebuilds: u64,
 }
 
 impl Runner {
@@ -543,7 +592,7 @@ impl Runner {
     pub fn new(spec: &AttackSpec) -> Result<Self, AttackError> {
         let key = MachineKey::of(spec);
         let machine = build_machine(&key)?;
-        Ok(Runner { machine, key })
+        Ok(Runner { machine, key, obs: ObsCounters::new(), resets: 0, rebuilds: 1 })
     }
 
     /// The machine-shaping key the owned machine was built for. Specs
@@ -581,12 +630,31 @@ impl Runner {
     fn prepare(&mut self, spec: &AttackSpec) -> Result<(), AttackError> {
         let key = MachineKey::of(spec);
         if key == self.key {
+            self.resets += 1;
             self.machine.reset();
         } else {
+            self.rebuilds += 1;
             self.machine = build_machine(&key)?;
             self.key = key;
         }
         Ok(())
+    }
+
+    /// Drains (returns and zeroes) the counters accumulated over every
+    /// run since construction or the previous drain. The machine's own
+    /// counters are folded in at the end of each run — and zeroed by the
+    /// next run's reset — so nothing is double-counted.
+    pub fn take_obs(&mut self) -> ObsCounters {
+        self.obs.take()
+    }
+
+    /// Drains the `(resets, rebuilds)` reuse tallies: how many runs were
+    /// served by the in-place reset path vs. a full machine construction
+    /// (the initial build counts as the first rebuild). Scheduling-
+    /// dependent under work stealing, so obs reports place these in the
+    /// `timing` section, not the deterministic `counters` section.
+    pub fn take_reuse_counts(&mut self) -> (u64, u64) {
+        (std::mem::take(&mut self.resets), std::mem::take(&mut self.rebuilds))
     }
 
     fn run_inner(
@@ -624,6 +692,7 @@ impl Runner {
             AttackKind::PrimeProbe => (l.l1_hit_threshold, false),
         };
         let metrics = run_metrics(m);
+        self.obs.merge(&machine_obs(m));
         Ok((classify(samples, threshold, anomaly_is_hit, l.secret), timeline, metrics))
     }
 }
@@ -927,6 +996,33 @@ mod tests {
             assert_eq!(c.index, n.index);
             assert!((c.latency..=c.latency + 5).contains(&n.latency));
         }
+    }
+
+    #[test]
+    fn runner_accumulates_obs_and_reuse_counts() {
+        let spec = AttackSpec::new(AttackKind::FlushReload, DefenseConfig::Full);
+        let mut runner = Runner::new(&spec).unwrap();
+        runner.run(&spec).unwrap();
+        runner.run(&spec.clone().with_seed(7)).unwrap();
+        let (resets, rebuilds) = runner.take_reuse_counts();
+        assert_eq!((resets, rebuilds), (2, 1), "two same-key runs, one construction");
+        assert_eq!(runner.take_reuse_counts(), (0, 0), "drain zeroes the tallies");
+
+        let two = runner.take_obs();
+        assert!(two.cache_demand_hits > 0 && two.cache_demand_misses > 0);
+        assert!(two.at_buffer_allocs > 0, "the Full defense tracks loads");
+        assert_eq!(runner.take_obs(), ObsCounters::new(), "drain zeroes the counters");
+
+        // The accumulated two-run total equals the sum of per-run drains.
+        runner.run(&spec).unwrap();
+        let mut sum = runner.take_obs();
+        runner.run(&spec.clone().with_seed(7)).unwrap();
+        sum.merge(&runner.take_obs());
+        assert_eq!(sum, two, "per-run harvests sum to the accumulated total");
+
+        // A key change takes the rebuild path.
+        runner.run(&spec.clone().cross_core(true)).unwrap();
+        assert_eq!(runner.take_reuse_counts(), (2, 1));
     }
 
     #[test]

@@ -26,8 +26,13 @@
 //!             grid at 1/2/4/8 threads with parallel efficiency per row
 //!             (artifacts asserted byte-identical across thread counts);
 //!             writes BENCH_sweep.json (schema v2)
-//!   all       everything above except bench-sim and bench-sweep (whose
-//!             output is timing-dependent, not a paper artifact)
+//!   profile   span-based phase breakdown (fetch/execute/defense/settle/
+//!             expiry/decode/resample) of one leakage cell and the
+//!             576-scenario grid at 1 thread; writes PROFILE.json in the
+//!             working directory
+//!   all       everything above except bench-sim, bench-sweep and
+//!             profile (whose output is timing-dependent, not a paper
+//!             artifact)
 //! ```
 //!
 //! Every grid-shaped experiment is sharded across the sweep engine's
@@ -120,6 +125,14 @@ fn run_one(name: &str) -> Result<(), String> {
                 .map_err(|e| format!("writing BENCH_sweep.json: {e}"))?;
             println!("\nwrote BENCH_sweep.json");
         }
+        "profile" => {
+            println!("=== Phase profile: spans over one leakage cell + the 576 grid ===\n");
+            let report = prefender_bench::profile::run();
+            print!("{}", report.render());
+            std::fs::write("PROFILE.json", report.to_json())
+                .map_err(|e| format!("writing PROFILE.json: {e}"))?;
+            println!("wrote PROFILE.json");
+        }
         "bench-sim" => {
             println!("=== Simulator throughput: hot path + fresh-vs-runner cells ===\n");
             let report = prefender_bench::simbench::run(200);
@@ -158,7 +171,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <fig8|fig9|fig10|fig11|fig12|table4|table5|table6|hwcost|ablate-*|sweep|leakage|bench-sim|bench-sweep|all> ..."
+            "usage: repro <fig8|fig9|fig10|fig11|fig12|table4|table5|table6|hwcost|ablate-*|sweep|leakage|bench-sim|bench-sweep|profile|all> ..."
         );
         return ExitCode::FAILURE;
     }

@@ -17,6 +17,7 @@
 //! | (extensions) | [`ablation`] | `ablate-*` |
 //! | (extension: Figure 8 in bits) | [`leakage::leakage_map`] | `leakage` |
 //! | (extension: hot-path throughput) | [`simbench::run`] | `bench-sim` |
+//! | (extension: phase profile) | [`profile::run`] | `profile` |
 //!
 //! Every runner is a pure function returning printable text plus
 //! structured data, so the integration tests can assert the paper's
@@ -27,6 +28,7 @@ pub mod ablation;
 pub mod figures;
 pub mod hwcost;
 pub mod leakage;
+pub mod profile;
 pub mod security;
 pub mod simbench;
 pub mod sweepbench;

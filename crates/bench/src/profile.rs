@@ -1,0 +1,259 @@
+//! `repro profile` — span-based phase breakdown of the hot stack.
+//!
+//! Arms the `prefender-obs` span collector, runs two representative
+//! campaigns at one thread (so the whole profile lands on the calling
+//! thread), and emits `PROFILE.json`:
+//!
+//! * **one leakage cell** — the fully-defended Flush+Reload channel
+//!   (8 secrets × 4 trials through one runner), the shape every leakage
+//!   campaign repeats;
+//! * **one performance workload** — a catalog workload under the full
+//!   defense, the only payload kind that models instruction fetch (so
+//!   the `fetch` phase appears here and nowhere else);
+//! * **the CI 576-scenario grid** — the thread-scaling benchmark grid,
+//!   the shape `BENCH_sweep.json` tracks.
+//!
+//! Phases are the span names the stack opens: `fetch` / `execute` /
+//! `defense` (CPU core loop), `settle` (memory-system completion
+//! drain), `expiry` (Record Protector protection expiry), `decode` /
+//! `resample` (leakage campaign analysis). Per phase the profile
+//! records spans closed, total wall time, and *self* time (exclusive of
+//! nested spans) — self times are disjoint, so they sum to attributed
+//! wall time. Everything here is wall-clock and host-dependent:
+//! `PROFILE.json` is a timing record like `BENCH_sim.json`, never a
+//! determinism-checked artifact.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use prefender_obs::{enable_spans, take_thread_profile, HostInfo, Phase, Value};
+use prefender_sweep::{
+    run_sweep_observed, AttackCase, AttackKind, DefenseConfig, DefensePoint, NoiseSpec, SweepGrid,
+    SweepOptions,
+};
+
+use crate::sweepbench;
+
+/// One profiled campaign: a grid run start-to-finish with spans armed.
+#[derive(Debug, Clone)]
+pub struct ProfileSection {
+    /// Stable section label.
+    pub label: &'static str,
+    /// Scenarios the grid enumerated.
+    pub scenarios: usize,
+    /// Machine simulations the grid fanned out into.
+    pub sims: u64,
+    /// Wall-clock milliseconds for the whole run.
+    pub elapsed_ms: f64,
+    /// Per-phase accumulations, sorted by phase name.
+    pub phases: Vec<Phase>,
+}
+
+impl ProfileSection {
+    /// Wall nanoseconds attributed to some phase (sum of self times —
+    /// disjoint by construction, unlike totals which nest).
+    pub fn attributed_ns(&self) -> u64 {
+        self.phases.iter().map(|p| p.self_ns).sum()
+    }
+
+    fn to_value(&self) -> Value {
+        let attributed = self.attributed_ns();
+        Value::Obj(vec![
+            ("label".into(), Value::Str(self.label.into())),
+            ("scenarios".into(), Value::U64(self.scenarios as u64)),
+            ("sims".into(), Value::U64(self.sims)),
+            ("elapsed_ms".into(), Value::F64(self.elapsed_ms)),
+            ("attributed_ns".into(), Value::U64(attributed)),
+            (
+                "phases".into(),
+                Value::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Value::Obj(vec![
+                                ("phase".into(), Value::Str(p.name.into())),
+                                ("count".into(), Value::U64(p.count)),
+                                ("total_ns".into(), Value::U64(p.total_ns)),
+                                ("self_ns".into(), Value::U64(p.self_ns)),
+                                (
+                                    "self_share".into(),
+                                    Value::F64(if attributed == 0 {
+                                        0.0
+                                    } else {
+                                        p.self_ns as f64 / attributed as f64
+                                    }),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The full `repro profile` record.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Profiled campaigns, in run order.
+    pub sections: Vec<ProfileSection>,
+}
+
+impl ProfileReport {
+    /// The `PROFILE.json` body (one JSON object, trailing newline).
+    pub fn to_json(&self) -> String {
+        let v = Value::Obj(vec![
+            ("profile".into(), Value::Str("prefender".into())),
+            ("schema_version".into(), Value::U64(1)),
+            ("host".into(), HostInfo::capture().to_value()),
+            (
+                "sections".into(),
+                Value::Arr(self.sections.iter().map(ProfileSection::to_value).collect()),
+            ),
+        ]);
+        let mut s = v.to_json(0);
+        s.push('\n');
+        s
+    }
+
+    /// Human-readable per-section phase tables.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for sec in &self.sections {
+            let _ = writeln!(
+                s,
+                "{} — {} scenarios, {} sims, {:.1} ms wall",
+                sec.label, sec.scenarios, sec.sims, sec.elapsed_ms
+            );
+            let attributed = sec.attributed_ns().max(1);
+            let _ = writeln!(
+                s,
+                "  {:<10} {:>12} {:>12} {:>12} {:>7}",
+                "phase", "spans", "total ms", "self ms", "share"
+            );
+            for p in &sec.phases {
+                let _ = writeln!(
+                    s,
+                    "  {:<10} {:>12} {:>12.2} {:>12.2} {:>6.1}%",
+                    p.name,
+                    p.count,
+                    p.total_ns as f64 / 1e6,
+                    p.self_ns as f64 / 1e6,
+                    100.0 * p.self_ns as f64 / attributed as f64
+                );
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Runs `grid` at one thread with spans armed and drains the calling
+/// thread's profile into a section.
+fn profile_grid(label: &'static str, grid: &SweepGrid) -> ProfileSection {
+    let scenarios = grid.len();
+    let sims = grid.sims();
+    // Drain any spans a previous section (or stray test) left behind so
+    // the section owns exactly its own run.
+    enable_spans(true);
+    let _ = take_thread_profile();
+    let start = Instant::now();
+    let (_report, _obs) =
+        run_sweep_observed(grid, &SweepOptions { threads: 1, campaign_seed: 0xC0FFEE }, None);
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    enable_spans(false);
+    let phases = take_thread_profile();
+    ProfileSection { label, scenarios, sims, elapsed_ms, phases }
+}
+
+/// The single-cell grid: the fully-defended Flush+Reload leakage
+/// campaign (8 × 4, the paper shape).
+fn leakage_cell_grid() -> SweepGrid {
+    let mut g = SweepGrid::empty();
+    g.leakages = vec![AttackCase {
+        kind: AttackKind::FlushReload,
+        noise: NoiseSpec::NONE,
+        cross_core: false,
+    }];
+    g.defenses = vec![DefensePoint::new(DefenseConfig::Full)];
+    // Resampling on, so the `resample` phase shows up in the breakdown.
+    g.leakage_permutations = 200;
+    g.leakage_bootstrap = 100;
+    g
+}
+
+/// The single-workload grid: one catalog workload under the full
+/// defense — the fetch-modelled payload kind.
+fn workload_grid() -> SweepGrid {
+    let mut g = SweepGrid::empty();
+    g.workloads = vec!["462.libquantum".to_string()];
+    g.defenses = vec![DefensePoint::new(DefenseConfig::Full)];
+    g
+}
+
+/// Runs the whole profile suite: one leakage cell, one workload, then
+/// the 576 grid.
+pub fn run() -> ProfileReport {
+    ProfileReport {
+        sections: vec![
+            profile_grid("leakage-cell fr/full32 8x4", &leakage_cell_grid()),
+            profile_grid("workload 462.libquantum/full32", &workload_grid()),
+            profile_grid("sweep-grid 576 (1 thread)", &sweepbench::scaling_grid()),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leakage_cell_profile_breaks_out_the_phases() {
+        let section = profile_grid("test cell", &leakage_cell_grid());
+        assert_eq!(section.scenarios, 1);
+        assert_eq!(section.sims, 32);
+        let names: Vec<&str> = section.phases.iter().map(|p| p.name).collect();
+        // Attack programs run with unmodelled fetch, so no `fetch` here —
+        // the workload section covers that phase.
+        for expected in ["execute", "defense", "settle", "expiry", "decode", "resample"] {
+            assert!(names.contains(&expected), "missing phase {expected} in {names:?}");
+        }
+        // Self times are disjoint, so attributed time can't exceed wall.
+        assert!(section.attributed_ns() as f64 / 1e6 <= section.elapsed_ms * 1.05);
+        // Every phase's self time fits inside its total.
+        for p in &section.phases {
+            assert!(p.self_ns <= p.total_ns, "{}: self > total", p.name);
+            assert!(p.count > 0);
+        }
+    }
+
+    #[test]
+    fn workload_profile_includes_the_fetch_phase() {
+        let section = profile_grid("test workload", &workload_grid());
+        let names: Vec<&str> = section.phases.iter().map(|p| p.name).collect();
+        for expected in ["fetch", "execute", "defense"] {
+            assert!(names.contains(&expected), "missing phase {expected} in {names:?}");
+        }
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let r = ProfileReport {
+            sections: vec![ProfileSection {
+                label: "s",
+                scenarios: 1,
+                sims: 2,
+                elapsed_ms: 3.5,
+                phases: vec![Phase { name: "fetch", count: 4, total_ns: 100, self_ns: 60 }],
+            }],
+        };
+        let j = r.to_json();
+        assert!(j.starts_with("{\n  \"profile\": \"prefender\""));
+        assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.contains("\"host\""));
+        assert!(j.contains("\"phase\": \"fetch\""));
+        assert!(j.contains("\"self_share\": 1"));
+        assert!(j.ends_with("}\n"));
+        assert!(r.render().contains("fetch"));
+    }
+}

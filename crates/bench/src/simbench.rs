@@ -4,7 +4,11 @@
 //! so CI can track the throughput trajectory release over release:
 //!
 //! * **access-hit loop** — the settled fast path: demand hits against an
-//!   idle completion queue (accesses/sec);
+//!   idle completion queue (accesses/sec), measured twice — spans
+//!   disarmed (the default) and armed — so CI can gate the obs layer's
+//!   overhead on the hottest path (counters are always-on plain `u64`
+//!   adds; the armed run additionally pays each span site's
+//!   enabled-check);
 //! * **prefetch storm** — in-flight-heavy behaviour: interleaved
 //!   prefetches and demand accesses keeping the completion queues busy
 //!   (operations/sec);
@@ -18,6 +22,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use prefender_attacks::{run_attack_full, AttackKind, AttackSpec, DefenseConfig, Runner};
+use prefender_obs::{enable_spans, take_thread_profile, HostInfo};
 use prefender_sim::{AccessKind, Addr, Cycle, HierarchyConfig, MemorySystem, PrefetchSource};
 
 /// Fresh-vs-runner measurement of one leakage-campaign cell.
@@ -38,8 +43,11 @@ pub struct CellBench {
 /// The full `repro bench-sim` record.
 #[derive(Debug, Clone)]
 pub struct SimBenchReport {
-    /// Settled-fast-path demand hits per second.
+    /// Settled-fast-path demand hits per second, spans disarmed.
     pub access_hit_per_sec: f64,
+    /// The same loop with the span collector armed — the obs-overhead
+    /// gate compares this against `access_hit_per_sec`.
+    pub access_hit_obs_per_sec: f64,
     /// Prefetch-storm operations (prefetch + access pairs count as two)
     /// per second.
     pub storm_ops_per_sec: f64,
@@ -52,6 +60,7 @@ impl SimBenchReport {
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\"bench\": \"sim\"");
         let _ = write!(s, ", \"access_hit_per_sec\": {:.1}", self.access_hit_per_sec);
+        let _ = write!(s, ", \"access_hit_obs_per_sec\": {:.1}", self.access_hit_obs_per_sec);
         let _ = write!(s, ", \"storm_ops_per_sec\": {:.1}", self.storm_ops_per_sec);
         s.push_str(", \"leakage_cells\": [");
         for (i, c) in self.cells.iter().enumerate() {
@@ -65,7 +74,9 @@ impl SimBenchReport {
                 c.label, c.trials, c.fresh_sims_per_sec, c.runner_sims_per_sec, c.speedup
             );
         }
-        s.push_str("]}\n");
+        s.push(']');
+        let _ = write!(s, ", \"host\": {}", HostInfo::capture().json_inline());
+        s.push_str("}\n");
         s
     }
 
@@ -73,6 +84,8 @@ impl SimBenchReport {
     pub fn render(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "access-hit fast path   {:>12.0} accesses/s", self.access_hit_per_sec);
+        let _ =
+            writeln!(s, "access-hit, spans on   {:>12.0} accesses/s", self.access_hit_obs_per_sec);
         let _ = writeln!(s, "prefetch storm         {:>12.0} ops/s", self.storm_ops_per_sec);
         for c in &self.cells {
             let _ = writeln!(
@@ -168,10 +181,29 @@ fn bench_cell(label: &'static str, base: &AttackSpec, trials: u32) -> CellBench 
     }
 }
 
+/// Best-of-3 access-hit measurement: both sides of the obs-overhead
+/// gate use the fastest of three runs, so one scheduler hiccup can't
+/// fake a regression (or hide one behind noise).
+fn best_access_hit(iters: u64) -> f64 {
+    (0..3).map(|_| bench_access_hit(iters)).fold(0.0, f64::max)
+}
+
 /// Runs the whole suite. `trials` sizes the leakage cells (the CI smoke
 /// uses 200; anything ≥ 50 gives stable ratios).
 pub fn run(trials: u32) -> SimBenchReport {
-    let access_hit_per_sec = bench_access_hit(1_000_000);
+    let access_hit_per_sec = best_access_hit(1_000_000);
+    // The armed variant: spans enabled globally, profile drained after
+    // so the bench leaves no state behind. The measured loop never
+    // *opens* a span (the settle span only opens when completions are
+    // due), so this prices exactly what always-on arming costs the
+    // fast path: the per-site enabled checks.
+    let access_hit_obs_per_sec = {
+        enable_spans(true);
+        let per_sec = best_access_hit(1_000_000);
+        enable_spans(false);
+        let _ = take_thread_profile();
+        per_sec
+    };
     let storm_ops_per_sec = bench_storm(200_000);
     // Headline cell: the cross-core Flush+Reload channel — the paper's
     // flagship attack in the scope every open ROADMAP campaign sweeps.
@@ -187,7 +219,7 @@ pub fn run(trials: u32) -> SimBenchReport {
             trials,
         ),
     ];
-    SimBenchReport { access_hit_per_sec, storm_ops_per_sec, cells }
+    SimBenchReport { access_hit_per_sec, access_hit_obs_per_sec, storm_ops_per_sec, cells }
 }
 
 #[cfg(test)]
@@ -198,6 +230,7 @@ mod tests {
     fn report_json_shape() {
         let r = SimBenchReport {
             access_hit_per_sec: 1000.0,
+            access_hit_obs_per_sec: 990.0,
             storm_ops_per_sec: 2000.5,
             cells: vec![CellBench {
                 label: "fr/base/cross-core",
@@ -209,10 +242,14 @@ mod tests {
         };
         let j = r.to_json();
         assert!(j.starts_with("{\"bench\": \"sim\""));
+        assert!(j.contains("\"access_hit_obs_per_sec\": 990.0"));
         assert!(j.contains("\"speedup\": 4.00"));
-        assert!(j.ends_with("]}\n"));
+        // The host block closes the record (after the cells array).
+        assert!(j.contains("], \"host\": {\"nproc\": "));
+        assert!(j.ends_with("}\n"));
         assert_eq!(r.headline_speedup(), 4.0);
         assert!(r.render().contains("fr/base/cross-core"));
+        assert!(r.render().contains("spans on"));
     }
 
     #[test]

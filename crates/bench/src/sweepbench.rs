@@ -15,6 +15,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use prefender_obs::HostInfo;
 use prefender_sweep::{run_sweep, AttackCase, AttackKind, NoiseSpec, SweepGrid, SweepOptions};
 
 /// `BENCH_sweep.json` schema version written by [`run`].
@@ -74,7 +75,9 @@ impl SweepBenchReport {
                 r.parallel_efficiency
             );
         }
-        s.push_str("]}\n");
+        s.push(']');
+        let _ = write!(s, ", \"host\": {}", HostInfo::capture().json_inline());
+        s.push_str("}\n");
         s
     }
 
@@ -216,7 +219,9 @@ mod tests {
         let j = r.to_json();
         assert!(j.starts_with("{\"bench\": \"sweep\", \"schema_version\": 2, \"rows\": ["));
         assert!(j.contains("\"parallel_efficiency\": 0.500"));
-        assert!(j.ends_with("]}\n"));
+        // The host block closes the record (after the rows array).
+        assert!(j.contains("], \"host\": {\"nproc\": "));
+        assert!(j.ends_with("}\n"));
         assert_eq!(r.top_speedup(), 4.0);
         assert_eq!(r.row(8).map(|x| x.threads), Some(8));
         assert!(r.render().contains("efficiency"));

@@ -131,15 +131,18 @@ impl AccessBuffer {
 
     /// DiffMin update for an entry just evicted: drop the minimum pairs
     /// the victim participated in; only when it carried the *last* ones
-    /// does the full O(n²) rescan run.
-    fn diffmin_on_evict(&mut self, victim_blk: u64) {
-        let Some(cur) = self.diffmin else { return };
+    /// does the full O(n²) rescan run. Returns `true` when the rescan
+    /// fired (the tracker counts incremental-vs-rescan updates).
+    fn diffmin_on_evict(&mut self, victim_blk: u64) -> bool {
+        let Some(cur) = self.diffmin else { return false };
         let lost =
             self.entries.iter().filter(|&&(b, _)| b.abs_diff(victim_blk) == cur).count() as u32;
         if lost < self.diffmin_pairs {
             self.diffmin_pairs -= lost;
+            false
         } else {
             self.recompute_diffmin();
+            true
         }
     }
 
@@ -216,6 +219,17 @@ pub struct AccessTracker {
     unprotect_prefetch_threshold: u32,
     unprotect_idle_cycles: u64,
     seq: u64,
+    /// Observability (always-on plain counters): buffer (re)associations
+    /// and how many of them stole a live buffer.
+    allocs: u64,
+    buffer_evictions: u64,
+    /// DiffMin updates split by path: the incremental O(n) pass vs. the
+    /// full O(n²) rescan an eviction can force.
+    diffmin_incremental: u64,
+    diffmin_rescans: u64,
+    /// Record Protector protection lifecycle events.
+    protections_granted: u64,
+    protections_expired: u64,
 }
 
 impl AccessTracker {
@@ -232,6 +246,12 @@ impl AccessTracker {
             unprotect_prefetch_threshold: u32::MAX,
             unprotect_idle_cycles: u64::MAX,
             seq: 0,
+            allocs: 0,
+            buffer_evictions: 0,
+            diffmin_incremental: 0,
+            diffmin_rescans: 0,
+            protections_granted: 0,
+            protections_expired: 0,
         }
     }
 
@@ -270,6 +290,25 @@ impl AccessTracker {
         self.n_valid
     }
 
+    /// Observability: `(allocations, evictions)` — buffer associations
+    /// since construction or [`reset`](AccessTracker::reset), and how many
+    /// of those stole a live (valid) buffer.
+    pub fn alloc_counts(&self) -> (u64, u64) {
+        (self.allocs, self.buffer_evictions)
+    }
+
+    /// Observability: `(incremental, rescans)` — DiffMin updates that took
+    /// the incremental O(n) path vs. the full O(n²) rescan.
+    pub fn diffmin_update_counts(&self) -> (u64, u64) {
+        (self.diffmin_incremental, self.diffmin_rescans)
+    }
+
+    /// Observability: `(granted, expired)` — Record Protector protection
+    /// transitions (expiry counts both guided-prefetch and idle unprotects).
+    pub fn protection_event_counts(&self) -> (u64, u64) {
+        (self.protections_granted, self.protections_expired)
+    }
+
     /// Clears all buffers.
     pub fn reset(&mut self) {
         let cap = self.cfg.entries_per_buffer;
@@ -280,6 +319,12 @@ impl AccessTracker {
         self.n_valid = 0;
         self.n_protected = 0;
         self.seq = 0;
+        self.allocs = 0;
+        self.buffer_evictions = 0;
+        self.diffmin_incremental = 0;
+        self.diffmin_rescans = 0;
+        self.protections_granted = 0;
+        self.protections_expired = 0;
     }
 
     /// Processes one load access.
@@ -342,6 +387,7 @@ impl AccessTracker {
             if !b.protected {
                 b.guided_prefetches = 0;
                 self.n_protected += 1;
+                self.protections_granted += 1;
             }
             b.protected = true;
             b.protected_scale = Some((sc, pat_blk));
@@ -363,9 +409,14 @@ impl AccessTracker {
                     .map(|(i, _)| i)
                     .expect("buffer is full, hence nonempty");
                 let (victim_blk, _) = b.entries.swap_remove(victim);
-                b.diffmin_on_evict(victim_blk);
+                if b.diffmin_on_evict(victim_blk) {
+                    self.diffmin_rescans += 1;
+                } else {
+                    self.diffmin_incremental += 1;
+                }
             }
             b.diffmin_on_insert(blk_raw);
+            self.diffmin_incremental += 1;
             b.entries.push((blk_raw, seq));
         }
 
@@ -405,6 +456,7 @@ impl AccessTracker {
                     b.protected_scale = None;
                     b.guided_prefetches = 0;
                     self.n_protected -= 1;
+                    self.protections_expired += 1;
                 }
             }
         }
@@ -418,9 +470,11 @@ impl AccessTracker {
     /// (fresh slots and LRU victims alike), so the protected count is
     /// untouched.
     fn associate(&mut self, i: usize, pc: u64) {
+        self.allocs += 1;
         let b = &mut self.buffers[i];
         debug_assert!(!b.protected, "protected buffers are exempt from replacement");
         if b.valid {
+            self.buffer_evictions += 1;
             let removed = self.pc_index.remove(&b.inst_addr);
             debug_assert_eq!(removed, Some(i));
         }
@@ -432,6 +486,9 @@ impl AccessTracker {
         if self.n_protected == 0 {
             return;
         }
+        // The early return above keeps idle loads span-free: the walk (and
+        // hence the span) only opens while protections are actually live.
+        let _span = prefender_obs::span("expiry");
         // Stop as soon as every protected buffer has been visited — with
         // one or two protections live (the common attack shape) the walk
         // ends after a handful of slots instead of the whole file.
@@ -444,6 +501,7 @@ impl AccessTracker {
                     b.protected_scale = None;
                     b.guided_prefetches = 0;
                     self.n_protected -= 1;
+                    self.protections_expired += 1;
                 }
                 remaining -= 1;
                 if remaining == 0 {
@@ -676,6 +734,50 @@ mod tests {
         let d = probe(&mut t, 0x8008, 0x2000, 1);
         assert_eq!(d.buffer, Some(0));
         assert_eq!(t.buffer(0).blocks_vec(), vec![0x2000]);
+    }
+
+    #[test]
+    fn obs_counters_track_lifecycle_events() {
+        let mut t = at(2);
+        t.set_protection_params(&RpConfig { unprotect_idle_cycles: 100, ..RpConfig::paper() });
+        assert_eq!(t.alloc_counts(), (0, 0));
+
+        // Two fresh associations, then a third PC steals the LRU buffer.
+        probe(&mut t, 0x8000, 0x1000, 0);
+        probe(&mut t, 0x8010, 0x2000, 1);
+        assert_eq!(t.alloc_counts(), (2, 0));
+        probe(&mut t, 0x8020, 0x3000, 2);
+        assert_eq!(t.alloc_counts(), (3, 1));
+
+        // Each distinct-block insert is one incremental DiffMin pass; no
+        // buffer overflowed, so no rescans yet.
+        let (incr, rescans) = t.diffmin_update_counts();
+        assert_eq!((incr, rescans), (3, 0));
+
+        // Protection grant via an rp hit, then idle expiry.
+        t.on_load(0x8020, Addr::new(0x3200), Cycle::new(3), Some((0x200, 0x3000)), &NOT_RESIDENT);
+        assert_eq!(t.protection_event_counts(), (1, 0));
+        probe(&mut t, 0x8000, 0x1100, 500);
+        assert_eq!(t.protection_event_counts(), (1, 1));
+
+        t.reset();
+        assert_eq!(t.alloc_counts(), (0, 0));
+        assert_eq!(t.diffmin_update_counts(), (0, 0));
+        assert_eq!(t.protection_event_counts(), (0, 0));
+    }
+
+    #[test]
+    fn obs_counts_rescans_when_min_pair_evicted() {
+        // One 8-entry buffer; 9 distinct blocks with the unique minimum
+        // pair at the LRU end, so the 9th insert's eviction removes the
+        // last minimum pair and forces the rescan.
+        let mut t = at(1);
+        let blocks = [0x1000u64, 0x1040, 0x2000, 0x3000, 0x4000, 0x5000, 0x6000, 0x7000, 0x8000];
+        for (i, blk) in blocks.into_iter().enumerate() {
+            probe(&mut t, 0x8008, blk, i as u64);
+        }
+        let (_, rescans) = t.diffmin_update_counts();
+        assert!(rescans >= 1, "evicting the sole min-pair member must rescan");
     }
 
     /// Brute-force DiffMin over a slice of blocks (the pre-incremental

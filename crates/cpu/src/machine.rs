@@ -95,6 +95,7 @@ fn notify_access(
     scratch: &mut Vec<PrefetchRequest>,
     ev: &AccessEvent,
 ) {
+    let _span = prefender_obs::span("defense");
     scratch.clear();
     pf.on_access_into(ev, &|a| mem.probe_l1d(ev.core, a), scratch);
     for r in scratch.iter() {
@@ -124,6 +125,11 @@ pub struct Machine {
     /// `Prefetcher::on_access_into`: cleared (not shrunk) per access, so
     /// the notify path performs no allocation once warm.
     prefetch_scratch: Vec<PrefetchRequest>,
+    /// Observability: batched consecutive-`nop` retires dispatched via
+    /// [`Machine::retire_nop_run`] (always-on plain counter).
+    retire_fast_dispatches: u64,
+    /// Observability: instructions retired through those batches.
+    retire_fast_nops: u64,
 }
 
 impl fmt::Debug for Machine {
@@ -153,6 +159,8 @@ impl Machine {
             data: AddrMap::default(),
             trace: MemTrace::new(),
             prefetch_scratch: Vec::new(),
+            retire_fast_dispatches: 0,
+            retire_fast_nops: 0,
         }
     }
 
@@ -174,6 +182,8 @@ impl Machine {
         }
         self.data.clear();
         self.trace.clear();
+        self.retire_fast_dispatches = 0;
+        self.retire_fast_nops = 0;
     }
 
     /// The memory hierarchy (stats, probes).
@@ -207,6 +217,13 @@ impl Machine {
     /// Number of cores.
     pub fn n_cores(&self) -> usize {
         self.cores.len()
+    }
+
+    /// Batched consecutive-`nop` retire dispatches (see
+    /// [`Machine::retire_nop_run`]) and the instructions they retired —
+    /// how often the hottest dispatch shortcut actually fires.
+    pub fn retire_fast_path(&self) -> (u64, u64) {
+        (self.retire_fast_dispatches, self.retire_fast_nops)
     }
 
     /// The access trace.
@@ -346,6 +363,8 @@ impl Machine {
             core.pc_index += k as usize;
             core.ready_at += k * self.cfg.alu_cost;
             core.retired += k;
+            self.retire_fast_dispatches += 1;
+            self.retire_fast_nops += k;
         }
         k
     }
@@ -423,6 +442,8 @@ impl Machine {
             data,
             trace,
             prefetch_scratch,
+            retire_fast_dispatches: _,
+            retire_fast_nops: _,
         } = self;
         let core = &mut cores[c];
         let mut t = core.ready_at;
@@ -438,9 +459,14 @@ impl Machine {
         };
 
         if cfg.model_fetch {
+            let _span = prefender_obs::span("fetch");
             t += mem.fetch(c, Addr::new(pc), t);
         }
 
+        // The execute span covers dispatch, the memory access and the
+        // in-line defense notification; nested spans (settle, defense,
+        // expiry) subtract themselves from its self-time.
+        let execute_span = prefender_obs::span("execute");
         let mut next = core.pc_index + 1;
         let cost = match instr {
             Instr::LoadImm { rd, imm } => {
@@ -587,6 +613,7 @@ impl Machine {
                 0
             }
         };
+        drop(execute_span);
 
         let wanted = match retire_interest[c] {
             RetireInterest::None => false,
@@ -595,6 +622,7 @@ impl Machine {
         };
         if wanted {
             if let Some(pf) = prefetchers[c].as_mut() {
+                let _span = prefender_obs::span("defense");
                 pf.on_retire(&RetireEvent { core: c, pc, instr: &instr, now: t });
             }
         }
@@ -802,6 +830,26 @@ mod tests {
         let s = m.run();
         assert!(s.truncated);
         assert_eq!(s.instructions, 10);
+    }
+
+    #[test]
+    fn retire_fast_path_counters_track_batches() {
+        let mut m = Machine::with_cpu_config(
+            HierarchyConfig::paper_baseline(1).unwrap(),
+            CpuConfig { model_fetch: false, ..CpuConfig::default() },
+        );
+        m.load_program(0, Program::parse("nop\nnop\nnop\nli r1, 1\nnop\nnop\nhalt\n").unwrap());
+        m.run();
+        let (dispatches, nops) = m.retire_fast_path();
+        assert_eq!(dispatches, 2, "two separate nop runs");
+        assert_eq!(nops, 5);
+        m.reset();
+        assert_eq!(m.retire_fast_path(), (0, 0));
+        // With fetch modelled the fast path must not fire at all.
+        let mut slow = machine();
+        slow.load_program(0, Program::parse("nop\nnop\nhalt\n").unwrap());
+        slow.run();
+        assert_eq!(slow.retire_fast_path(), (0, 0));
     }
 
     #[test]

@@ -183,7 +183,10 @@ impl LeakageCampaign {
                 spec.layout.secret = secret;
                 spec.seed = self.trial_seed(campaign_seed, slot, trial);
                 let (outcome, metrics) = runner.run_full(&spec)?;
-                channel.record(slot, self.decoder.observe(&outcome));
+                {
+                    let _span = prefender_obs::span("decode");
+                    channel.record(slot, self.decoder.observe(&outcome));
+                }
                 totals.cycles += metrics.cycles;
                 totals.instructions += metrics.instructions;
                 totals.l1d += metrics.l1d;
@@ -195,7 +198,10 @@ impl LeakageCampaign {
             }
         }
         let mut result = LeakageResult::from_channel(channel, totals, hist);
-        result.apply_resampling(resample, campaign_seed);
+        {
+            let _span = prefender_obs::span("resample");
+            result.apply_resampling(resample, campaign_seed);
+        }
         Ok(result)
     }
 }

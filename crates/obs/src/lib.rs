@@ -1,0 +1,38 @@
+//! Zero-cost-when-off observability for the PREFENDER reproduction.
+//!
+//! This crate is dependency-free and sits below every other workspace
+//! crate. It provides three layers, all designed around one hard
+//! contract: **enabling observability never changes an artifact byte**.
+//! Wall-clock time is allowed only in obs/profile outputs, never in
+//! `sweep.json`/`leakage.json`/CSV/figure artifacts.
+//!
+//! 1. **Counters** ([`ObsCounters`]) — plain-`u64` event counts kept
+//!    always-on by the simulator, CPU, defense models and attack runner.
+//!    Incrementing one is a single add on an ordinary field; there is no
+//!    atomic, no branch, no feature flag. Per-scenario counter blocks are
+//!    pure functions of the scenario, so campaign totals are identical at
+//!    every thread count (merging is a field-wise sum, plus `max` for
+//!    high-water marks — both order-independent).
+//! 2. **Spans** ([`span`], [`take_thread_profile`]) — a manual scoped
+//!    timer API with a per-thread span stack. Unless a collector is
+//!    enabled via [`enable_spans`], opening a span is one `Relaxed`
+//!    atomic load and no clock read. Enabled spans accumulate
+//!    (count, total, self-time) per phase name into a thread-local
+//!    profile, drained by [`take_thread_profile`].
+//! 3. **Snapshots & telemetry** ([`Value`], [`HostInfo`],
+//!    [`ProgressReporter`]) — a tiny deterministic JSON tree (the build
+//!    environment vendors no serde) for `obs.json`/`PROFILE.json`, host
+//!    identification for bench reports, and a throttled stderr progress
+//!    meter for long campaigns.
+
+mod counters;
+mod host;
+mod progress;
+mod snapshot;
+mod span;
+
+pub use counters::ObsCounters;
+pub use host::HostInfo;
+pub use progress::ProgressReporter;
+pub use snapshot::Value;
+pub use span::{enable_spans, span, span_if, spans_enabled, take_thread_profile, Phase, SpanGuard};

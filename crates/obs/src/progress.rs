@@ -1,0 +1,124 @@
+//! A throttled stderr progress meter for long campaigns.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Prints `label: done/total (rate/s, ETA …)` lines to stderr, at most
+/// once per throttle interval (default 200 ms), plus a final summary
+/// line from [`finish`](ProgressReporter::finish).
+///
+/// Progress is *presentation only*: it writes to stderr, never touches
+/// artifacts, and is off by default behind the sweep CLI's `--progress`
+/// flag. Updates may arrive from multiple worker threads — callers wrap
+/// the reporter in a mutex (updates are rare: one per completed chunk).
+#[derive(Debug)]
+pub struct ProgressReporter {
+    label: String,
+    total: u64,
+    started: Instant,
+    last_print: Option<Instant>,
+    throttle: Duration,
+}
+
+fn fmt_eta(secs: f64) -> String {
+    if !secs.is_finite() || secs < 0.0 {
+        return "?".to_string();
+    }
+    let s = secs.round() as u64;
+    if s >= 3600 {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    } else if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{s}s")
+    }
+}
+
+impl ProgressReporter {
+    /// A reporter for `total` work items, printing under `label`.
+    pub fn new(label: impl Into<String>, total: u64) -> Self {
+        ProgressReporter {
+            label: label.into(),
+            total,
+            started: Instant::now(),
+            last_print: None,
+            throttle: Duration::from_millis(200),
+        }
+    }
+
+    /// Overrides the minimum interval between prints.
+    #[must_use]
+    pub fn throttle(mut self, interval: Duration) -> Self {
+        self.throttle = interval;
+        self
+    }
+
+    /// Records `done` items complete; prints when the throttle allows.
+    pub fn update(&mut self, done: u64) {
+        let now = Instant::now();
+        if let Some(last) = self.last_print {
+            if now.duration_since(last) < self.throttle {
+                return;
+            }
+        }
+        self.last_print = Some(now);
+        let line = self.render(done, now);
+        let mut err = std::io::stderr().lock();
+        let _ = write!(err, "\r{line}");
+        let _ = err.flush();
+    }
+
+    /// Prints the final line (unthrottled) and ends the stderr line.
+    pub fn finish(&mut self, done: u64) {
+        let line = self.render(done, Instant::now());
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "\r{line}");
+        let _ = err.flush();
+    }
+
+    fn render(&self, done: u64, now: Instant) -> String {
+        let elapsed = now.duration_since(self.started).as_secs_f64();
+        let rate = if elapsed > 0.0 { done as f64 / elapsed } else { 0.0 };
+        let eta = if done > 0 && done < self.total {
+            fmt_eta(elapsed * (self.total - done) as f64 / done as f64)
+        } else if done >= self.total {
+            "0s".to_string()
+        } else {
+            "?".to_string()
+        };
+        format!("{}: {}/{} ({:.0}/s, ETA {})", self.label, done, self.total, rate, eta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_formats() {
+        assert_eq!(fmt_eta(5.2), "5s");
+        assert_eq!(fmt_eta(65.0), "1m05s");
+        assert_eq!(fmt_eta(3700.0), "1h01m");
+        assert_eq!(fmt_eta(f64::NAN), "?");
+    }
+
+    #[test]
+    fn render_reports_rate_and_eta() {
+        let r = ProgressReporter::new("sweep", 100);
+        let line = r.render(0, r.started);
+        assert!(line.starts_with("sweep: 0/100"));
+        assert!(line.contains("ETA ?"));
+        let done = r.render(100, r.started + Duration::from_secs(2));
+        assert!(done.contains("100/100 (50/s, ETA 0s)"), "{done}");
+    }
+
+    #[test]
+    fn throttle_suppresses_rapid_updates() {
+        let mut r = ProgressReporter::new("t", 10).throttle(Duration::from_secs(3600));
+        r.update(1);
+        let first = r.last_print;
+        assert!(first.is_some());
+        r.update(2);
+        assert_eq!(r.last_print, first, "second update inside throttle window must not print");
+    }
+}

@@ -86,6 +86,9 @@ pub struct MemorySystem {
     /// Reusable eviction scratch for [`MemorySystem::settle`]: the settled
     /// fast path (idle completion queues) must not allocate per access.
     scratch: Vec<EvictedLine>,
+    /// Prefetch requests declined because the line was already present or
+    /// in flight in the target L1D (an always-on observability counter).
+    prefetches_dropped: u64,
 }
 
 impl MemorySystem {
@@ -95,7 +98,7 @@ impl MemorySystem {
         let l1d = (0..cfg.n_cores).map(|_| Cache::new(cfg.l1d.clone())).collect();
         let l2 = Cache::new(cfg.l2.clone());
         let mshrs = MshrFile::new(cfg.n_mshrs, cfg.mshr_merge_limit);
-        MemorySystem { cfg, l1i, l1d, l2, mshrs, scratch: Vec::new() }
+        MemorySystem { cfg, l1i, l1d, l2, mshrs, scratch: Vec::new(), prefetches_dropped: 0 }
     }
 
     /// Returns the hierarchy to its cold (just-constructed) state without
@@ -110,6 +113,7 @@ impl MemorySystem {
         self.l2.reset();
         self.mshrs.reset();
         self.scratch.clear();
+        self.prefetches_dropped = 0;
     }
 
     /// The hierarchy's configuration.
@@ -150,6 +154,13 @@ impl MemorySystem {
         &self.mshrs
     }
 
+    /// Prefetch requests declined because the target L1D already held (or
+    /// was receiving) the line — the gap between what the prefetch units
+    /// *proposed* and what the memory system actually *issued*.
+    pub fn prefetches_dropped(&self) -> u64 {
+        self.prefetches_dropped
+    }
+
     /// Sum of all L1D statistics across cores.
     pub fn total_l1d_stats(&self) -> CacheStats {
         self.l1d.iter().fold(CacheStats::new(), |acc, c| acc + *c.stats())
@@ -179,6 +190,13 @@ impl MemorySystem {
         // inclusion. Each expiry is an O(1) completion-queue peek when
         // nothing is due, and evictions land in the reused scratch buffer
         // — the settled fast path performs no heap allocation.
+        //
+        // The profiling span opens only when a completion is actually due:
+        // with spans disabled this line is one relaxed atomic load, and
+        // even with a collector armed the settled (idle-queue) access path
+        // never reads the clock.
+        let _span =
+            prefender_obs::span_if("settle", prefender_obs::spans_enabled() && self.due(now));
         let mut evicted = std::mem::take(&mut self.scratch);
         evicted.clear();
         self.l2.expire_inflight_into(now, &mut evicted);
@@ -192,6 +210,11 @@ impl MemorySystem {
             }
         }
         self.scratch = evicted;
+    }
+
+    /// One heap peek per cache: is any completion due at `now`?
+    fn due(&self, now: Cycle) -> bool {
+        self.l2.completion_due(now) || self.l1d.iter().any(|c| c.completion_due(now))
     }
 
     fn writeback_from_l1(&mut self, e: EvictedLine) {
@@ -377,6 +400,7 @@ impl MemorySystem {
     ) -> bool {
         self.settle(now);
         if self.l1d[core].contains_or_inflight(addr) {
+            self.prefetches_dropped += 1;
             return false;
         }
         let ready_at = if self.l2.contains(addr) {
@@ -527,9 +551,13 @@ mod tests {
         let mut m = sys(1);
         let a = Addr::new(0x4000);
         assert!(m.prefetch(0, a, PrefetchSource::Basic, Cycle::ZERO));
+        assert_eq!(m.prefetches_dropped(), 0);
         assert!(!m.prefetch(0, a, PrefetchSource::Basic, Cycle::new(1)));
         m.access(0, a, AccessKind::Read, Cycle::new(500));
         assert!(!m.prefetch(0, a, PrefetchSource::Basic, Cycle::new(600)));
+        assert_eq!(m.prefetches_dropped(), 2, "in-flight and installed drops both count");
+        m.reset();
+        assert_eq!(m.prefetches_dropped(), 0);
     }
 
     #[test]

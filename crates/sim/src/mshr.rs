@@ -72,6 +72,7 @@ pub struct MshrFile {
     merge_limit: u32,
     stalls: u64,
     merges: u64,
+    high_water: usize,
 }
 
 impl MshrFile {
@@ -84,6 +85,7 @@ impl MshrFile {
             merge_limit,
             stalls: 0,
             merges: 0,
+            high_water: 0,
         }
     }
 
@@ -93,6 +95,7 @@ impl MshrFile {
         self.entries.clear();
         self.stalls = 0;
         self.merges = 0;
+        self.high_water = 0;
     }
 
     /// Number of entries still outstanding at `now`.
@@ -108,6 +111,14 @@ impl MshrFile {
     /// Total requests merged into outstanding entries.
     pub fn merge_count(&self) -> u64 {
         self.merges
+    }
+
+    /// Peak simultaneous entry count since construction or [`reset`]
+    /// (`reset`). Retired entries are pruned lazily on the next
+    /// [`request`](MshrFile::request), so this is the high-water mark of
+    /// *allocated slots*, the quantity capacity planning cares about.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Issues a memory request for `line` at time `now` taking
@@ -127,6 +138,7 @@ impl MshrFile {
         if self.entries.len() < self.capacity {
             let ready_at = now + service_latency;
             self.entries.push(Entry { line, ready_at, merged: 1 });
+            self.high_water = self.high_water.max(self.entries.len());
             return MshrOutcome::Allocated { ready_at };
         }
         // Full: wait for the earliest entry to retire.
@@ -141,6 +153,7 @@ impl MshrFile {
         self.stalls += 1;
         let ready_at = stalled_until + service_latency;
         self.entries.push(Entry { line, ready_at, merged: 1 });
+        self.high_water = self.high_water.max(self.entries.len());
         MshrOutcome::Stalled { stalled_until, ready_at }
     }
 }
@@ -186,6 +199,21 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(m.stall_count(), 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_and_resets() {
+        let mut m = MshrFile::new(4, 20);
+        assert_eq!(m.high_water(), 0);
+        m.request(0x40, Cycle::ZERO, 100);
+        m.request(0x80, Cycle::new(1), 100);
+        m.request(0xC0, Cycle::new(2), 100);
+        assert_eq!(m.high_water(), 3);
+        // Everything retires; a single fresh request does not lower the peak.
+        m.request(0x100, Cycle::new(500), 100);
+        assert_eq!(m.high_water(), 3);
+        m.reset();
+        assert_eq!(m.high_water(), 0);
     }
 
     #[test]

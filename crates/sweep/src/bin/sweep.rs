@@ -30,9 +30,17 @@
 //!                       (+ DIR/leakage.json + DIR/leakage.csv when the
 //!                       grid has leakage campaigns)      [default: .]
 //!   --bench-json PATH   also write a throughput record (BENCH_sweep.json)
-//!   --list              print the enumerated scenario grid (ids + counts)
-//!                       and exit without running anything
+//!   --list              print the enumerated scenario grid (ids + counts,
+//!                       distinct machine configs, estimated sims) and
+//!                       exit without running anything
 //!   --quiet             no per-scenario table, summary only
+//!
+//! observability (all off by default; artifacts are byte-identical
+//! either way):
+//!   --progress          throttled stderr progress line (rate + ETA)
+//!   --obs               write DIR/obs.json: deterministic counters plus
+//!                       an explicitly-marked wall-clock `timing` section
+//!   --obs-out PATH      write the chunk-claim event stream as JSONL
 //! ```
 //!
 //! Leakage campaigns (`--leakage`) share the noise / cross-core /
@@ -47,9 +55,10 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use prefender_obs::{HostInfo, ProgressReporter};
 use prefender_sweep::{
-    run_sweep, AttackCase, AttackKind, Basic, DefenseConfig, DefensePoint, Hierarchy, NoiseSpec,
-    SweepGrid, SweepOptions,
+    run_sweep_observed, AttackCase, AttackKind, Basic, DefenseConfig, DefensePoint, Hierarchy,
+    NoiseSpec, SweepGrid, SweepOptions,
 };
 
 struct Args {
@@ -60,6 +69,9 @@ struct Args {
     bench_json: Option<std::path::PathBuf>,
     quiet: bool,
     list: bool,
+    progress: bool,
+    obs: bool,
+    obs_out: Option<std::path::PathBuf>,
 }
 
 fn parse_u64(s: &str) -> Result<u64, String> {
@@ -117,6 +129,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         bench_json: None,
         quiet: false,
         list: false,
+        progress: false,
+        obs: false,
+        obs_out: None,
     };
 
     let mut it = argv.iter();
@@ -171,6 +186,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--bench-json" => args.bench_json = Some(val("--bench-json")?.into()),
             "--list" => args.list = true,
             "--quiet" => args.quiet = true,
+            "--progress" => args.progress = true,
+            "--obs" => args.obs = true,
+            "--obs-out" => args.obs_out = Some(val("--obs-out")?.into()),
             "--help" | "-h" => return Err("help".to_string()),
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -291,7 +309,7 @@ fn main() -> ExitCode {
             );
             eprintln!("             [--permutations N] [--bootstrap N] [--alpha F]");
             eprintln!("             [--threads N] [--seed S] [--out DIR] [--bench-json PATH]");
-            eprintln!("             [--list] [--quiet]");
+            eprintln!("             [--list] [--quiet] [--progress] [--obs] [--obs-out PATH]");
             return if e == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
         }
     };
@@ -304,10 +322,21 @@ fn main() -> ExitCode {
     let sims = args.grid.sims();
     if args.list {
         // Dry run: print the enumerated work-list for campaign sizing.
-        for s in args.grid.enumerate() {
+        let scenarios = args.grid.enumerate();
+        for s in &scenarios {
             println!("{:>6}  {}", s.index, s.id());
         }
-        println!("{n} scenarios ({sims} simulations), not executed (--list)");
+        // Distinct machine-shaping keys = the machine-rebuild floor under
+        // config-major scheduling (each worker rebuilds at most once per
+        // distinct configuration; everything else is an in-place reset).
+        let mut keys: Vec<_> = scenarios.iter().map(|s| s.machine_key()).collect();
+        keys.sort();
+        keys.dedup();
+        println!(
+            "{n} scenarios ({sims} estimated simulations, {} distinct machine configs), \
+             not executed (--list)",
+            keys.len()
+        );
         return ExitCode::SUCCESS;
     }
     eprintln!(
@@ -322,7 +351,22 @@ fn main() -> ExitCode {
     );
     let opts = SweepOptions { threads: args.threads, campaign_seed: args.campaign_seed };
     let start = Instant::now();
-    let report = run_sweep(&args.grid, &opts);
+    // `run_sweep` is `run_sweep_observed` minus the extras, so running
+    // observed unconditionally cannot change the artifacts — the obs
+    // outputs are simply dropped unless a flag asks for them.
+    let reporter =
+        args.progress.then(|| std::sync::Mutex::new(ProgressReporter::new("sweep", n as u64)));
+    let on_chunk = |done: usize, _total: usize| {
+        if let Some(r) = &reporter {
+            r.lock().expect("progress reporter").update(done as u64);
+        }
+    };
+    let progress: Option<&(dyn Fn(usize, usize) + Sync)> =
+        if args.progress { Some(&on_chunk) } else { None };
+    let (report, obs) = run_sweep_observed(&args.grid, &opts, progress);
+    if let Some(r) = &reporter {
+        r.lock().expect("progress reporter").finish(n as u64);
+    }
     let elapsed = start.elapsed();
     let per_sec = n as f64 / elapsed.as_secs_f64().max(1e-9);
 
@@ -371,14 +415,32 @@ fn main() -> ExitCode {
         wrote.iter().map(|p| p.display().to_string()).collect::<Vec<_>>().join(", ")
     );
 
+    if args.obs {
+        let path = args.out.join("obs.json");
+        if let Err(e) = std::fs::write(&path, obs.to_json() + "\n") {
+            eprintln!("sweep: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = &args.obs_out {
+        if let Err(e) = std::fs::write(path, obs.events_jsonl()) {
+            eprintln!("sweep: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+
     if let Some(path) = args.bench_json {
         let record = format!(
             "{{\"bench\": \"sweep\", \"scenarios\": {n}, \"sims\": {sims}, \"threads\": {}, \
-             \"elapsed_secs\": {:.6}, \"scenarios_per_sec\": {:.3}, \"sims_per_sec\": {:.3}}}\n",
+             \"elapsed_secs\": {:.6}, \"scenarios_per_sec\": {:.3}, \"sims_per_sec\": {:.3}, \
+             \"host\": {}}}\n",
             args.threads,
             elapsed.as_secs_f64(),
             per_sec,
             sims as f64 / elapsed.as_secs_f64().max(1e-9),
+            HostInfo::capture().json_inline(),
         );
         if let Err(e) = std::fs::write(&path, record) {
             eprintln!("sweep: writing {}: {e}", path.display());

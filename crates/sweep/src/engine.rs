@@ -2,10 +2,13 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use prefender_obs::{ObsCounters, Value};
 
 use crate::artifact::SweepReport;
 use crate::grid::SweepGrid;
-use crate::scenario::{run_scenario_with, Scenario, ScenarioResult};
+use crate::scenario::{run_scenario_with_obs, Scenario, ScenarioResult};
 
 /// Campaign-level execution options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,23 +142,277 @@ where
 /// at any thread count**, pinned against plain index-order execution by
 /// `tests/scheduling_props.rs`.
 pub fn run_sweep(grid: &SweepGrid, opts: &SweepOptions) -> SweepReport {
+    run_sweep_observed(grid, opts, None).0
+}
+
+/// One chunk claim of the observed executor: which worker took which run
+/// of consecutive work-list slots, and when (milliseconds since the sweep
+/// started). Wall-clock — scheduling-dependent, `timing`-section data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkEvent {
+    /// Claiming worker (0-based).
+    pub worker: usize,
+    /// First work-list slot of the chunk (config-major order, not
+    /// scenario index).
+    pub start: usize,
+    /// Scenarios in the chunk.
+    pub len: usize,
+    /// When the chunk was claimed, ms since the sweep started. The gap
+    /// from the previous `done_ms` on the same worker is its claim
+    /// latency (result-buffer bookkeeping between chunks).
+    pub claim_ms: f64,
+    /// When the chunk's last scenario finished, ms since the sweep start.
+    pub done_ms: f64,
+}
+
+/// Per-worker utilization over one observed sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerStats {
+    /// Worker id (0-based).
+    pub worker: usize,
+    /// Chunks claimed.
+    pub chunks: usize,
+    /// Scenarios executed.
+    pub scenarios: usize,
+    /// Time spent inside scenario execution, ms.
+    pub busy_ms: f64,
+    /// `busy_ms` over the sweep's wall-clock span (0..=1).
+    pub utilization: f64,
+}
+
+/// Scheduling- and wall-clock-dependent telemetry of one observed sweep:
+/// everything here may change between runs and thread counts, which is
+/// why obs reports keep it in the explicitly-marked `timing` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepTelemetry {
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Chunk size the cursor handed out.
+    pub chunk: usize,
+    /// Wall-clock duration of the whole sweep, ms.
+    pub elapsed_ms: f64,
+    /// Scenarios per wall-clock second.
+    pub scenarios_per_sec: f64,
+    /// Runner runs served by the in-place reset path, summed over workers.
+    pub resets: u64,
+    /// Machine constructions, summed over workers.
+    pub rebuilds: u64,
+    /// Per-worker utilization, sorted by worker id.
+    pub workers: Vec<WorkerStats>,
+    /// Every chunk claim, sorted by `(worker, start)`.
+    pub events: Vec<ChunkEvent>,
+}
+
+/// The observability output of one sweep: the deterministic counter
+/// merge and the wall-clock telemetry, kept strictly apart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepObs {
+    /// Per-scenario counters merged in scenario-index order. A pure
+    /// function of the grid and campaign seed: identical at every thread
+    /// count (pinned by `tests/obs_props.rs`).
+    pub counters: ObsCounters,
+    /// Scheduling/wall-clock telemetry — everything non-deterministic.
+    pub telemetry: SweepTelemetry,
+}
+
+impl SweepObs {
+    /// The `obs.json` document: a `counters` section (deterministic) and
+    /// an explicitly-marked `timing` section (wall-clock, varies run to
+    /// run). Chunk events are left to the JSONL stream (`--obs-out`).
+    pub fn to_json(&self) -> String {
+        let t = &self.telemetry;
+        let workers = t
+            .workers
+            .iter()
+            .map(|w| {
+                Value::Obj(vec![
+                    ("worker".into(), Value::U64(w.worker as u64)),
+                    ("chunks".into(), Value::U64(w.chunks as u64)),
+                    ("scenarios".into(), Value::U64(w.scenarios as u64)),
+                    ("busy_ms".into(), Value::F64(w.busy_ms)),
+                    ("utilization".into(), Value::F64(w.utilization)),
+                ])
+            })
+            .collect();
+        let doc = Value::Obj(vec![
+            ("schema_version".into(), Value::U64(1)),
+            ("counters".into(), self.counters.to_value()),
+            (
+                "timing".into(),
+                Value::Obj(vec![
+                    ("threads".into(), Value::U64(t.threads as u64)),
+                    ("chunk".into(), Value::U64(t.chunk as u64)),
+                    ("elapsed_ms".into(), Value::F64(t.elapsed_ms)),
+                    ("scenarios_per_sec".into(), Value::F64(t.scenarios_per_sec)),
+                    ("runner_resets".into(), Value::U64(t.resets)),
+                    ("runner_rebuilds".into(), Value::U64(t.rebuilds)),
+                    ("workers".into(), Value::Arr(workers)),
+                ]),
+            ),
+        ]);
+        doc.to_json(0)
+    }
+
+    /// The chunk-event stream as JSONL: one `{"worker": …}` object per
+    /// line, the `--obs-out` format.
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.telemetry.events {
+            let v = Value::Obj(vec![
+                ("worker".into(), Value::U64(e.worker as u64)),
+                ("start".into(), Value::U64(e.start as u64)),
+                ("len".into(), Value::U64(e.len as u64)),
+                ("claim_ms".into(), Value::F64(e.claim_ms)),
+                ("done_ms".into(), Value::F64(e.done_ms)),
+            ]);
+            out.push_str(&v.to_json_inline());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// [`run_sweep`] plus observability: returns the report together with the
+/// merged per-scenario counters and the run's scheduling telemetry, and
+/// calls `progress(done, total)` after every completed chunk (from
+/// whichever worker finished it — the callback must be `Sync`).
+///
+/// `run_sweep` *is* this function without the extras, so the artifact is
+/// byte-identical whether or not observability is consumed; the counter
+/// merge runs in scenario-index order, making `counters` a pure function
+/// of the grid and campaign seed at any thread count. At `threads <= 1`
+/// everything executes inline on the calling thread (no pool), which is
+/// what lets `repro profile` read back its thread-local span profile.
+pub fn run_sweep_observed(
+    grid: &SweepGrid,
+    opts: &SweepOptions,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) -> (SweepReport, SweepObs) {
     let scenarios = grid.enumerate();
     let resample = grid.resample();
     let mut order: Vec<&Scenario> = scenarios.iter().collect();
     order.sort_by_key(|s| s.machine_key());
-    let grouped: Vec<ScenarioResult> =
-        parallel_map(&order, opts.threads, |s| run_scenario_with(s, opts.campaign_seed, &resample));
-    let mut slots: Vec<Option<ScenarioResult>> = Vec::with_capacity(scenarios.len());
-    slots.resize_with(scenarios.len(), || None);
-    for r in grouped {
-        let index = r.index;
-        slots[index] = Some(r);
+    let n = order.len();
+    let threads = effective_threads(opts.threads, n);
+    let chunk = chunk_size(n.max(1), threads);
+    let order = &order[..];
+    let resample = &resample;
+
+    let started = Instant::now();
+    let cursor = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    type Ran = (ScenarioResult, ObsCounters, (u64, u64));
+    let sink: Mutex<Vec<(usize, Vec<Ran>)>> = Mutex::new(Vec::with_capacity(threads * 2));
+    let tsink: Mutex<Vec<(WorkerStats, Vec<ChunkEvent>)>> = Mutex::new(Vec::with_capacity(threads));
+    let worker = |wid: usize| {
+        let mut local: Vec<(usize, Vec<Ran>)> = Vec::new();
+        let mut events: Vec<ChunkEvent> = Vec::new();
+        let mut busy = Duration::ZERO;
+        loop {
+            let claim_ms = ms(started.elapsed());
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + chunk).min(n);
+            let t0 = Instant::now();
+            let mut out = Vec::with_capacity(end - start);
+            out.extend(
+                order[start..end]
+                    .iter()
+                    .map(|s| run_scenario_with_obs(s, opts.campaign_seed, resample)),
+            );
+            busy += t0.elapsed();
+            events.push(ChunkEvent {
+                worker: wid,
+                start,
+                len: end - start,
+                claim_ms,
+                done_ms: ms(started.elapsed()),
+            });
+            local.push((start, out));
+            let total_done = done.fetch_add(end - start, Ordering::Relaxed) + (end - start);
+            if let Some(p) = progress {
+                p(total_done, n);
+            }
+        }
+        let stats = WorkerStats {
+            worker: wid,
+            chunks: events.len(),
+            scenarios: events.iter().map(|e| e.len).sum(),
+            busy_ms: ms(busy),
+            utilization: 0.0, // filled in once the sweep's span is known
+        };
+        sink.lock().expect("result sink").extend(local);
+        tsink.lock().expect("telemetry sink").push((stats, events));
+    };
+    if threads <= 1 {
+        worker(0);
+    } else {
+        std::thread::scope(|scope| {
+            let worker = &worker;
+            for wid in 0..threads {
+                scope.spawn(move || worker(wid));
+            }
+        });
     }
-    let results = slots
-        .into_iter()
-        .map(|s| s.expect("every scenario index produces exactly one result"))
-        .collect();
-    SweepReport { campaign_seed: opts.campaign_seed, results }
+    let elapsed_ms = ms(started.elapsed());
+
+    // Reassemble to scenario-index order, then fold the counters in that
+    // order — the merge is commutative anyway, but a fixed order makes
+    // the determinism contract self-evident.
+    let chunks = sink.into_inner().expect("result sink");
+    let mut slots: Vec<Option<Ran>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (start, out) in chunks {
+        for (off, r) in out.into_iter().enumerate() {
+            debug_assert!(slots[start + off].is_none(), "chunk overlap at {}", start + off);
+            slots[start + off] = Some(r);
+        }
+    }
+    let mut by_index: Vec<Option<Ran>> = Vec::with_capacity(n);
+    by_index.resize_with(n, || None);
+    for r in slots {
+        let r = r.expect("every work-list slot produces exactly one result");
+        let index = r.0.index;
+        by_index[index] = Some(r);
+    }
+    let mut counters = ObsCounters::new();
+    let (mut resets, mut rebuilds) = (0u64, 0u64);
+    let mut results = Vec::with_capacity(n);
+    for r in by_index {
+        let (result, obs, (rs, rb)) = r.expect("every scenario index produces exactly one result");
+        counters.merge(&obs);
+        resets += rs;
+        rebuilds += rb;
+        results.push(result);
+    }
+
+    let mut worker_data = tsink.into_inner().expect("telemetry sink");
+    worker_data.sort_by_key(|(w, _)| w.worker);
+    let mut workers = Vec::with_capacity(worker_data.len());
+    let mut events = Vec::new();
+    for (mut w, ev) in worker_data {
+        w.utilization = if elapsed_ms > 0.0 { (w.busy_ms / elapsed_ms).min(1.0) } else { 0.0 };
+        workers.push(w);
+        events.extend(ev);
+    }
+    let telemetry = SweepTelemetry {
+        threads,
+        chunk,
+        elapsed_ms,
+        scenarios_per_sec: if elapsed_ms > 0.0 { n as f64 / (elapsed_ms / 1e3) } else { 0.0 },
+        resets,
+        rebuilds,
+        workers,
+        events,
+    };
+    let report = SweepReport { campaign_seed: opts.campaign_seed, results };
+    (report, SweepObs { counters, telemetry })
 }
 
 #[cfg(test)]

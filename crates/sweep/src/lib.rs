@@ -41,9 +41,15 @@ pub mod perf;
 mod scenario;
 
 pub use artifact::{SweepReport, REPORT_SCHEMA_VERSION};
-pub use engine::{parallel_map, parallel_map_2d, run_sweep, SweepOptions};
+pub use engine::{
+    parallel_map, parallel_map_2d, run_sweep, run_sweep_observed, ChunkEvent, SweepObs,
+    SweepOptions, SweepTelemetry, WorkerStats,
+};
 pub use grid::{AttackCase, DefensePoint, Hierarchy, SweepGrid};
-pub use scenario::{basic_tag, run_scenario, run_scenario_with, Payload, Scenario, ScenarioResult};
+pub use scenario::{
+    basic_tag, run_scenario, run_scenario_with, run_scenario_with_obs, Payload, Scenario,
+    ScenarioResult,
+};
 
 // The axes a grid is built from, re-exported so callers need only this
 // crate.

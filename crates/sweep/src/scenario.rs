@@ -4,9 +4,10 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 
-use prefender_attacks::{AttackOutcome, AttackSpec, Basic, RunMetrics, Runner};
+use prefender_attacks::{machine_obs, AttackOutcome, AttackSpec, Basic, RunMetrics, Runner};
 use prefender_cpu::Machine;
 use prefender_leakage::{LeakageCampaign, ResampleOptions};
+use prefender_obs::ObsCounters;
 use prefender_stats::derive_seed;
 use prefender_workloads::Workload;
 
@@ -271,6 +272,46 @@ pub fn run_scenario_with(
     }
 }
 
+/// Like [`run_scenario_with`], but also harvesting the scenario's
+/// observability counters and the `(resets, rebuilds)` runner-reuse
+/// tallies. The counters are a pure function of the scenario (runner
+/// reuse is bit-exact), so per-scenario blocks — and any order-independent
+/// merge of them — are identical at every thread count. The reuse tallies
+/// are *not*: they depend on which scenarios a worker ran before, so obs
+/// reports keep them in the scheduling-dependent `timing` section.
+///
+/// # Panics
+///
+/// See [`run_scenario_with`].
+pub fn run_scenario_with_obs(
+    s: &Scenario,
+    campaign_seed: u64,
+    resample: &ResampleOptions,
+) -> (ScenarioResult, ObsCounters, (u64, u64)) {
+    if let Payload::Workload(name) = &s.payload {
+        let seed = s.derived_seed(campaign_seed);
+        let (result, obs) = run_workload_scenario_obs(s, name, seed);
+        return (result, obs, (0, 1));
+    }
+    // Drop whatever this thread's cached runner accumulated for earlier
+    // callers that never drained (plain `run_scenario` runs), so the
+    // post-run drain below is exactly this scenario's contribution.
+    drain_thread_runner();
+    let result = run_scenario_with(s, campaign_seed, resample);
+    let (obs, reuse) = drain_thread_runner();
+    (result, obs, reuse)
+}
+
+/// Drains the calling thread's cached runner: its accumulated counters
+/// and `(resets, rebuilds)` tallies, both zeroed. All-zero when the
+/// thread has no runner yet.
+fn drain_thread_runner() -> (ObsCounters, (u64, u64)) {
+    ATTACK_RUNNER.with(|cell| match cell.borrow_mut().as_mut() {
+        Some(r) => (r.take_obs(), r.take_reuse_counts()),
+        None => (ObsCounters::new(), (0, 0)),
+    })
+}
+
 /// The base attack spec of a scenario (seed applied by the caller).
 fn attack_spec(s: &Scenario, case: &AttackCase, seed: u64) -> AttackSpec {
     let n_cores = if case.cross_core { 2 } else { 1 };
@@ -420,6 +461,10 @@ pub(crate) fn catalog_workload(name: &str) -> Option<Workload> {
 }
 
 fn run_workload_scenario(s: &Scenario, name: &str, seed: u64) -> ScenarioResult {
+    run_workload_scenario_obs(s, name, seed).0
+}
+
+fn run_workload_scenario_obs(s: &Scenario, name: &str, seed: u64) -> (ScenarioResult, ObsCounters) {
     let w = catalog_workload(name)
         .unwrap_or_else(|| panic!("scenario {}: unknown workload `{name}`", s.id()));
     let mut m = Machine::new(s.hierarchy.config(1));
@@ -430,7 +475,7 @@ fn run_workload_scenario(s: &Scenario, name: &str, seed: u64) -> ScenarioResult 
     let summary = m.run();
     let l1d = *m.mem().l1d(0).stats();
     let prefender = crate::perf::prefender_stats(&m, 0).unwrap_or_default();
-    ScenarioResult {
+    let result = ScenarioResult {
         index: s.index,
         id: s.id(),
         seed,
@@ -462,7 +507,8 @@ fn run_workload_scenario(s: &Scenario, name: &str, seed: u64) -> ScenarioResult 
         mi_null_q95: None,
         mi_ci_lo: None,
         mi_ci_hi: None,
-    }
+    };
+    (result, machine_obs(&m))
 }
 
 #[cfg(test)]

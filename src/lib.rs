@@ -116,6 +116,9 @@ pub use prefender_stats as stats;
 /// Information-theoretic side-channel quantification (`prefender-leakage`).
 pub use prefender_leakage as leakage;
 
+/// Zero-cost-when-off counters, spans and telemetry (`prefender-obs`).
+pub use prefender_obs as obs;
+
 /// The parallel scenario-sweep engine (`prefender-sweep`).
 pub use prefender_sweep as sweep;
 
