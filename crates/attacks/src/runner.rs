@@ -9,7 +9,7 @@ use rand::{Rng as _, SeedableRng};
 use prefender_core::{Prefender, PrefenderStats};
 use prefender_cpu::Machine;
 use prefender_isa::ProgramBuilder;
-use prefender_obs::ObsCounters;
+use prefender_obs::{take_thread_trace, trace_armed, ObsCounters, TraceBuf};
 use prefender_prefetch::{Prefetcher, StridePrefetcher, TaggedPrefetcher};
 use prefender_sim::{Addr, CacheStats, ConfigError, HierarchyConfig};
 
@@ -575,6 +575,13 @@ pub struct Runner {
     /// Counters harvested from the machine at the end of every run,
     /// accumulated until [`Runner::take_obs`] drains them.
     obs: ObsCounters,
+    /// Flight-recorder events drained from the thread buffer at the end
+    /// of each run (empty unless tracing is armed), accumulated until
+    /// [`Runner::take_trace`] drains them.
+    trace: TraceBuf,
+    /// Probe-instruction PCs of the most recent run — the uniform way to
+    /// identify the attacker's measurement accesses in a trace.
+    last_probe_pcs: Vec<u64>,
     /// Runs served by the cheap in-place reset path.
     resets: u64,
     /// Machine constructions (the initial build counts as one).
@@ -592,7 +599,15 @@ impl Runner {
     pub fn new(spec: &AttackSpec) -> Result<Self, AttackError> {
         let key = MachineKey::of(spec);
         let machine = build_machine(&key)?;
-        Ok(Runner { machine, key, obs: ObsCounters::new(), resets: 0, rebuilds: 1 })
+        Ok(Runner {
+            machine,
+            key,
+            obs: ObsCounters::new(),
+            trace: TraceBuf::default(),
+            last_probe_pcs: Vec::new(),
+            resets: 0,
+            rebuilds: 1,
+        })
     }
 
     /// The machine-shaping key the owned machine was built for. Specs
@@ -657,6 +672,20 @@ impl Runner {
         (std::mem::take(&mut self.resets), std::mem::take(&mut self.rebuilds))
     }
 
+    /// Drains the flight-recorder events captured across every run since
+    /// construction or the previous drain. Empty unless tracing was armed
+    /// (see [`prefender_obs::arm_trace`]) while runs executed.
+    pub fn take_trace(&mut self) -> TraceBuf {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Probe-instruction PCs of the most recent run: the PCs of the
+    /// attacker's timed measurement loads, matching the trace's
+    /// `access` events by their `pc` field.
+    pub fn probe_pcs(&self) -> &[u64] {
+        &self.last_probe_pcs
+    }
+
     fn run_inner(
         &mut self,
         spec: &AttackSpec,
@@ -679,6 +708,15 @@ impl Runner {
         } else {
             run_single_core(spec, m, reload_targets.len(), bucket, &mut timeline)?
         };
+
+        if trace_armed() {
+            // The whole run executed on this thread: drain its flight
+            // recorder so the events accumulate per-runner (and per-run
+            // for callers draining between runs), never bleeding across
+            // worker threads.
+            self.trace.merge(take_thread_trace());
+        }
+        self.last_probe_pcs = probe_pcs.clone();
 
         let mut samples = collect_samples(spec, m, &probe_pcs);
         apply_latency_jitter(spec, &mut samples);

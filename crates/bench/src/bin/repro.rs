@@ -18,6 +18,12 @@
 //!   leakage   Figure 8 re-measured in bits: secret-sweep campaigns per
 //!             panel, mutual information calibrated against a
 //!             200-permutation null (* = rejects 0-bit leakage, p<0.01)
+//!   forensics differential leakage forensics: re-run key leakage cells
+//!             with the flight recorder armed, rank trace-feature
+//!             streams (event class x cache set) by MI against the
+//!             secret, and name the attacker-visible features surviving
+//!             a Bonferroni-corrected permutation null; writes
+//!             forensics.json in the working directory
 //!   bench-sim simulator-throughput microbenches (access fast path,
 //!             prefetch storm, fresh-vs-runner leakage cells); writes
 //!             BENCH_sim.json in the working directory
@@ -30,7 +36,8 @@
 //!             expiry/decode/resample) of one leakage cell and the
 //!             576-scenario grid at 1 thread; writes PROFILE.json in the
 //!             working directory
-//!   all       everything above except bench-sim, bench-sweep and
+//!   all       everything above except forensics (a deliberately slow
+//!             trace-armed deep dive) and bench-sim, bench-sweep and
 //!             profile (whose output is timing-dependent, not a paper
 //!             artifact)
 //! ```
@@ -117,6 +124,14 @@ fn run_one(name: &str) -> Result<(), String> {
             println!("=== Leakage map: Figure 8 measured in bits (permutation-calibrated) ===\n");
             println!("{}", leakage::leakage_map().render());
         }
+        "forensics" => {
+            println!("=== Leakage forensics: which mechanism carries the secret ===\n");
+            let run = prefender_bench::forensics::run();
+            println!("{}", run.render());
+            std::fs::write("forensics.json", run.to_json())
+                .map_err(|e| format!("writing forensics.json: {e}"))?;
+            println!("wrote forensics.json");
+        }
         "bench-sweep" => {
             println!("=== Sweep-engine thread scaling: 576-scenario grid ===\n");
             let report = prefender_bench::sweepbench::run(&[1, 2, 4, 8]);
@@ -171,7 +186,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <fig8|fig9|fig10|fig11|fig12|table4|table5|table6|hwcost|ablate-*|sweep|leakage|bench-sim|bench-sweep|profile|all> ..."
+            "usage: repro <fig8|fig9|fig10|fig11|fig12|table4|table5|table6|hwcost|ablate-*|sweep|leakage|forensics|bench-sim|bench-sweep|profile|all> ..."
         );
         return ExitCode::FAILURE;
     }

@@ -26,6 +26,7 @@
 
 pub mod ablation;
 pub mod figures;
+pub mod forensics;
 pub mod hwcost;
 pub mod leakage;
 pub mod profile;

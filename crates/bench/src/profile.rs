@@ -19,14 +19,22 @@
 //! `resample` (leakage campaign analysis). Per phase the profile
 //! records spans closed, total wall time, and *self* time (exclusive of
 //! nested spans) — self times are disjoint, so they sum to attributed
-//! wall time. Everything here is wall-clock and host-dependent:
-//! `PROFILE.json` is a timing record like `BENCH_sim.json`, never a
-//! determinism-checked artifact.
+//! wall time.
+//!
+//! A fourth section re-runs the leakage cell with the **flight
+//! recorder** armed and reports the per-event-class trace volume plus
+//! p50/p95/p99 latency quantiles for the latency-carrying classes
+//! (`access`, `flush`). The quantiles are simulated-cycle data and
+//! deterministic; the span timings are wall-clock and host-dependent —
+//! `PROFILE.json` as a whole is a timing record like `BENCH_sim.json`,
+//! never a determinism-checked artifact.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use prefender_obs::{enable_spans, take_thread_profile, HostInfo, Phase, Value};
+use prefender_obs::{enable_spans, take_thread_profile, HostInfo, Phase, TraceEvent, Value};
+use prefender_stats::Histogram;
 use prefender_sweep::{
     run_sweep_observed, AttackCase, AttackKind, DefenseConfig, DefensePoint, NoiseSpec, SweepGrid,
     SweepOptions,
@@ -92,11 +100,65 @@ impl ProfileSection {
     }
 }
 
+/// Per-event-class statistics of one traced run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceClassStat {
+    /// Event class name (`TraceEvent::class`).
+    pub class: String,
+    /// Events of this class captured.
+    pub events: u64,
+    /// `(p50, p95, p99)` latency quantiles, for latency-carrying classes.
+    pub latency_quantiles: Option<(u64, u64, u64)>,
+}
+
+/// The flight-recorder section: event volume and latency quantiles of a
+/// trace-armed re-run of the leakage cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSection {
+    /// Stable section label.
+    pub label: &'static str,
+    /// Events captured across the run.
+    pub events: u64,
+    /// Events dropped to full ring buffers.
+    pub dropped: u64,
+    /// Per-class stats, sorted by class name.
+    pub classes: Vec<TraceClassStat>,
+}
+
+impl TraceSection {
+    fn to_value(&self) -> Value {
+        let classes = self
+            .classes
+            .iter()
+            .map(|c| {
+                let mut fields = vec![
+                    ("class".into(), Value::Str(c.class.clone())),
+                    ("events".into(), Value::U64(c.events)),
+                ];
+                if let Some((p50, p95, p99)) = c.latency_quantiles {
+                    fields.push(("latency_p50".into(), Value::U64(p50)));
+                    fields.push(("latency_p95".into(), Value::U64(p95)));
+                    fields.push(("latency_p99".into(), Value::U64(p99)));
+                }
+                Value::Obj(fields)
+            })
+            .collect();
+        Value::Obj(vec![
+            ("label".into(), Value::Str(self.label.into())),
+            ("events".into(), Value::U64(self.events)),
+            ("dropped".into(), Value::U64(self.dropped)),
+            ("classes".into(), Value::Arr(classes)),
+        ])
+    }
+}
+
 /// The full `repro profile` record.
 #[derive(Debug, Clone)]
 pub struct ProfileReport {
     /// Profiled campaigns, in run order.
     pub sections: Vec<ProfileSection>,
+    /// The flight-recorder breakdown of the leakage cell.
+    pub trace: TraceSection,
 }
 
 impl ProfileReport {
@@ -110,6 +172,7 @@ impl ProfileReport {
                 "sections".into(),
                 Value::Arr(self.sections.iter().map(ProfileSection::to_value).collect()),
             ),
+            ("trace".into(), self.trace.to_value()),
         ]);
         let mut s = v.to_json(0);
         s.push('\n');
@@ -144,6 +207,32 @@ impl ProfileReport {
             }
             s.push('\n');
         }
+        let t = &self.trace;
+        let _ = writeln!(s, "{} — {} trace events, {} dropped", t.label, t.events, t.dropped);
+        let _ = writeln!(
+            s,
+            "  {:<18} {:>12} {:>8} {:>8} {:>8}",
+            "class", "events", "p50", "p95", "p99"
+        );
+        for c in &t.classes {
+            match c.latency_quantiles {
+                Some((p50, p95, p99)) => {
+                    let _ = writeln!(
+                        s,
+                        "  {:<18} {:>12} {:>8} {:>8} {:>8}",
+                        c.class, c.events, p50, p95, p99
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        s,
+                        "  {:<18} {:>12} {:>8} {:>8} {:>8}",
+                        c.class, c.events, "-", "-", "-"
+                    );
+                }
+            }
+        }
+        s.push('\n');
         s
     }
 }
@@ -191,8 +280,45 @@ fn workload_grid() -> SweepGrid {
     g
 }
 
-/// Runs the whole profile suite: one leakage cell, one workload, then
-/// the 576 grid.
+/// Re-runs `grid` at one thread with the flight recorder armed and
+/// reduces the captured trace to per-class volumes and latency
+/// quantiles (`access` load-to-use latency, `flush` completion latency).
+fn trace_grid(label: &'static str, grid: &SweepGrid) -> TraceSection {
+    prefender_obs::arm_trace(prefender_obs::DEFAULT_TRACE_CAPACITY);
+    let (_report, obs) =
+        run_sweep_observed(grid, &SweepOptions { threads: 1, campaign_seed: 0xC0FFEE }, None);
+    prefender_obs::disarm_trace();
+    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut latencies: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+    for (_, buf) in &obs.traces {
+        for e in &buf.events {
+            *counts.entry(e.class()).or_insert(0) += 1;
+            let latency = match e {
+                TraceEvent::Access { latency, .. } => Some(*latency),
+                TraceEvent::Flush { latency, .. } => Some(*latency),
+                _ => None,
+            };
+            if let Some(l) = latency {
+                latencies.entry(e.class()).or_default().record(l);
+            }
+        }
+    }
+    let classes = counts
+        .into_iter()
+        .map(|(class, events)| TraceClassStat {
+            class: class.to_string(),
+            events,
+            latency_quantiles: latencies.get(class).map(|h| {
+                let q = |q| h.quantile(q).unwrap_or(0);
+                (q(0.50), q(0.95), q(0.99))
+            }),
+        })
+        .collect();
+    TraceSection { label, events: obs.trace_events(), dropped: obs.trace_dropped(), classes }
+}
+
+/// Runs the whole profile suite: one leakage cell, one workload, the
+/// 576 grid, then the trace-armed leakage-cell re-run.
 pub fn run() -> ProfileReport {
     ProfileReport {
         sections: vec![
@@ -200,6 +326,7 @@ pub fn run() -> ProfileReport {
             profile_grid("workload 462.libquantum/full32", &workload_grid()),
             profile_grid("sweep-grid 576 (1 thread)", &sweepbench::scaling_grid()),
         ],
+        trace: trace_grid("trace leakage-cell fr/full32 8x4", &leakage_cell_grid()),
     }
 }
 
@@ -246,6 +373,19 @@ mod tests {
                 elapsed_ms: 3.5,
                 phases: vec![Phase { name: "fetch", count: 4, total_ns: 100, self_ns: 60 }],
             }],
+            trace: TraceSection {
+                label: "t",
+                events: 7,
+                dropped: 0,
+                classes: vec![
+                    TraceClassStat {
+                        class: "access".into(),
+                        events: 5,
+                        latency_quantiles: Some((3, 20, 200)),
+                    },
+                    TraceClassStat { class: "eviction".into(), events: 2, latency_quantiles: None },
+                ],
+            },
         };
         let j = r.to_json();
         assert!(j.starts_with("{\n  \"profile\": \"prefender\""));
@@ -253,7 +393,31 @@ mod tests {
         assert!(j.contains("\"host\""));
         assert!(j.contains("\"phase\": \"fetch\""));
         assert!(j.contains("\"self_share\": 1"));
+        assert!(j.contains("\"latency_p50\": 3"));
+        assert!(j.contains("\"latency_p99\": 200"));
+        assert!(j.contains("\"class\": \"eviction\""));
+        assert!(!j.contains("\"class\": \"eviction\", \"latency"), "no quantiles without latency");
         assert!(j.ends_with("}\n"));
-        assert!(r.render().contains("fetch"));
+        let text = r.render();
+        assert!(text.contains("fetch"));
+        assert!(text.contains("7 trace events"));
+    }
+
+    #[test]
+    fn trace_section_quantiles_latency_classes() {
+        let t = trace_grid("test trace", &leakage_cell_grid());
+        assert!(!prefender_obs::trace_armed(), "recorder must be disarmed on return");
+        assert!(t.events > 0);
+        assert_eq!(t.dropped, 0);
+        let access = t.classes.iter().find(|c| c.class == "access").expect("access class");
+        let (p50, p95, p99) = access.latency_quantiles.expect("access carries latency");
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p50 >= 1, "L1 hit latency is at least a cycle");
+        let flush = t.classes.iter().find(|c| c.class == "flush").expect("flush class");
+        assert!(flush.latency_quantiles.is_some());
+        // Structural classes carry no latency quantiles.
+        if let Some(h) = t.classes.iter().find(|c| c.class == "demand_hit") {
+            assert!(h.latency_quantiles.is_none());
+        }
     }
 }

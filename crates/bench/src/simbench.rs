@@ -4,11 +4,12 @@
 //! so CI can track the throughput trajectory release over release:
 //!
 //! * **access-hit loop** — the settled fast path: demand hits against an
-//!   idle completion queue (accesses/sec), measured twice — spans
-//!   disarmed (the default) and armed — so CI can gate the obs layer's
-//!   overhead on the hottest path (counters are always-on plain `u64`
-//!   adds; the armed run additionally pays each span site's
-//!   enabled-check);
+//!   idle completion queue (accesses/sec), measured three ways — spans
+//!   disarmed (the default), spans armed, and with the flight recorder
+//!   armed — so CI can gate the obs layer's overhead on the hottest path
+//!   (counters are always-on plain `u64` adds; the span-armed run
+//!   additionally pays each span site's enabled-check, the trace-armed
+//!   run pays full event construction and the ring push);
 //! * **prefetch storm** — in-flight-heavy behaviour: interleaved
 //!   prefetches and demand accesses keeping the completion queues busy
 //!   (operations/sec);
@@ -22,7 +23,9 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use prefender_attacks::{run_attack_full, AttackKind, AttackSpec, DefenseConfig, Runner};
-use prefender_obs::{enable_spans, take_thread_profile, HostInfo};
+use prefender_obs::{
+    arm_trace, disarm_trace, enable_spans, take_thread_profile, take_thread_trace, HostInfo,
+};
 use prefender_sim::{AccessKind, Addr, Cycle, HierarchyConfig, MemorySystem, PrefetchSource};
 
 /// Fresh-vs-runner measurement of one leakage-campaign cell.
@@ -48,6 +51,11 @@ pub struct SimBenchReport {
     /// The same loop with the span collector armed — the obs-overhead
     /// gate compares this against `access_hit_per_sec`.
     pub access_hit_obs_per_sec: f64,
+    /// The same loop with the flight recorder armed (ring sized so no
+    /// event drops): the trace-overhead gate compares this against
+    /// `access_hit_per_sec`. The *disarmed* recorder costs one Relaxed
+    /// load per site and is already priced into the baseline.
+    pub access_hit_trace_per_sec: f64,
     /// Prefetch-storm operations (prefetch + access pairs count as two)
     /// per second.
     pub storm_ops_per_sec: f64,
@@ -61,6 +69,7 @@ impl SimBenchReport {
         let mut s = String::from("{\"bench\": \"sim\"");
         let _ = write!(s, ", \"access_hit_per_sec\": {:.1}", self.access_hit_per_sec);
         let _ = write!(s, ", \"access_hit_obs_per_sec\": {:.1}", self.access_hit_obs_per_sec);
+        let _ = write!(s, ", \"access_hit_trace_per_sec\": {:.1}", self.access_hit_trace_per_sec);
         let _ = write!(s, ", \"storm_ops_per_sec\": {:.1}", self.storm_ops_per_sec);
         s.push_str(", \"leakage_cells\": [");
         for (i, c) in self.cells.iter().enumerate() {
@@ -86,6 +95,11 @@ impl SimBenchReport {
         let _ = writeln!(s, "access-hit fast path   {:>12.0} accesses/s", self.access_hit_per_sec);
         let _ =
             writeln!(s, "access-hit, spans on   {:>12.0} accesses/s", self.access_hit_obs_per_sec);
+        let _ = writeln!(
+            s,
+            "access-hit, trace on   {:>12.0} accesses/s",
+            self.access_hit_trace_per_sec
+        );
         let _ = writeln!(s, "prefetch storm         {:>12.0} ops/s", self.storm_ops_per_sec);
         for c in &self.cells {
             let _ = writeln!(
@@ -188,6 +202,25 @@ fn best_access_hit(iters: u64) -> f64 {
     (0..3).map(|_| bench_access_hit(iters)).fold(0.0, f64::max)
 }
 
+/// Best-of-3 with the flight recorder armed. Each hit records two events
+/// (`demand_hit` + `access`), so the ring is sized to hold every event of
+/// a run without wrapping — drop-newest at capacity is *cheaper* than a
+/// push and would flatter the number. The ring is drained between runs
+/// and the recorder disarmed before returning.
+fn best_access_hit_traced(iters: u64) -> f64 {
+    arm_trace((2 * iters as usize + 1024).next_power_of_two());
+    let best = (0..3)
+        .map(|_| {
+            let per_sec = bench_access_hit(iters);
+            let trace = take_thread_trace();
+            assert_eq!(trace.dropped, 0, "traced bench ring must not wrap");
+            per_sec
+        })
+        .fold(0.0, f64::max);
+    disarm_trace();
+    best
+}
+
 /// Runs the whole suite. `trials` sizes the leakage cells (the CI smoke
 /// uses 200; anything ≥ 50 gives stable ratios).
 pub fn run(trials: u32) -> SimBenchReport {
@@ -204,6 +237,7 @@ pub fn run(trials: u32) -> SimBenchReport {
         let _ = take_thread_profile();
         per_sec
     };
+    let access_hit_trace_per_sec = best_access_hit_traced(1_000_000);
     let storm_ops_per_sec = bench_storm(200_000);
     // Headline cell: the cross-core Flush+Reload channel — the paper's
     // flagship attack in the scope every open ROADMAP campaign sweeps.
@@ -219,7 +253,13 @@ pub fn run(trials: u32) -> SimBenchReport {
             trials,
         ),
     ];
-    SimBenchReport { access_hit_per_sec, access_hit_obs_per_sec, storm_ops_per_sec, cells }
+    SimBenchReport {
+        access_hit_per_sec,
+        access_hit_obs_per_sec,
+        access_hit_trace_per_sec,
+        storm_ops_per_sec,
+        cells,
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +271,7 @@ mod tests {
         let r = SimBenchReport {
             access_hit_per_sec: 1000.0,
             access_hit_obs_per_sec: 990.0,
+            access_hit_trace_per_sec: 800.0,
             storm_ops_per_sec: 2000.5,
             cells: vec![CellBench {
                 label: "fr/base/cross-core",
@@ -243,6 +284,7 @@ mod tests {
         let j = r.to_json();
         assert!(j.starts_with("{\"bench\": \"sim\""));
         assert!(j.contains("\"access_hit_obs_per_sec\": 990.0"));
+        assert!(j.contains("\"access_hit_trace_per_sec\": 800.0"));
         assert!(j.contains("\"speedup\": 4.00"));
         // The host block closes the record (after the cells array).
         assert!(j.contains("], \"host\": {\"nproc\": "));
@@ -250,6 +292,7 @@ mod tests {
         assert_eq!(r.headline_speedup(), 4.0);
         assert!(r.render().contains("fr/base/cross-core"));
         assert!(r.render().contains("spans on"));
+        assert!(r.render().contains("trace on"));
     }
 
     #[test]

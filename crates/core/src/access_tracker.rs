@@ -1,5 +1,6 @@
 //! The Access Tracker (AT): phase-3 defense — paper Section IV-C.
 
+use prefender_obs::{trace_event, TraceEvent};
 use prefender_sim::{Addr, Cycle, PrefetchSource};
 
 use crate::config::{AtConfig, RpConfig};
@@ -70,12 +71,6 @@ impl AccessBuffer {
     /// — a borrowed view over the entry slice, no allocation.
     pub fn blocks(&self) -> impl ExactSizeIterator<Item = u64> + '_ {
         self.entries.iter().map(|&(b, _)| b)
-    }
-
-    /// [`AccessBuffer::blocks`] collected into an owned `Vec` — the shim
-    /// for tests and analysis callers that want indexing or `contains`.
-    pub fn blocks_vec(&self) -> Vec<u64> {
-        self.blocks().collect()
     }
 
     /// The current minimum pairwise difference, if computed.
@@ -365,7 +360,7 @@ impl AccessTracker {
                 };
                 match slot {
                     Some(i) => {
-                        self.associate(i, pc);
+                        self.associate(i, pc, now);
                         i
                     }
                     None => return AtDecision::NONE,
@@ -388,6 +383,7 @@ impl AccessTracker {
                 b.guided_prefetches = 0;
                 self.n_protected += 1;
                 self.protections_granted += 1;
+                trace_event(|| TraceEvent::RpGrant { at: u64::from(now), pc });
             }
             b.protected = true;
             b.protected_scale = Some((sc, pat_blk));
@@ -457,6 +453,7 @@ impl AccessTracker {
                     b.guided_prefetches = 0;
                     self.n_protected -= 1;
                     self.protections_expired += 1;
+                    trace_event(|| TraceEvent::RpExpire { at: u64::from(now), pc });
                 }
             }
         }
@@ -469,15 +466,22 @@ impl AccessTracker {
     /// indexes the new PC. Only unprotected buffers are ever handed in
     /// (fresh slots and LRU victims alike), so the protected count is
     /// untouched.
-    fn associate(&mut self, i: usize, pc: u64) {
+    fn associate(&mut self, i: usize, pc: u64, now: Cycle) {
         self.allocs += 1;
         let b = &mut self.buffers[i];
         debug_assert!(!b.protected, "protected buffers are exempt from replacement");
         if b.valid {
             self.buffer_evictions += 1;
-            let removed = self.pc_index.remove(&b.inst_addr);
+            let old_pc = b.inst_addr;
+            trace_event(|| TraceEvent::AtEvict {
+                at: u64::from(now),
+                pc: old_pc,
+                buffer: i as u32,
+            });
+            let removed = self.pc_index.remove(&old_pc);
             debug_assert_eq!(removed, Some(i));
         }
+        trace_event(|| TraceEvent::AtAlloc { at: u64::from(now), pc, buffer: i as u32 });
         b.reset_for(pc);
         self.pc_index.insert(pc, i);
     }
@@ -502,6 +506,8 @@ impl AccessTracker {
                     b.guided_prefetches = 0;
                     self.n_protected -= 1;
                     self.protections_expired += 1;
+                    let pc = b.inst_addr;
+                    trace_event(|| TraceEvent::RpExpire { at: u64::from(now), pc });
                 }
                 remaining -= 1;
                 if remaining == 0 {
@@ -592,7 +598,7 @@ mod tests {
         probe(&mut t, 0x8008, 0x1000, 0);
         probe(&mut t, 0x8008, 0x1000, 1);
         let d = probe(&mut t, 0x8008, 0x1000, 2);
-        assert_eq!(t.buffer(d.buffer.unwrap()).blocks_vec(), vec![0x1000]);
+        assert!(t.buffer(d.buffer.unwrap()).blocks().eq([0x1000]));
     }
 
     #[test]
@@ -602,10 +608,10 @@ mod tests {
         for (i, k) in (0..9u64).enumerate() {
             probe(&mut t, 0x8008, 0x1000 + k * 0x100, i as u64);
         }
-        let blocks = t.buffer(0).blocks_vec();
+        let blocks = t.buffer(0).blocks();
         assert_eq!(blocks.len(), 8);
-        assert!(!blocks.contains(&0x1000));
-        assert!(blocks.contains(&0x1800));
+        assert!(!t.buffer(0).blocks().any(|b| b == 0x1000));
+        assert!(t.buffer(0).blocks().any(|b| b == 0x1800));
     }
 
     #[test]
@@ -733,7 +739,7 @@ mod tests {
         // and free-slot counter restart together).
         let d = probe(&mut t, 0x8008, 0x2000, 1);
         assert_eq!(d.buffer, Some(0));
-        assert_eq!(t.buffer(0).blocks_vec(), vec![0x2000]);
+        assert!(t.buffer(0).blocks().eq([0x2000]));
     }
 
     #[test]
@@ -824,7 +830,7 @@ mod tests {
                 let buf = t.buffer(d.buffer.unwrap());
                 assert_eq!(
                     buf.diffmin(),
-                    rescan_diffmin(&buf.blocks_vec()),
+                    rescan_diffmin(&buf.blocks().collect::<Vec<u64>>()),
                     "round {round}, step {k}: incremental DiffMin diverged from the rescan"
                 );
             }

@@ -89,6 +89,33 @@ type AddrMap = prefender_sim::Mix64Map<u64>;
 /// proposed prefetches — over the caller's already-destructured machine
 /// fields so `step_core`'s disjoint borrows stay intact. The scratch
 /// buffer is cleared (not shrunk) per access: no allocation once warm.
+/// Emits the flight recorder's retired-access event — the latency stream a
+/// measuring attacker observes. Disarmed (the default) this is one relaxed
+/// atomic load; the set index is only computed inside the armed closure.
+fn record_access(
+    mem: &MemorySystem,
+    core: usize,
+    pc: u64,
+    addr: Addr,
+    now: Cycle,
+    outcome: &prefender_sim::AccessOutcome,
+) {
+    let latency = outcome.latency;
+    let served_by = outcome.served_by;
+    prefender_obs::trace_event(|| prefender_obs::TraceEvent::Access {
+        at: u64::from(now),
+        core: core as u32,
+        pc,
+        set: mem.config().l1d.set_index(addr) as u32,
+        latency,
+        level: match served_by {
+            prefender_sim::Level::L1 => 0,
+            prefender_sim::Level::L2 => 1,
+            prefender_sim::Level::Memory => 2,
+        },
+    });
+}
+
 fn notify_access(
     mem: &mut MemorySystem,
     pf: &mut dyn Prefetcher,
@@ -487,6 +514,7 @@ impl Machine {
                     served_by: outcome.served_by,
                     at: t,
                 });
+                record_access(mem, c, pc, addr, t, &outcome);
                 if let Some(pf) = prefetchers[c].as_mut() {
                     let ev = AccessEvent {
                         core: c,
@@ -515,6 +543,7 @@ impl Machine {
                     served_by: outcome.served_by,
                     at: t,
                 });
+                record_access(mem, c, pc, addr, t, &outcome);
                 if let Some(pf) = prefetchers[c].as_mut() {
                     let ev = AccessEvent {
                         core: c,

@@ -1,0 +1,359 @@
+//! Differential leakage forensics: *which mechanism* carries the secret.
+//!
+//! A [`LeakageCampaign`] reports *how much* a scenario leaks; this module
+//! answers *through what*. It re-runs a cell's secrets × trials with the
+//! flight recorder armed, projects each trial's trace onto a family of
+//! feature streams — per event-class × cache-set occurrence counts and
+//! per-set latency maxima — and estimates a separate secret→feature
+//! [`Channel`] per stream, reusing the campaign's MI estimator and
+//! label-permutation null. The result is a ranked leakage map naming the
+//! event classes and sets whose mutual information with the secret
+//! survives the null.
+//!
+//! Two tiers are reported:
+//!
+//! * the **carrier map** ranks *every* feature, including
+//!   microarchitectural events an attacker cannot observe (evictions,
+//!   MSHR traffic, defense bookkeeping). Nonzero MI here says the secret
+//!   is physically encoded in that mechanism — true even for sealed
+//!   cells, where the defense ensures no *visible* feature correlates;
+//! * the **survivors** restrict to attacker-visible features — the timed
+//!   probe accesses themselves (`probe:…` streams, matched by probe
+//!   PC) — and apply a Bonferroni correction over the tested set. A
+//!   non-empty survivor list is a mechanistic account of residual
+//!   leakage: it names the sets whose probe behaviour still depends on
+//!   the secret (the full-PREFENDER Prime+Probe residual, for one).
+//!
+//! Determinism: trials execute in (secret, trial) order with the
+//! campaign's own derived seeds, permutation seeds derive from the
+//! campaign seed on a dedicated stream per feature, and features are
+//! processed in sorted-name order — the report is identical wherever it
+//! runs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use prefender_attacks::{AttackError, Runner};
+use prefender_obs::{
+    arm_trace, disarm_trace, take_thread_trace, TraceEvent, Value, DEFAULT_TRACE_CAPACITY,
+};
+use prefender_stats::derive_seed;
+
+use crate::campaign::LeakageCampaign;
+use crate::channel::Channel;
+
+/// Seed-stream tag for the per-feature permutation nulls (distinct from
+/// the campaign's `PERM_STREAM`/`BOOT_STREAM`).
+const FORENSICS_STREAM: u64 = 0x666f_7265; // "fore"
+
+/// Forensics configuration: the permutation-null depth and the
+/// family-wise significance level for the survivor tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForensicsOptions {
+    /// Label permutations per tested feature (0 disables the null — every
+    /// feature then reports `p_value = 1` and no survivor can exist).
+    pub permutations: u32,
+    /// Family-wise significance level; the survivor threshold is
+    /// `alpha / n_tested_visible` (Bonferroni).
+    pub alpha: f64,
+}
+
+impl Default for ForensicsOptions {
+    fn default() -> Self {
+        ForensicsOptions { permutations: 500, alpha: 0.05 }
+    }
+}
+
+/// One feature stream's leakage estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureStat {
+    /// Stream name: `{class}`, `{class}:set{N}`, `access:set{N}:latmax`,
+    /// or an attacker-visible `probe:set{N}:{misses,latmax}` stream.
+    pub name: String,
+    /// Empirical MI between the secret and this stream, bits.
+    pub mi_bits: f64,
+    /// Miller–Madow bias-corrected MI, bits.
+    pub mi_corrected: f64,
+    /// Permutation-null p-value; `1.0` when the feature was not tested
+    /// (zero MI, or `permutations == 0`).
+    pub p_value: f64,
+    /// Whether the permutation null actually ran for this feature.
+    pub tested: bool,
+    /// Whether the stream is attacker-visible (a `probe:` stream).
+    pub visible: bool,
+}
+
+/// The ranked leakage map of one cell: every nonzero-MI feature, most
+/// informative first, plus the Bonferroni-surviving visible features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForensicsReport {
+    /// Secrets swept.
+    pub secrets: usize,
+    /// Trials per secret.
+    pub trials: u32,
+    /// Permutations per tested feature.
+    pub permutations: u32,
+    /// Family-wise alpha the survivor tier used.
+    pub alpha: f64,
+    /// Feature streams observed across all trials (including zero-MI
+    /// streams, which are omitted from `features`).
+    pub n_features: usize,
+    /// Attacker-visible streams whose null actually ran (the Bonferroni
+    /// family size).
+    pub n_tested_visible: usize,
+    /// Nonzero-MI features, sorted by MI descending then name.
+    pub features: Vec<FeatureStat>,
+    /// Names of visible features whose p-value beats
+    /// `alpha / n_tested_visible` — empty for a sealed cell.
+    pub survivors: Vec<String>,
+    /// Flight-recorder events captured over the whole cell.
+    pub trace_events: u64,
+    /// Events dropped to full ring buffers (nonzero means the feature
+    /// counts undercount and the map should be re-run with more capacity).
+    pub trace_dropped: u64,
+}
+
+impl ForensicsReport {
+    /// The report as a JSON value (the `forensics.json` cell schema).
+    pub fn to_value(&self) -> Value {
+        let features = self
+            .features
+            .iter()
+            .map(|f| {
+                Value::Obj(vec![
+                    ("feature".into(), Value::Str(f.name.clone())),
+                    ("mi_bits".into(), Value::F64(f.mi_bits)),
+                    ("mi_corrected".into(), Value::F64(f.mi_corrected)),
+                    ("p_value".into(), Value::F64(f.p_value)),
+                    ("tested".into(), Value::Bool(f.tested)),
+                    ("visible".into(), Value::Bool(f.visible)),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("secrets".into(), Value::U64(self.secrets as u64)),
+            ("trials".into(), Value::U64(u64::from(self.trials))),
+            ("permutations".into(), Value::U64(u64::from(self.permutations))),
+            ("alpha".into(), Value::F64(self.alpha)),
+            ("n_features".into(), Value::U64(self.n_features as u64)),
+            ("n_tested_visible".into(), Value::U64(self.n_tested_visible as u64)),
+            ("trace_events".into(), Value::U64(self.trace_events)),
+            ("trace_dropped".into(), Value::U64(self.trace_dropped)),
+            (
+                "survivors".into(),
+                Value::Arr(self.survivors.iter().map(|s| Value::Str(s.clone())).collect()),
+            ),
+            ("features".into(), Value::Arr(features)),
+        ])
+    }
+}
+
+/// Projects one trial's trace onto its feature streams.
+///
+/// Carrier streams: an occurrence count per event class (and per
+/// class × set where the event carries a set index), plus a per-set
+/// maximum access latency. Visible streams (`probe:`): restricted to
+/// `access` events whose PC is one of the attacker's timed probe loads —
+/// a per-set count of accesses served beyond L1 and a per-set latency
+/// maximum, exactly the two statistics a Prime+Probe attacker extracts.
+fn project(events: &[TraceEvent], probe_pcs: &BTreeSet<u64>) -> BTreeMap<String, u64> {
+    let mut f: BTreeMap<String, u64> = BTreeMap::new();
+    fn bump(f: &mut BTreeMap<String, u64>, name: String) {
+        *f.entry(name).or_insert(0) += 1;
+    }
+    for e in events {
+        let set = match e {
+            TraceEvent::DemandHit { set, .. }
+            | TraceEvent::DemandMiss { set, .. }
+            | TraceEvent::Eviction { set, .. }
+            | TraceEvent::PrefetchFill { set, .. }
+            | TraceEvent::Access { set, .. } => Some(*set),
+            _ => None,
+        };
+        match set {
+            Some(s) => bump(&mut f, format!("{}:set{s}", e.class())),
+            None => bump(&mut f, e.class().to_string()),
+        }
+        if let TraceEvent::Access { pc, set, latency, level, .. } = e {
+            let lat = f.entry(format!("access:set{set}:latmax")).or_insert(0);
+            *lat = (*lat).max(*latency);
+            if probe_pcs.contains(pc) {
+                if *level > 0 {
+                    *f.entry(format!("probe:set{set}:misses")).or_insert(0) += 1;
+                }
+                let lat = f.entry(format!("probe:set{set}:latmax")).or_insert(0);
+                *lat = (*lat).max(*latency);
+            }
+        }
+    }
+    f
+}
+
+/// Runs `campaign`'s secrets × trials with the flight recorder armed and
+/// estimates a secret→feature channel per trace-feature stream.
+///
+/// The recorder is armed for the duration of the call and disarmed
+/// before returning (arming is process-global; concurrent runs in other
+/// threads would merely pay the capture cost — traces are thread-local,
+/// so the report itself cannot be contaminated). The campaign's
+/// artifacts are untouched: this runs the same trials with the same
+/// derived seeds, so the simulated behaviour is bit-identical to an
+/// untraced campaign run.
+///
+/// # Errors
+///
+/// Returns the first [`AttackError`] any trial hits, with the recorder
+/// disarmed.
+pub fn run_forensics(
+    campaign: &LeakageCampaign,
+    campaign_seed: u64,
+    opts: &ForensicsOptions,
+    runner: &mut Runner,
+) -> Result<ForensicsReport, AttackError> {
+    // Discard whatever earlier callers left in the runner or the thread
+    // buffer, then capture this cell's trials.
+    let _ = runner.take_trace();
+    let _ = take_thread_trace();
+    arm_trace(DEFAULT_TRACE_CAPACITY);
+    let run = run_traced_trials(campaign, campaign_seed, runner);
+    disarm_trace();
+    let _ = take_thread_trace();
+    let (per_trial, trace_events, trace_dropped) = run?;
+
+    // Union of every stream name; absent-in-a-trial means 0.
+    let names: BTreeSet<String> = per_trial.iter().flat_map(|(_, f)| f.keys().cloned()).collect();
+    let n_features = names.len();
+
+    let mut features: Vec<FeatureStat> = Vec::new();
+    for (idx, name) in names.iter().enumerate() {
+        let mut ch = Channel::new(campaign.secrets.len());
+        for (slot, f) in &per_trial {
+            ch.record(*slot, f.get(name).copied().unwrap_or(0));
+        }
+        let mi_bits = ch.mutual_information_bits();
+        if mi_bits == 0.0 {
+            continue;
+        }
+        let (p_value, tested) = if opts.permutations > 0 {
+            let seed = derive_seed(campaign_seed, &[FORENSICS_STREAM, idx as u64]);
+            (ch.permutation_test(opts.permutations, seed).p_value, true)
+        } else {
+            (1.0, false)
+        };
+        features.push(FeatureStat {
+            name: name.clone(),
+            mi_bits,
+            mi_corrected: ch.mi_bits_corrected(),
+            p_value,
+            tested,
+            visible: name.starts_with("probe:"),
+        });
+    }
+    features.sort_by(|a, b| b.mi_bits.total_cmp(&a.mi_bits).then_with(|| a.name.cmp(&b.name)));
+
+    let n_tested_visible = features.iter().filter(|f| f.visible && f.tested).count();
+    let threshold = opts.alpha / n_tested_visible.max(1) as f64;
+    let survivors: Vec<String> = features
+        .iter()
+        .filter(|f| f.visible && f.tested && f.p_value < threshold)
+        .map(|f| f.name.clone())
+        .collect();
+
+    Ok(ForensicsReport {
+        secrets: campaign.secrets.len(),
+        trials: campaign.trials.max(1),
+        permutations: opts.permutations,
+        alpha: opts.alpha,
+        n_features,
+        n_tested_visible,
+        features,
+        survivors,
+        trace_events,
+        trace_dropped,
+    })
+}
+
+/// The traced trial loop: `(slot, features)` per trial in (secret,
+/// trial) order, plus total captured/dropped event counts.
+#[allow(clippy::type_complexity)]
+fn run_traced_trials(
+    campaign: &LeakageCampaign,
+    campaign_seed: u64,
+    runner: &mut Runner,
+) -> Result<(Vec<(usize, BTreeMap<String, u64>)>, u64, u64), AttackError> {
+    let mut per_trial = Vec::with_capacity(campaign.sims() as usize);
+    let (mut trace_events, mut trace_dropped) = (0u64, 0u64);
+    let mut spec = campaign.base.clone();
+    for (slot, &secret) in campaign.secrets.iter().enumerate() {
+        for trial in 0..campaign.trials.max(1) {
+            spec.layout.secret = secret;
+            spec.seed = campaign.trial_seed(campaign_seed, slot, trial);
+            runner.run_full(&spec)?;
+            let trace = runner.take_trace();
+            let probe_pcs: BTreeSet<u64> = runner.probe_pcs().iter().copied().collect();
+            trace_events += trace.events.len() as u64;
+            trace_dropped += trace.dropped;
+            per_trial.push((slot, project(&trace.events, &probe_pcs)));
+        }
+    }
+    Ok((per_trial, trace_events, trace_dropped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefender_attacks::{AttackKind, AttackSpec, DefenseConfig};
+
+    // Arming the recorder is process-global; serialize forensics tests
+    // so a disarm in one cannot cut another's capture short.
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    // Eight trials per secret: a per-set indicator feature's permutation
+    // null needs enough labels that grouping all "hot" trials under one
+    // secret by chance is (much) rarer than the significance threshold —
+    // at 2 trials the floor is only ~0.14.
+    fn run_cell(kind: AttackKind, defense: DefenseConfig, perms: u32) -> ForensicsReport {
+        let base = AttackSpec::new(kind, defense);
+        let c = LeakageCampaign::new(base, 4, 8);
+        let mut runner = Runner::new(&c.base).unwrap();
+        let opts = ForensicsOptions { permutations: perms, alpha: 0.05 };
+        run_forensics(&c, 0xC0FFEE, &opts, &mut runner).unwrap()
+    }
+
+    #[test]
+    fn undefended_flush_reload_names_probe_survivors() {
+        let _g = GATE.lock().unwrap_or_else(|p| p.into_inner());
+        let r = run_cell(AttackKind::FlushReload, DefenseConfig::None, 199);
+        assert!(r.trace_events > 0, "tracing must capture events");
+        assert_eq!(r.trace_dropped, 0);
+        assert!(!r.features.is_empty(), "undefended cell must have carriers");
+        assert!(!r.survivors.is_empty(), "undefended FR must leak through visible probe features");
+        assert!(r.survivors.iter().all(|s| s.starts_with("probe:")));
+        // The map is ranked: MI never increases down the list.
+        for w in r.features.windows(2) {
+            assert!(w[0].mi_bits >= w[1].mi_bits);
+        }
+    }
+
+    #[test]
+    fn forensics_is_deterministic() {
+        let _g = GATE.lock().unwrap_or_else(|p| p.into_inner());
+        let a = run_cell(AttackKind::FlushReload, DefenseConfig::None, 50);
+        let b = run_cell(AttackKind::FlushReload, DefenseConfig::None, 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_permutations_means_no_survivors() {
+        let _g = GATE.lock().unwrap_or_else(|p| p.into_inner());
+        let r = run_cell(AttackKind::FlushReload, DefenseConfig::None, 0);
+        assert!(r.survivors.is_empty());
+        assert!(r.features.iter().all(|f| !f.tested && f.p_value == 1.0));
+    }
+
+    #[test]
+    fn recorder_is_disarmed_on_return() {
+        let _g = GATE.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = run_cell(AttackKind::FlushReload, DefenseConfig::Full, 0);
+        assert!(!prefender_obs::trace_armed());
+    }
+}

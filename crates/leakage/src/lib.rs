@@ -51,6 +51,7 @@
 
 mod campaign;
 mod channel;
+mod forensics;
 mod observe;
 
 pub use campaign::{evenly_spaced_secrets, LeakageCampaign, LeakageResult, ResampleOptions};
@@ -58,4 +59,5 @@ pub use channel::{
     channel_from_map, Channel, NullTest, CAPACITY_MAX_ITERS, CAPACITY_PRIOR_FLOOR,
     CAPACITY_TOL_BITS,
 };
+pub use forensics::{run_forensics, FeatureStat, ForensicsOptions, ForensicsReport};
 pub use observe::{Decoder, OBS_CONFUSED, OBS_SILENT};

@@ -19,7 +19,14 @@
 //!    atomic load and no clock read. Enabled spans accumulate
 //!    (count, total, self-time) per phase name into a thread-local
 //!    profile, drained by [`take_thread_profile`].
-//! 3. **Snapshots & telemetry** ([`Value`], [`HostInfo`],
+//! 3. **Flight recorder** ([`trace_event`], [`take_thread_trace`]) — a
+//!    typed, cycle-stamped µarch event trace captured into a preallocated
+//!    per-thread buffer. Disarmed (the default), each site is one
+//!    `Relaxed` load and never constructs its event; armed via
+//!    [`arm_trace`], a full buffer drops-and-counts rather than
+//!    reallocating. Per-run drains make traces byte-identical at any
+//!    thread count.
+//! 4. **Snapshots & telemetry** ([`Value`], [`HostInfo`],
 //!    [`ProgressReporter`]) — a tiny deterministic JSON tree (the build
 //!    environment vendors no serde) for `obs.json`/`PROFILE.json`, host
 //!    identification for bench reports, and a throttled stderr progress
@@ -30,9 +37,14 @@ mod host;
 mod progress;
 mod snapshot;
 mod span;
+mod trace;
 
 pub use counters::ObsCounters;
 pub use host::HostInfo;
 pub use progress::ProgressReporter;
 pub use snapshot::Value;
 pub use span::{enable_spans, span, span_if, spans_enabled, take_thread_profile, Phase, SpanGuard};
+pub use trace::{
+    arm_trace, disarm_trace, take_thread_trace, trace_armed, trace_event, CacheTag, TraceBuf,
+    TraceEvent, DEFAULT_TRACE_CAPACITY,
+};

@@ -146,6 +146,12 @@ impl Prefetcher for StridePrefetcher {
                 if let Some(target) = ev.vaddr.offset(k * stride) {
                     if !target.same_line(ev.vaddr, line_size) && !resident(target) {
                         out.push(PrefetchRequest::new(target, PrefetchSource::Basic));
+                        prefender_obs::trace_event(|| prefender_obs::TraceEvent::PrefetchPropose {
+                            at: u64::from(ev.now),
+                            core: ev.core as u32,
+                            pc: ev.pc,
+                            line: target.line(line_size).raw(),
+                        });
                     }
                 }
             }

@@ -60,6 +60,12 @@ impl Prefetcher for TaggedPrefetcher {
             if let Some(next) = line.offset(k * self.line_size as i64) {
                 if !resident(next) {
                     out.push(PrefetchRequest::new(next, PrefetchSource::Basic));
+                    prefender_obs::trace_event(|| prefender_obs::TraceEvent::PrefetchPropose {
+                        at: u64::from(ev.now),
+                        core: ev.core as u32,
+                        pc: ev.pc,
+                        line: next.raw(),
+                    });
                 }
             }
         }

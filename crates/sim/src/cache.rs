@@ -3,6 +3,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use prefender_obs::{trace_event, CacheTag, TraceEvent};
+
 use crate::addr::Addr;
 use crate::config::CacheConfig;
 use crate::line::CacheLine;
@@ -97,6 +99,10 @@ pub struct Cache {
     stats: CacheStats,
     fill_seq: u64,
     rng_state: u64,
+    /// Flight-recorder identity (`level << 4 | core`), assigned by the
+    /// hierarchy. Not part of simulated state: it survives [`Cache::reset`]
+    /// and standalone caches keep the 0 default.
+    trace_id: CacheTag,
 }
 
 /// The replacement RNG's cold-start state (xorshift64* seed).
@@ -118,7 +124,14 @@ impl Cache {
             stats: CacheStats::new(),
             fill_seq: 0,
             rng_state: COLD_RNG_STATE,
+            trace_id: 0,
         }
+    }
+
+    /// Sets this array's flight-recorder identity (see
+    /// [`prefender_obs::CacheTag`]).
+    pub fn set_trace_id(&mut self, id: CacheTag) {
+        self.trace_id = id;
     }
 
     /// Returns the cache to its cold (just-constructed) state without
@@ -277,7 +290,8 @@ impl Cache {
     pub fn demand_lookup(&mut self, addr: Addr, now: Cycle) -> LookupResult {
         let la = self.line_addr(addr);
         let set = self.set_of(addr);
-        for line in self.ways_mut(set) {
+        let tid = self.trace_id;
+        for (way, line) in self.ways_mut(set).iter_mut().enumerate() {
             if line.valid && line.tag == la {
                 line.last_touch = now;
                 let first_use = line.prefetched;
@@ -286,6 +300,13 @@ impl Cache {
                     line.prefetched = false;
                     self.stats.prefetch_useful += 1;
                 }
+                trace_event(|| TraceEvent::DemandHit {
+                    at: u64::from(now),
+                    cache: tid,
+                    set: set as u32,
+                    way: way as u32,
+                    line: la,
+                });
                 return LookupResult::Hit { first_prefetch_use: first_use, source };
             }
         }
@@ -294,6 +315,12 @@ impl Cache {
             // moment the demand access can actually use it); the caller
             // charges the remaining latency.
             self.stats.prefetch_late += 1;
+            trace_event(|| TraceEvent::PrefetchLate {
+                at: u64::from(now),
+                cache: tid,
+                line: la,
+                source: f.source as u8,
+            });
             let (set, way, evicted) =
                 self.fill_resolved(addr, f.ready_at.max(now), Some(f.source), false);
             debug_assert!(evicted.is_none() || evicted.unwrap().addr.raw() != la);
@@ -302,6 +329,12 @@ impl Cache {
             self.sets[set * self.assoc + way].prefetched = false;
             return LookupResult::InFlight { ready_at: f.ready_at, source: f.source };
         }
+        trace_event(|| TraceEvent::DemandMiss {
+            at: u64::from(now),
+            cache: tid,
+            set: set as u32,
+            line: la,
+        });
         LookupResult::Miss
     }
 
@@ -370,11 +403,25 @@ impl Cache {
         let seq = self.fill_seq;
         self.fill_seq += 1;
         let victim_way = self.pick_victim(set);
+        let tid = self.trace_id;
         let victim = &mut self.sets[set * self.assoc + victim_way];
         let evicted = if victim.valid {
             self.stats.evictions += 1;
+            let victim_tag = victim.tag;
+            trace_event(|| TraceEvent::Eviction {
+                at: u64::from(now),
+                cache: tid,
+                set: set as u32,
+                way: victim_way as u32,
+                victim: victim_tag,
+            });
             if victim.prefetched {
                 self.stats.prefetch_unused += 1;
+                trace_event(|| TraceEvent::PrefetchExpire {
+                    at: u64::from(now),
+                    cache: tid,
+                    line: victim_tag,
+                });
             }
             Some(EvictedLine { addr: Addr::new(victim.tag), dirty: victim.dirty })
         } else {
@@ -391,6 +438,13 @@ impl Cache {
         };
         if prefetch.is_some() {
             self.stats.prefetch_fills += 1;
+            trace_event(|| TraceEvent::PrefetchFill {
+                at: u64::from(now),
+                cache: tid,
+                set: set as u32,
+                way: victim_way as u32,
+                line: la,
+            });
         }
         (set, victim_way, evicted)
     }

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use prefender_obs::{trace_event, TraceEvent};
+
 use crate::addr::Addr;
 use crate::cache::{Cache, EvictedLine, LookupResult};
 use crate::config::HierarchyConfig;
@@ -94,9 +96,25 @@ pub struct MemorySystem {
 impl MemorySystem {
     /// Builds an empty hierarchy from a validated configuration.
     pub fn new(cfg: HierarchyConfig) -> Self {
-        let l1i = (0..cfg.n_cores).map(|_| Cache::new(cfg.l1i.clone())).collect();
-        let l1d = (0..cfg.n_cores).map(|_| Cache::new(cfg.l1d.clone())).collect();
-        let l2 = Cache::new(cfg.l2.clone());
+        // Flight-recorder identities: `level << 4 | core`, level 1 = L1I,
+        // 2 = L1D, 3 = the shared L2.
+        let tag = |level: u8, core: usize| (level << 4) | core as u8;
+        let l1i = (0..cfg.n_cores)
+            .map(|core| {
+                let mut c = Cache::new(cfg.l1i.clone());
+                c.set_trace_id(tag(1, core));
+                c
+            })
+            .collect();
+        let l1d = (0..cfg.n_cores)
+            .map(|core| {
+                let mut c = Cache::new(cfg.l1d.clone());
+                c.set_trace_id(tag(2, core));
+                c
+            })
+            .collect();
+        let mut l2 = Cache::new(cfg.l2.clone());
+        l2.set_trace_id(tag(3, 0));
         let mshrs = MshrFile::new(cfg.n_mshrs, cfg.mshr_merge_limit);
         MemorySystem { cfg, l1i, l1d, l2, mshrs, scratch: Vec::new(), prefetches_dropped: 0 }
     }
@@ -399,10 +417,23 @@ impl MemorySystem {
         now: Cycle,
     ) -> bool {
         self.settle(now);
+        let line = addr.line(self.cfg.line_size()).raw();
         if self.l1d[core].contains_or_inflight(addr) {
             self.prefetches_dropped += 1;
+            trace_event(|| TraceEvent::PrefetchDrop {
+                at: u64::from(now),
+                core: core as u32,
+                line,
+                source: source as u8,
+            });
             return false;
         }
+        trace_event(|| TraceEvent::PrefetchIssue {
+            at: u64::from(now),
+            core: core as u32,
+            line,
+            source: source as u8,
+        });
         let ready_at = if self.l2.contains(addr) {
             // The prefetch reads the L2 line: refresh its recency.
             self.l2.touch(addr, now);
@@ -411,7 +442,6 @@ impl MemorySystem {
             // Ride the existing in-flight L2 fill.
             now + self.cfg.l2.hit_latency()
         } else {
-            let line = addr.line(self.cfg.line_size()).raw();
             let outcome = self.mshrs.request(line, now, self.cfg.memory_latency);
             let ready = outcome.ready_at();
             self.l2.fill_inflight(addr, ready, source);
@@ -454,11 +484,13 @@ impl MemorySystem {
         }
         // A flush of a present line costs roughly an L2 round trip; an
         // absent line retires quickly.
-        if found {
-            self.cfg.l2.hit_latency()
-        } else {
-            self.cfg.l1d.hit_latency()
-        }
+        let latency = if found { self.cfg.l2.hit_latency() } else { self.cfg.l1d.hit_latency() };
+        trace_event(|| TraceEvent::Flush {
+            at: u64::from(now),
+            line: addr.line(self.cfg.line_size()).raw(),
+            latency,
+        });
+        latency
     }
 }
 

@@ -6,6 +6,8 @@
 //! prefetch) allocates or merges into an entry; when the file is full the
 //! request stalls until the earliest outstanding entry completes.
 
+use prefender_obs::{trace_event, TraceEvent};
+
 use crate::time::Cycle;
 
 /// How a memory-bound request interacted with the MSHR file.
@@ -125,7 +127,13 @@ impl MshrFile {
     /// `service_latency` cycles, modelling allocation, merging and
     /// full-file stalls.
     pub fn request(&mut self, line: u64, now: Cycle, service_latency: u64) -> MshrOutcome {
-        self.entries.retain(|e| e.ready_at > now);
+        self.entries.retain(|e| {
+            let live = e.ready_at > now;
+            if !live {
+                trace_event(|| TraceEvent::MshrRelease { at: u64::from(now), line: e.line });
+            }
+            live
+        });
         if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
             if e.merged < self.merge_limit {
                 e.merged += 1;
@@ -139,6 +147,7 @@ impl MshrFile {
             let ready_at = now + service_latency;
             self.entries.push(Entry { line, ready_at, merged: 1 });
             self.high_water = self.high_water.max(self.entries.len());
+            trace_event(|| TraceEvent::MshrAlloc { at: u64::from(now), line });
             return MshrOutcome::Allocated { ready_at };
         }
         // Full: wait for the earliest entry to retire.
@@ -149,11 +158,16 @@ impl MshrFile {
             .min_by_key(|(_, e)| e.ready_at)
             .map(|(i, e)| (i, e.ready_at))
             .expect("file is full, so nonempty");
+        trace_event(|| TraceEvent::MshrRelease {
+            at: u64::from(stalled_until),
+            line: self.entries[idx].line,
+        });
         self.entries.swap_remove(idx);
         self.stalls += 1;
         let ready_at = stalled_until + service_latency;
         self.entries.push(Entry { line, ready_at, merged: 1 });
         self.high_water = self.high_water.max(self.entries.len());
+        trace_event(|| TraceEvent::MshrAlloc { at: u64::from(stalled_until), line });
         MshrOutcome::Stalled { stalled_until, ready_at }
     }
 }

@@ -41,6 +41,12 @@
 //!   --obs               write DIR/obs.json: deterministic counters plus
 //!                       an explicitly-marked wall-clock `timing` section
 //!   --obs-out PATH      write the chunk-claim event stream as JSONL
+//!   --trace             arm the flight recorder; write the per-scenario
+//!                       event trace as DIR/trace.jsonl (deterministic:
+//!                       byte-identical at any --threads value, and the
+//!                       other artifacts are byte-identical with or
+//!                       without it)
+//!   --trace-out PATH    trace JSONL destination (requires --trace)
 //! ```
 //!
 //! Leakage campaigns (`--leakage`) share the noise / cross-core /
@@ -72,6 +78,8 @@ struct Args {
     progress: bool,
     obs: bool,
     obs_out: Option<std::path::PathBuf>,
+    trace: bool,
+    trace_out: Option<std::path::PathBuf>,
 }
 
 fn parse_u64(s: &str) -> Result<u64, String> {
@@ -132,6 +140,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         progress: false,
         obs: false,
         obs_out: None,
+        trace: false,
+        trace_out: None,
     };
 
     let mut it = argv.iter();
@@ -189,6 +199,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--progress" => args.progress = true,
             "--obs" => args.obs = true,
             "--obs-out" => args.obs_out = Some(val("--obs-out")?.into()),
+            "--trace" => args.trace = true,
+            "--trace-out" => args.trace_out = Some(val("--trace-out")?.into()),
             "--help" | "-h" => return Err("help".to_string()),
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -291,6 +303,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.grid.resample().is_enabled() && args.grid.leakages.is_empty() {
         return Err("--permutations/--bootstrap need at least one --leakage campaign".to_string());
     }
+    if args.trace_out.is_some() && !args.trace {
+        return Err("--trace-out requires --trace".to_string());
+    }
     Ok(args)
 }
 
@@ -310,6 +325,7 @@ fn main() -> ExitCode {
             eprintln!("             [--permutations N] [--bootstrap N] [--alpha F]");
             eprintln!("             [--threads N] [--seed S] [--out DIR] [--bench-json PATH]");
             eprintln!("             [--list] [--quiet] [--progress] [--obs] [--obs-out PATH]");
+            eprintln!("             [--trace] [--trace-out PATH]");
             return if e == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
         }
     };
@@ -337,6 +353,20 @@ fn main() -> ExitCode {
              not executed (--list)",
             keys.len()
         );
+        if args.trace {
+            // Coarse planning estimate: attack/leakage sims emit on the
+            // order of ~25k flight-recorder events each (demand + MSHR +
+            // prefetch traffic over a paper probe schedule).
+            const EST_EVENTS_PER_SIM: u64 = 25_000;
+            let cap = prefender_obs::DEFAULT_TRACE_CAPACITY;
+            let event_size = std::mem::size_of::<prefender_obs::TraceEvent>();
+            println!(
+                "trace: ~{} events estimated ({sims} sims x ~{EST_EVENTS_PER_SIM}/sim); \
+                 ring buffer {cap} events ({} KiB) per worker thread",
+                sims as u64 * EST_EVENTS_PER_SIM,
+                cap * event_size / 1024,
+            );
+        }
         return ExitCode::SUCCESS;
     }
     eprintln!(
@@ -350,6 +380,9 @@ fn main() -> ExitCode {
         args.grid.seeds,
     );
     let opts = SweepOptions { threads: args.threads, campaign_seed: args.campaign_seed };
+    if args.trace {
+        prefender_obs::arm_trace(prefender_obs::DEFAULT_TRACE_CAPACITY);
+    }
     let start = Instant::now();
     // `run_sweep` is `run_sweep_observed` minus the extras, so running
     // observed unconditionally cannot change the artifacts — the obs
@@ -364,6 +397,9 @@ fn main() -> ExitCode {
     let progress: Option<&(dyn Fn(usize, usize) + Sync)> =
         if args.progress { Some(&on_chunk) } else { None };
     let (report, obs) = run_sweep_observed(&args.grid, &opts, progress);
+    if args.trace {
+        prefender_obs::disarm_trace();
+    }
     if let Some(r) = &reporter {
         r.lock().expect("progress reporter").finish(n as u64);
     }
@@ -429,6 +465,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("wrote {}", path.display());
+    }
+    if args.trace {
+        let path = args.trace_out.clone().unwrap_or_else(|| args.out.join("trace.jsonl"));
+        if let Err(e) = std::fs::write(&path, obs.trace_jsonl()) {
+            eprintln!("sweep: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {} ({} events, {} dropped)",
+            path.display(),
+            obs.trace_events(),
+            obs.trace_dropped()
+        );
     }
 
     if let Some(path) = args.bench_json {

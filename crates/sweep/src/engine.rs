@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use prefender_obs::{ObsCounters, Value};
+use prefender_obs::{ObsCounters, TraceBuf, Value};
 
 use crate::artifact::SweepReport;
 use crate::grid::SweepGrid;
@@ -211,6 +211,11 @@ pub struct SweepObs {
     /// function of the grid and campaign seed: identical at every thread
     /// count (pinned by `tests/obs_props.rs`).
     pub counters: ObsCounters,
+    /// Per-scenario flight-recorder traces, `(scenario id, trace)` in
+    /// scenario-index order. Empty buffers when tracing was disarmed.
+    /// Like `counters`, a pure function of the grid and campaign seed:
+    /// the JSONL rendering is byte-identical at every thread count.
+    pub traces: Vec<(String, TraceBuf)>,
     /// Scheduling/wall-clock telemetry — everything non-deterministic.
     pub telemetry: SweepTelemetry,
 }
@@ -251,6 +256,39 @@ impl SweepObs {
             ),
         ]);
         doc.to_json(0)
+    }
+
+    /// The flight-recorder stream as JSONL: per scenario (in scenario
+    ///-index order) one `{"scenario": …, "events": …, "dropped": …}`
+    /// header line followed by one object per trace event — the
+    /// `--trace-out` format. Deterministic: byte-identical at every
+    /// thread count for a fixed grid and campaign seed.
+    pub fn trace_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (id, buf) in &self.traces {
+            let header = Value::Obj(vec![
+                ("scenario".into(), Value::Str(id.clone())),
+                ("events".into(), Value::U64(buf.events.len() as u64)),
+                ("dropped".into(), Value::U64(buf.dropped)),
+            ]);
+            out.push_str(&header.to_json_inline());
+            out.push('\n');
+            for e in &buf.events {
+                out.push_str(&e.to_value().to_json_inline());
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Total captured trace events across all scenarios.
+    pub fn trace_events(&self) -> u64 {
+        self.traces.iter().map(|(_, b)| b.events.len() as u64).sum()
+    }
+
+    /// Total trace events dropped to full ring buffers.
+    pub fn trace_dropped(&self) -> u64 {
+        self.traces.iter().map(|(_, b)| b.dropped).sum()
     }
 
     /// The chunk-event stream as JSONL: one `{"worker": …}` object per
@@ -305,7 +343,7 @@ pub fn run_sweep_observed(
     let started = Instant::now();
     let cursor = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
-    type Ran = (ScenarioResult, ObsCounters, (u64, u64));
+    type Ran = (ScenarioResult, ObsCounters, (u64, u64), TraceBuf);
     let sink: Mutex<Vec<(usize, Vec<Ran>)>> = Mutex::new(Vec::with_capacity(threads * 2));
     let tsink: Mutex<Vec<(WorkerStats, Vec<ChunkEvent>)>> = Mutex::new(Vec::with_capacity(threads));
     let worker = |wid: usize| {
@@ -384,11 +422,14 @@ pub fn run_sweep_observed(
     let mut counters = ObsCounters::new();
     let (mut resets, mut rebuilds) = (0u64, 0u64);
     let mut results = Vec::with_capacity(n);
+    let mut traces = Vec::with_capacity(n);
     for r in by_index {
-        let (result, obs, (rs, rb)) = r.expect("every scenario index produces exactly one result");
+        let (result, obs, (rs, rb), trace) =
+            r.expect("every scenario index produces exactly one result");
         counters.merge(&obs);
         resets += rs;
         rebuilds += rb;
+        traces.push((result.id.clone(), trace));
         results.push(result);
     }
 
@@ -412,7 +453,7 @@ pub fn run_sweep_observed(
         events,
     };
     let report = SweepReport { campaign_seed: opts.campaign_seed, results };
-    (report, SweepObs { counters, telemetry })
+    (report, SweepObs { counters, traces, telemetry })
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@ use std::fmt;
 use prefender_attacks::{machine_obs, AttackOutcome, AttackSpec, Basic, RunMetrics, Runner};
 use prefender_cpu::Machine;
 use prefender_leakage::{LeakageCampaign, ResampleOptions};
-use prefender_obs::ObsCounters;
+use prefender_obs::{take_thread_trace, ObsCounters, TraceBuf};
 use prefender_stats::derive_seed;
 use prefender_workloads::Workload;
 
@@ -273,12 +273,14 @@ pub fn run_scenario_with(
 }
 
 /// Like [`run_scenario_with`], but also harvesting the scenario's
-/// observability counters and the `(resets, rebuilds)` runner-reuse
-/// tallies. The counters are a pure function of the scenario (runner
-/// reuse is bit-exact), so per-scenario blocks — and any order-independent
-/// merge of them — are identical at every thread count. The reuse tallies
-/// are *not*: they depend on which scenarios a worker ran before, so obs
-/// reports keep them in the scheduling-dependent `timing` section.
+/// observability counters, the `(resets, rebuilds)` runner-reuse
+/// tallies, and — when the flight recorder is armed — the scenario's
+/// trace. The counters and trace are pure functions of the scenario
+/// (runner reuse is bit-exact), so per-scenario blocks — and any
+/// order-independent merge of them — are identical at every thread
+/// count. The reuse tallies are *not*: they depend on which scenarios a
+/// worker ran before, so obs reports keep them in the
+/// scheduling-dependent `timing` section.
 ///
 /// # Panics
 ///
@@ -287,28 +289,36 @@ pub fn run_scenario_with_obs(
     s: &Scenario,
     campaign_seed: u64,
     resample: &ResampleOptions,
-) -> (ScenarioResult, ObsCounters, (u64, u64)) {
+) -> (ScenarioResult, ObsCounters, (u64, u64), TraceBuf) {
     if let Payload::Workload(name) = &s.payload {
         let seed = s.derived_seed(campaign_seed);
+        // Workload payloads run on a private machine, not the cached
+        // runner, so their trace lands directly in the thread buffer:
+        // discard anything stale, run, then drain.
+        let _ = take_thread_trace();
         let (result, obs) = run_workload_scenario_obs(s, name, seed);
-        return (result, obs, (0, 1));
+        return (result, obs, (0, 1), take_thread_trace());
     }
     // Drop whatever this thread's cached runner accumulated for earlier
     // callers that never drained (plain `run_scenario` runs), so the
     // post-run drain below is exactly this scenario's contribution.
     drain_thread_runner();
+    let _ = take_thread_trace();
     let result = run_scenario_with(s, campaign_seed, resample);
-    let (obs, reuse) = drain_thread_runner();
-    (result, obs, reuse)
+    let (obs, reuse, mut trace) = drain_thread_runner();
+    // Events emitted outside the runner's per-run drains (machine
+    // construction, spec setup) belong to this scenario too.
+    trace.merge(take_thread_trace());
+    (result, obs, reuse, trace)
 }
 
-/// Drains the calling thread's cached runner: its accumulated counters
-/// and `(resets, rebuilds)` tallies, both zeroed. All-zero when the
-/// thread has no runner yet.
-fn drain_thread_runner() -> (ObsCounters, (u64, u64)) {
+/// Drains the calling thread's cached runner: its accumulated counters,
+/// `(resets, rebuilds)` tallies, and trace buffer, all zeroed. All-empty
+/// when the thread has no runner yet.
+fn drain_thread_runner() -> (ObsCounters, (u64, u64), TraceBuf) {
     ATTACK_RUNNER.with(|cell| match cell.borrow_mut().as_mut() {
-        Some(r) => (r.take_obs(), r.take_reuse_counts()),
-        None => (ObsCounters::new(), (0, 0)),
+        Some(r) => (r.take_obs(), r.take_reuse_counts(), r.take_trace()),
+        None => (ObsCounters::new(), (0, 0), TraceBuf::default()),
     })
 }
 
