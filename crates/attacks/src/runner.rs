@@ -828,13 +828,21 @@ fn run_phase(
     Ok(())
 }
 
-fn run_single_core(
+/// The single-core program the runner composes for `spec`: the attacker's
+/// prepare phase, the victim gadget (Spectre-gadget style, same core) and
+/// the measurement phase, concatenated. Returns the program and its probe
+/// instruction indices. Exposed so static analyses can audit exactly what
+/// the runner executes; cross-core runs instead use the standalone
+/// programs ([`flush_program`](crate::flush_program) and friends) per
+/// core.
+pub fn composed_attack_program(spec: &AttackSpec) -> (prefender_isa::Program, Vec<usize>) {
+    compose_single_core(spec, build_reload_targets(spec).len())
+}
+
+fn compose_single_core(
     spec: &AttackSpec,
-    m: &mut Machine,
     n_reload_probes: usize,
-    bucket: Option<u64>,
-    timeline: &mut Vec<TimelinePoint>,
-) -> Result<Vec<u64>, AttackError> {
+) -> (prefender_isa::Program, Vec<usize>) {
     let l = &spec.layout;
     let mut b = ProgramBuilder::new();
     b.name("attack");
@@ -861,6 +869,17 @@ fn run_single_core(
     };
     b.halt();
     let program = b.build().expect("attack programs are statically correct");
+    (program, probe_idxs)
+}
+
+fn run_single_core(
+    spec: &AttackSpec,
+    m: &mut Machine,
+    n_reload_probes: usize,
+    bucket: Option<u64>,
+    timeline: &mut Vec<TimelinePoint>,
+) -> Result<Vec<u64>, AttackError> {
+    let (program, probe_idxs) = compose_single_core(spec, n_reload_probes);
     let probe_pcs: Vec<u64> = probe_idxs.iter().map(|&i| program.pc_of(i)).collect();
     m.load_program(0, program);
     run_phase(m, bucket, timeline)?;

@@ -1,0 +1,452 @@
+//! `repro audit` — the static secret-dependence audit.
+//!
+//! Runs `prefender-taint` over every guest program the repo executes —
+//! the twelve composed single-core attack programs (one per Figure 8
+//! panel), the six standalone attack phase programs, and all 21 synthetic
+//! SPEC workloads — then cross-validates the static verdicts against a
+//! compact measured leakage grid ([`SweepGrid::audit_quick`]).
+//!
+//! The headline invariant is **zero static false negatives**: every
+//! leakage cell whose mutual information rejects the permutation null
+//! (`p < alpha`) must belong to a program with at least one statically
+//! flagged sink. Cells that are flagged but *sealed* (non-significant MI)
+//! quantify where the defense covers a statically present leak.
+//!
+//! `AUDIT.json` is deterministic: byte-identical across runs and thread
+//! counts, like every other artifact in the repo.
+
+use prefender_attacks::{
+    composed_attack_program, evict_program, flush_program, prime_probe_probe_program,
+    prime_probe_program, reload_probe_program, victim_program, AttackLayout, AttackSpec,
+    DefenseConfig,
+};
+use prefender_isa::Program;
+use prefender_obs::Value;
+use prefender_sweep::{AttackCase, SweepGrid};
+use prefender_taint::{analyze, SinkKind, TaintSpec};
+use prefender_workloads::Suite;
+
+use crate::leakage::{leakage_map_over, LeakageMap};
+
+/// One audited program with its analysis report.
+#[derive(Debug, Clone)]
+pub struct AuditEntry {
+    /// Stable entry name (`atk:fr`, `prog:victim`, `wl:2006:mcf`, ...).
+    pub name: String,
+    /// Entry group: `attack` (composed single-core programs),
+    /// `program` (standalone attack phases) or `workload`.
+    pub group: &'static str,
+    /// The analyzer's verdicts.
+    pub report: prefender_taint::TaintReport,
+}
+
+/// One leakage cell joined against the static verdict of its program.
+#[derive(Debug, Clone)]
+pub struct CrossCell {
+    /// The sweep scenario id of the measured cell.
+    pub id: String,
+    /// Attack-case tag (`fr`, `er`, `pp`).
+    pub case: String,
+    /// Defense tag (`base`, `full32`).
+    pub defense: String,
+    /// Measured mutual information in bits.
+    pub mi_bits: f64,
+    /// Permutation-null p-value of the MI estimate.
+    pub p_value: Option<f64>,
+    /// `p < alpha`: the cell measurably leaks.
+    pub significant: bool,
+    /// Statically flagged sinks in the cell's program.
+    pub flagged: usize,
+    /// Flagged sinks DataScale is predicted to cover.
+    pub covered: usize,
+    /// `leak-flagged`, `false-negative`, `flagged-sealed` or `clean`.
+    pub verdict: &'static str,
+}
+
+/// The static-vs-measured join over the audit grid.
+#[derive(Debug, Clone)]
+pub struct CrossValidation {
+    /// Significance level of the permutation test.
+    pub alpha: f64,
+    /// Label permutations behind each cell's p-value.
+    pub permutations: u32,
+    /// Every joined cell.
+    pub cells: Vec<CrossCell>,
+    /// Significant cells whose program is flagged (expected).
+    pub leak_flagged: usize,
+    /// Significant cells with **no** flagged sink — the gate; must be 0.
+    pub false_negatives: usize,
+    /// Flagged programs whose measured channel is sealed: the defense
+    /// covers a statically present leak.
+    pub flagged_sealed: usize,
+    /// Neither flagged nor significant.
+    pub clean: usize,
+}
+
+/// The full audit: per-program reports plus the cross-validation.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Every audited program, in stable order.
+    pub entries: Vec<AuditEntry>,
+    /// The static-vs-measured join.
+    pub cross: CrossValidation,
+}
+
+fn suite_tag(s: Suite) -> &'static str {
+    match s {
+        Suite::Spec2006 => "2006",
+        Suite::Spec2017 => "2017",
+    }
+}
+
+/// Every audited `(name, group, program, taint spec)`, in the stable
+/// order AUDIT.json lists them.
+fn program_set() -> Vec<(String, &'static str, Program, TaintSpec)> {
+    let l = AttackLayout::paper();
+    let secret = TaintSpec::secret_cell(l.secret_addr);
+    let mut out = Vec::new();
+
+    // The composed single-core attack programs, one per Figure 8 panel.
+    for case in AttackCase::figure8_panels() {
+        let spec = AttackSpec::new(case.kind, DefenseConfig::None).with_noise(case.noise);
+        let (program, _) = composed_attack_program(&spec);
+        out.push((format!("atk:{}", case.tag()), "attack", program, TaintSpec::for_attack(&spec)));
+    }
+
+    // The standalone phase programs (what cross-core runs execute).
+    let standalone: [(&str, Program); 6] = [
+        ("flush", flush_program(&l)),
+        ("evict", evict_program(&l)),
+        ("victim", victim_program(&l)),
+        ("reload", reload_probe_program(&l, l.n_indices, false).program),
+        ("prime", prime_probe_program(&l, false)),
+        ("probe", prime_probe_probe_program(&l, false, false, false).program),
+    ];
+    for (name, program) in standalone {
+        out.push((format!("prog:{name}"), "program", program, secret.clone()));
+    }
+
+    // Every synthetic SPEC workload, audited against the same secret cell:
+    // "if a secret lived at the attack layout's address, would this
+    // workload touch it?" — all must report zero sinks.
+    for w in prefender_workloads::all() {
+        let name = format!("wl:{}:{}", suite_tag(w.suite()), w.name());
+        out.push((name, "workload", w.program(), secret.clone()));
+    }
+    out
+}
+
+/// Audits every program; deterministic order and content.
+pub fn entries() -> Vec<AuditEntry> {
+    program_set()
+        .into_iter()
+        .map(|(name, group, program, spec)| AuditEntry {
+            name,
+            group,
+            report: analyze(&program, &spec),
+        })
+        .collect()
+}
+
+/// The audit entry names with their groups (the `--list` view).
+pub fn entry_names() -> Vec<(String, &'static str)> {
+    program_set().into_iter().map(|(name, group, _, _)| (name, group)).collect()
+}
+
+/// Audits a single named entry, or `None` for an unknown name.
+pub fn audit_one(name: &str) -> Option<AuditEntry> {
+    program_set().into_iter().find(|(n, _, _, _)| n == name).map(|(n, group, program, spec)| {
+        AuditEntry { name: n, group, report: analyze(&program, &spec) }
+    })
+}
+
+/// Joins a measured leakage map against the static verdicts.
+pub fn cross_validate(map: &LeakageMap, entries: &[AuditEntry]) -> CrossValidation {
+    let alpha = map.grid.leakage_alpha;
+    let mut cells = Vec::new();
+    for case in &map.grid.leakages {
+        let tag = case.tag();
+        let entry = entries.iter().find(|e| e.name == format!("atk:{tag}"));
+        let (flagged, covered) =
+            entry.map(|e| (e.report.flagged(), e.report.covered())).unwrap_or((0, 0));
+        for def in &map.grid.defenses {
+            let Some(r) = map.cell(&tag, &def.tag()) else { continue };
+            let significant = r.mi_p_value.is_some_and(|p| p < alpha);
+            let verdict = match (significant, flagged > 0) {
+                (true, true) => "leak-flagged",
+                (true, false) => "false-negative",
+                (false, true) => "flagged-sealed",
+                (false, false) => "clean",
+            };
+            cells.push(CrossCell {
+                id: r.id.clone(),
+                case: tag.clone(),
+                defense: def.tag(),
+                mi_bits: r.mi_bits.unwrap_or(0.0),
+                p_value: r.mi_p_value,
+                significant,
+                flagged,
+                covered,
+                verdict,
+            });
+        }
+    }
+    let count = |v: &str| cells.iter().filter(|c| c.verdict == v).count();
+    CrossValidation {
+        alpha,
+        permutations: map.grid.leakage_permutations,
+        leak_flagged: count("leak-flagged"),
+        false_negatives: count("false-negative"),
+        flagged_sealed: count("flagged-sealed"),
+        clean: count("clean"),
+        cells,
+    }
+}
+
+/// Runs the full audit: every program analyzed, then cross-validated
+/// against the measured [`SweepGrid::audit_quick`] leakage grid.
+pub fn run() -> AuditReport {
+    let entries = entries();
+    let map = leakage_map_over(SweepGrid::audit_quick(), 0);
+    let cross = cross_validate(&map, &entries);
+    AuditReport { entries, cross }
+}
+
+impl AuditReport {
+    /// Serializes the audit; byte-identical across runs/thread counts.
+    pub fn to_json(&self) -> String {
+        let programs: Vec<Value> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let r = &e.report;
+                let sinks: Vec<Value> = r
+                    .sinks
+                    .iter()
+                    .map(|s| {
+                        Value::Obj(vec![
+                            ("index".into(), Value::U64(s.index as u64)),
+                            ("pc".into(), Value::U64(s.pc)),
+                            ("kind".into(), Value::Str(s.kind.tag().into())),
+                            (
+                                "scale".into(),
+                                s.scale.map_or(Value::Null, |sc| Value::U64(sc as u64)),
+                            ),
+                            ("covered".into(), Value::Bool(s.covered)),
+                            ("instr".into(), Value::Str(s.disasm.clone())),
+                        ])
+                    })
+                    .collect();
+                Value::Obj(vec![
+                    ("name".into(), Value::Str(e.name.clone())),
+                    ("group".into(), Value::Str(e.group.into())),
+                    ("instrs".into(), Value::U64(r.n_instrs as u64)),
+                    ("flagged".into(), Value::U64(r.flagged() as u64)),
+                    ("load_sinks".into(), Value::U64(r.count(SinkKind::LoadAddr) as u64)),
+                    ("store_sinks".into(), Value::U64(r.count(SinkKind::StoreAddr) as u64)),
+                    ("branch_sinks".into(), Value::U64(r.count(SinkKind::Branch) as u64)),
+                    ("flush_sinks".into(), Value::U64(r.count(SinkKind::FlushTarget) as u64)),
+                    ("covered".into(), Value::U64(r.covered() as u64)),
+                    ("residual".into(), Value::U64(r.residual() as u64)),
+                    ("sinks".into(), Value::Arr(sinks)),
+                ])
+            })
+            .collect();
+
+        let group_total = |g: &str| self.entries.iter().filter(|e| e.group == g).count() as u64;
+        let workload_flagged: u64 = self
+            .entries
+            .iter()
+            .filter(|e| e.group == "workload")
+            .map(|e| e.report.flagged() as u64)
+            .sum();
+        let summary = Value::Obj(vec![
+            ("programs".into(), Value::U64(self.entries.len() as u64)),
+            ("attack_programs".into(), Value::U64(group_total("attack"))),
+            ("standalone_programs".into(), Value::U64(group_total("program"))),
+            ("workload_programs".into(), Value::U64(group_total("workload"))),
+            ("workload_flagged".into(), Value::U64(workload_flagged)),
+            (
+                "flagged_total".into(),
+                Value::U64(self.entries.iter().map(|e| e.report.flagged() as u64).sum()),
+            ),
+            (
+                "covered_total".into(),
+                Value::U64(self.entries.iter().map(|e| e.report.covered() as u64).sum()),
+            ),
+            (
+                "residual_total".into(),
+                Value::U64(self.entries.iter().map(|e| e.report.residual() as u64).sum()),
+            ),
+        ]);
+
+        let cells: Vec<Value> = self
+            .cross
+            .cells
+            .iter()
+            .map(|c| {
+                Value::Obj(vec![
+                    ("id".into(), Value::Str(c.id.clone())),
+                    ("case".into(), Value::Str(c.case.clone())),
+                    ("defense".into(), Value::Str(c.defense.clone())),
+                    ("mi_bits".into(), Value::F64(c.mi_bits)),
+                    ("p_value".into(), c.p_value.map_or(Value::Null, Value::F64)),
+                    ("significant".into(), Value::Bool(c.significant)),
+                    ("flagged".into(), Value::U64(c.flagged as u64)),
+                    ("covered".into(), Value::U64(c.covered as u64)),
+                    ("verdict".into(), Value::Str(c.verdict.into())),
+                ])
+            })
+            .collect();
+        let cross = Value::Obj(vec![
+            ("alpha".into(), Value::F64(self.cross.alpha)),
+            ("permutations".into(), Value::U64(self.cross.permutations as u64)),
+            ("leak_flagged".into(), Value::U64(self.cross.leak_flagged as u64)),
+            ("false_negatives".into(), Value::U64(self.cross.false_negatives as u64)),
+            ("flagged_sealed".into(), Value::U64(self.cross.flagged_sealed as u64)),
+            ("clean".into(), Value::U64(self.cross.clean as u64)),
+            ("cells".into(), Value::Arr(cells)),
+        ]);
+
+        let doc = Value::Obj(vec![
+            ("schema".into(), Value::Str("audit-v1".into())),
+            ("programs".into(), Value::Arr(programs)),
+            ("summary".into(), summary),
+            ("cross_validation".into(), cross),
+        ]);
+        doc.to_json(0) + "\n"
+    }
+
+    /// Renders the audit as a console table plus the cross-validation.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<22} {:>6} {:>8} {:>5} {:>5} {:>7} {:>7} {:>8}",
+            "program", "instrs", "flagged", "load", "br", "flush", "covered", "residual"
+        );
+        for e in &self.entries {
+            let r = &e.report;
+            let _ = writeln!(
+                out,
+                "{:<22} {:>6} {:>8} {:>5} {:>5} {:>7} {:>7} {:>8}",
+                e.name,
+                r.n_instrs,
+                r.flagged(),
+                r.count(SinkKind::LoadAddr) + r.count(SinkKind::StoreAddr),
+                r.count(SinkKind::Branch),
+                r.count(SinkKind::FlushTarget),
+                r.covered(),
+                r.residual(),
+            );
+        }
+        let c = &self.cross;
+        let _ = writeln!(
+            out,
+            "\ncross-validation (alpha {}, {} permutations):",
+            c.alpha, c.permutations
+        );
+        for cell in &c.cells {
+            let _ = writeln!(
+                out,
+                "  {:<42} mi {:>6.3}  p {}  flagged {}  -> {}",
+                cell.id,
+                cell.mi_bits,
+                cell.p_value.map_or("   na".into(), |p| format!("{p:.3}")),
+                cell.flagged,
+                cell.verdict,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {} leak-flagged, {} false negatives, {} flagged-sealed, {} clean",
+            c.leak_flagged, c.false_negatives, c.flagged_sealed, c.clean
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attack_programs_have_exactly_one_covered_load_sink() {
+        for e in entries() {
+            match e.group {
+                // Every composed attack embeds exactly one victim gadget:
+                // one secret-dependent load, covered at scale 0x200.
+                "attack" => {
+                    assert_eq!(
+                        e.report.count(SinkKind::LoadAddr),
+                        1,
+                        "{}: expected exactly one load sink",
+                        e.name
+                    );
+                    assert_eq!(e.report.flagged(), 1, "{}", e.name);
+                    assert_eq!(e.report.covered(), 1, "{}", e.name);
+                    assert_eq!(e.report.sinks[0].scale, Some(0x200), "{}", e.name);
+                }
+                // Standalone phases never read the secret — except the
+                // victim itself.
+                "program" => {
+                    let expected = usize::from(e.name == "prog:victim");
+                    assert_eq!(e.report.flagged(), expected, "{}", e.name);
+                }
+                "workload" => {
+                    assert_eq!(e.report.flagged(), 0, "{}: workloads are secret-free", e.name)
+                }
+                other => panic!("unknown group {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn entry_names_are_unique_and_stable() {
+        let names = entry_names();
+        let mut sorted: Vec<_> = names.iter().map(|(n, _)| n.clone()).collect();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate audit entry names");
+        assert_eq!(names.len(), 12 + 6 + 21);
+        assert_eq!(names[0].0, "atk:fr");
+        assert!(names.iter().any(|(n, _)| n == "prog:victim"));
+    }
+
+    #[test]
+    fn audit_one_matches_full_audit() {
+        let one = audit_one("prog:victim").expect("known entry");
+        let full = entries();
+        let from_full = full.iter().find(|e| e.name == "prog:victim").unwrap();
+        assert_eq!(one.report, from_full.report);
+        assert!(audit_one("prog:nope").is_none());
+    }
+
+    #[test]
+    fn cross_validation_has_zero_false_negatives() {
+        // The compact deterministic grid: open cells must be significant
+        // AND flagged; sealed cells stay flagged (the defense covers the
+        // statically present leak), never the other way around.
+        let entries = entries();
+        let map = leakage_map_over(SweepGrid::audit_quick(), 0);
+        let cross = cross_validate(&map, &entries);
+        assert_eq!(cross.cells.len(), 6);
+        assert_eq!(cross.false_negatives, 0, "static false negative: {:#?}", cross.cells);
+        // The gate must not be vacuous: the undefended cells measurably
+        // leak, so at least one cell is significant.
+        assert!(cross.leak_flagged > 0, "no significant cell — gate is vacuous");
+        // Every flagged-but-sealed cell is a fully defended point.
+        for c in cross.cells.iter().filter(|c| c.verdict == "flagged-sealed") {
+            assert_eq!(c.defense, "full32", "{}: sealed without a defense", c.id);
+        }
+    }
+
+    #[test]
+    fn audit_json_is_deterministic() {
+        let a = run();
+        let b = run();
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.to_json().contains("\"false_negatives\": 0"));
+    }
+}

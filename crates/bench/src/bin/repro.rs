@@ -36,6 +36,13 @@
 //!             expiry/decode/resample) of one leakage cell and the
 //!             576-scenario grid at 1 thread; writes PROFILE.json in the
 //!             working directory
+//!   audit     static secret-dependence audit: taint-analyze every attack
+//!             and workload program, predict DataScale coverage per sink,
+//!             and cross-validate against a compact measured leakage grid
+//!             (zero static false negatives); writes AUDIT.json in the
+//!             working directory.
+//!             audit --list             list auditable programs
+//!             audit --program <name>   analyze one program, no leakage run
 //!   all       everything above except forensics (a deliberately slow
 //!             trace-armed deep dive) and bench-sim, bench-sweep and
 //!             profile (whose output is timing-dependent, not a paper
@@ -49,7 +56,71 @@
 use std::env;
 use std::process::ExitCode;
 
-use prefender_bench::{ablation, figures, hwcost, leakage, security, tables};
+use prefender_bench::{ablation, audit, figures, hwcost, leakage, security, tables};
+
+/// What `repro audit [--list | --program <name>]` should do.
+enum AuditMode {
+    /// Full audit: every program plus the measured cross-validation.
+    Full,
+    /// Print the auditable program names and exit.
+    List,
+    /// Analyze one named program; skips the leakage run.
+    One(String),
+}
+
+/// Parses the arguments after `audit`, validating program names at parse
+/// time (same conventions as the sweep CLI: `Err` carries the message,
+/// `"help"` prints usage).
+fn parse_audit_args(args: &[String]) -> Result<AuditMode, String> {
+    let mut mode = AuditMode::Full;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--list" => mode = AuditMode::List,
+            "--program" => {
+                let name = it.next().ok_or("--program needs a value; try --list")?;
+                if !audit::entry_names().iter().any(|(n, _)| n == name) {
+                    return Err(format!("unknown program `{name}`; try --list"));
+                }
+                mode = AuditMode::One(name.clone());
+            }
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown audit flag `{other}`; try --help")),
+        }
+    }
+    Ok(mode)
+}
+
+fn run_audit(args: &[String]) -> Result<(), String> {
+    let mode = match parse_audit_args(args) {
+        Ok(m) => m,
+        Err(e) if e == "help" => {
+            println!("usage: repro audit [--list | --program <name>]");
+            return Ok(());
+        }
+        Err(e) => return Err(e),
+    };
+    match mode {
+        AuditMode::List => {
+            for (i, (name, group)) in audit::entry_names().iter().enumerate() {
+                println!("{i:>6}  {name:<24} {group}");
+            }
+        }
+        AuditMode::One(name) => {
+            let entry = audit::audit_one(&name).expect("validated at parse time");
+            print!("{}", entry.report.render());
+        }
+        AuditMode::Full => {
+            println!("=== Static audit: secret-dependence across every guest program ===\n");
+            let report = audit::run();
+            print!("{}", report.render());
+            std::fs::write("AUDIT.json", report.to_json())
+                .map_err(|e| format!("writing AUDIT.json: {e}"))?;
+            println!("\nwrote AUDIT.json");
+        }
+    }
+    Ok(())
+}
 
 fn run_one(name: &str) -> Result<(), String> {
     match name {
@@ -186,9 +257,18 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <fig8|fig9|fig10|fig11|fig12|table4|table5|table6|hwcost|ablate-*|sweep|leakage|forensics|bench-sim|bench-sweep|profile|all> ..."
+            "usage: repro <fig8|fig9|fig10|fig11|fig12|table4|table5|table6|hwcost|ablate-*|sweep|leakage|forensics|audit|bench-sim|bench-sweep|profile|all> ..."
         );
         return ExitCode::FAILURE;
+    }
+    if args[0] == "audit" {
+        return match run_audit(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("repro: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     for a in &args {
         if let Err(e) = run_one(a) {

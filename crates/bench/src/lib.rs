@@ -16,6 +16,7 @@
 //! | Section V-E | [`hwcost::report`] | `hwcost` |
 //! | (extensions) | [`ablation`] | `ablate-*` |
 //! | (extension: Figure 8 in bits) | [`leakage::leakage_map`] | `leakage` |
+//! | (extension: static audit) | [`audit::run`] | `audit` |
 //! | (extension: hot-path throughput) | [`simbench::run`] | `bench-sim` |
 //! | (extension: phase profile) | [`profile::run`] | `profile` |
 //!
@@ -25,6 +26,7 @@
 //! binary prints the same rows/series the paper reports.
 
 pub mod ablation;
+pub mod audit;
 pub mod figures;
 pub mod forensics;
 pub mod hwcost;

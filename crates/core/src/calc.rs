@@ -32,6 +32,19 @@ impl RegTrack {
     fn constant(v: i64) -> Self {
         RegTrack { fva: Some(v), sc: Some(1) }
     }
+
+    /// Control-flow join of two tracked states: a component survives only
+    /// when both paths agree. A disagreeing `fva` is not a fixed value and
+    /// a disagreeing `sc` has no single stride, so both degrade to *NA* —
+    /// the conservative direction for a *predicted* prefetch (the runtime
+    /// tracker follows one concrete path and never joins; static mirrors
+    /// of Table III running over a CFG do).
+    pub fn join(self, other: RegTrack) -> RegTrack {
+        RegTrack {
+            fva: if self.fva == other.fva { self.fva } else { None },
+            sc: if self.sc == other.sc { self.sc } else { None },
+        }
+    }
 }
 
 impl Default for RegTrack {
@@ -536,6 +549,17 @@ mod tests {
         let buf =
             run("ld r1, 0(r0)\nmul r2, r1, 0x4000000000000000\nmul r3, r2, 0x4000000000000000\n");
         assert_eq!(buf.get(Reg::R3).sc, None);
+    }
+
+    #[test]
+    fn join_keeps_agreement_drops_disagreement() {
+        let a = RegTrack { fva: Some(0x100), sc: Some(0x200) };
+        assert_eq!(a.join(a), a);
+        let b = RegTrack { fva: Some(0x100), sc: Some(0x40) };
+        assert_eq!(a.join(b), RegTrack { fva: Some(0x100), sc: None });
+        let c = RegTrack { fva: None, sc: Some(0x200) };
+        assert_eq!(a.join(c), RegTrack { fva: None, sc: Some(0x200) });
+        assert_eq!(a.join(RegTrack::INIT), RegTrack { fva: None, sc: None });
     }
 
     #[test]

@@ -352,7 +352,7 @@ mod tests {
             1,
         );
         for campaign_seed in [0u64, 0xC0FFEE, u64::MAX] {
-            let mut seen = std::collections::HashSet::with_capacity(512 * 512);
+            let mut seen = std::collections::HashSet::with_capacity(512 * 512); // lint: ordered — membership only
             for slot in 0..512usize {
                 for trial in 0..512u32 {
                     assert!(

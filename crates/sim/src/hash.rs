@@ -10,7 +10,7 @@
 //! Do **not** use it for maps whose iteration order can reach an
 //! artifact.
 
-use std::collections::HashMap;
+use std::collections::HashMap; // lint: ordered — never iterated, see module docs
 use std::hash::BuildHasherDefault;
 
 /// One-round SplitMix64-finalizer [`std::hash::Hasher`] for u64 keys.
@@ -39,7 +39,7 @@ impl std::hash::Hasher for Mix64Hasher {
 }
 
 /// A `u64 → V` hash map on [`Mix64Hasher`].
-pub type Mix64Map<V> = HashMap<u64, V, BuildHasherDefault<Mix64Hasher>>;
+pub type Mix64Map<V> = HashMap<u64, V, BuildHasherDefault<Mix64Hasher>>; // lint: ordered
 
 #[cfg(test)]
 mod tests {

@@ -301,6 +301,29 @@ impl SweepGrid {
         g
     }
 
+    /// The audit cross-validation grid: the three noise-free single-core
+    /// attack kinds as leakage campaigns, undefended vs. fully defended,
+    /// with a permutation null per cell. `repro audit` joins these
+    /// measured cells against the static analyzer's verdicts (the
+    /// zero-false-negative gate), so the grid stays compact and fully
+    /// deterministic.
+    pub fn audit_quick() -> Self {
+        let kinds = [AttackKind::FlushReload, AttackKind::EvictReload, AttackKind::PrimeProbe];
+        SweepGrid {
+            leakages: kinds
+                .into_iter()
+                .map(|kind| AttackCase { kind, noise: NoiseSpec::NONE, cross_core: false })
+                .collect(),
+            defenses: vec![
+                DefensePoint::new(DefenseConfig::None),
+                DefensePoint::new(DefenseConfig::Full),
+            ],
+            leakage_trials: 2,
+            leakage_permutations: 199,
+            ..Self::empty()
+        }
+    }
+
     /// Number of scenarios the grid enumerates to.
     pub fn len(&self) -> usize {
         (self.attacks.len() + self.workloads.len() + self.leakages.len())

@@ -561,7 +561,7 @@ mod tests {
         // could cancel to the same seed. The chained derivation must
         // stay collision-free over a grid far larger than any campaign.
         let mut s = attack_scenario(DefenseConfig::None);
-        let mut seen = std::collections::HashSet::with_capacity(4096 * 64);
+        let mut seen = std::collections::HashSet::with_capacity(4096 * 64); // lint: ordered — membership only
         for index in 0..4096usize {
             for slot in 0..64u32 {
                 s.index = index;

@@ -1,0 +1,536 @@
+//! The forward dataflow pass: taint lattice + constant folding + the
+//! Table III `(fva, sc)` mirror, joined over the CFG to a fixpoint.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use prefender_core::{CalculationBuffer, StConfig};
+use prefender_isa::{Instr, Operand, Program, Reg, NUM_REGS};
+
+use crate::cfg::Cfg;
+use crate::report::{Sink, SinkKind, TaintReport};
+use crate::spec::TaintSpec;
+
+/// Abstract-memory budget: beyond this many distinct tainted addresses the
+/// analysis degrades to "tainted data escaped somewhere" (`heap_tainted`)
+/// instead of growing without bound.
+const MEM_CAP: usize = 64;
+
+/// The per-block abstract state. Every component only moves up its
+/// lattice under `join` (taint bits set, constants degrade to unknown,
+/// tainted-address sets grow, `heap_tainted` latches, `(fva, sc)` degrade
+/// to NA), so the worklist fixpoint terminates.
+#[derive(Clone, PartialEq)]
+struct AbsState {
+    /// Bit `i` set = register `i` holds a secret-derived value.
+    taint: u32,
+    /// Machine-exact constant value per register, `None` = unknown.
+    vals: [Option<u64>; NUM_REGS],
+    /// The Scale Tracker mirror: Table III state along this path.
+    calc: CalculationBuffer,
+    /// Concrete addresses known to hold tainted values.
+    mem: BTreeSet<u64>,
+    /// A tainted value (or a store with a tainted address) escaped to
+    /// statically unresolvable memory: every later load may be secret.
+    heap_tainted: bool,
+}
+
+impl AbsState {
+    fn entry(spec: &TaintSpec) -> AbsState {
+        let mut taint = 0u32;
+        let mut vals = [Some(0u64); NUM_REGS];
+        for &r in &spec.regs {
+            taint |= 1 << r.index();
+            vals[r.index()] = None; // a secret has no known value
+        }
+        AbsState {
+            taint,
+            vals,
+            calc: CalculationBuffer::new(),
+            mem: BTreeSet::new(),
+            heap_tainted: false,
+        }
+    }
+
+    fn reg_taint(&self, r: Reg) -> bool {
+        self.taint & (1 << r.index()) != 0
+    }
+
+    fn set_taint(&mut self, r: Reg, tainted: bool) {
+        if tainted {
+            self.taint |= 1 << r.index();
+        } else {
+            self.taint &= !(1 << r.index());
+        }
+    }
+
+    fn operand_taint(&self, b: Operand) -> bool {
+        match b {
+            Operand::Reg(r) => self.reg_taint(r),
+            Operand::Imm(_) => false,
+        }
+    }
+
+    fn operand_val(&self, b: Operand) -> Option<u64> {
+        match b {
+            Operand::Reg(r) => self.vals[r.index()],
+            Operand::Imm(imm) => Some(imm as u64),
+        }
+    }
+
+    /// The statically resolved access address, mirroring the machine's
+    /// `base.wrapping_add(offset as u64)`.
+    fn addr_of(&self, base: Reg, offset: i64) -> Option<u64> {
+        self.vals[base.index()].map(|v| v.wrapping_add(offset as u64))
+    }
+
+    /// Joins `other` into `self`; `true` when anything changed.
+    fn join_from(&mut self, other: &AbsState) -> bool {
+        let before = self.clone();
+        self.taint |= other.taint;
+        for i in 0..NUM_REGS {
+            if self.vals[i] != other.vals[i] {
+                self.vals[i] = None;
+            }
+        }
+        for r in Reg::all() {
+            let joined = self.calc.get(r).join(other.calc.get(r));
+            self.calc.set(r, joined);
+        }
+        self.mem.extend(other.mem.iter().copied());
+        if self.mem.len() > MEM_CAP {
+            self.mem.clear();
+            self.heap_tainted = true;
+        }
+        self.heap_tainted |= other.heap_tainted;
+        *self != before
+    }
+
+    fn record_tainted_store(&mut self, addr: u64) {
+        if self.mem.len() >= MEM_CAP && !self.mem.contains(&addr) {
+            self.heap_tainted = true;
+        } else {
+            self.mem.insert(addr);
+        }
+    }
+}
+
+/// Machine-exact constant folding of the ALU ops (wrapping `u64`
+/// arithmetic, shift amounts masked to 63 — see the interpreter's
+/// dispatch in `prefender-cpu`).
+fn fold(instr: &Instr, a: u64, b: u64) -> u64 {
+    match instr {
+        Instr::Add { .. } => a.wrapping_add(b),
+        Instr::Sub { .. } => a.wrapping_sub(b),
+        Instr::Mul { .. } => a.wrapping_mul(b),
+        Instr::Shl { .. } => a.wrapping_shl((b & 63) as u32),
+        Instr::Shr { .. } => a.wrapping_shr((b & 63) as u32),
+        Instr::And { .. } => a & b,
+        Instr::Or { .. } => a | b,
+        Instr::Xor { .. } => a ^ b,
+        _ => unreachable!("fold is only called for ALU instructions"),
+    }
+}
+
+/// One instruction's transfer function. When `sinks` is provided (the
+/// post-fixpoint reporting pass) flagged sinks are appended.
+fn step(
+    st: &mut AbsState,
+    instr: &Instr,
+    index: usize,
+    spec: &TaintSpec,
+    mut sinks: Option<&mut Vec<(usize, SinkKind, Option<i64>)>>,
+) {
+    let mut flag = |kind: SinkKind, scale: Option<i64>| {
+        if let Some(v) = sinks.as_deref_mut() {
+            v.push((index, kind, scale));
+        }
+    };
+    match *instr {
+        Instr::LoadImm { rd, imm } => {
+            st.set_taint(rd, false);
+            st.vals[rd.index()] = Some(imm as u64);
+        }
+        Instr::Mov { rd, rs } => {
+            st.set_taint(rd, st.reg_taint(rs));
+            st.vals[rd.index()] = st.vals[rs.index()];
+        }
+        Instr::Add { rd, a, b }
+        | Instr::Sub { rd, a, b }
+        | Instr::Mul { rd, a, b }
+        | Instr::Shl { rd, a, b }
+        | Instr::Shr { rd, a, b }
+        | Instr::And { rd, a, b }
+        | Instr::Or { rd, a, b }
+        | Instr::Xor { rd, a, b } => {
+            st.set_taint(rd, st.reg_taint(a) || st.operand_taint(b));
+            st.vals[rd.index()] = match (st.vals[a.index()], st.operand_val(b)) {
+                (Some(x), Some(y)) => Some(fold(instr, x, y)),
+                _ => None,
+            };
+        }
+        Instr::Load { rd, base, offset } => {
+            if st.reg_taint(base) {
+                flag(SinkKind::LoadAddr, st.calc.get(base).sc);
+            }
+            let addr = st.addr_of(base, offset);
+            let tainted = st.reg_taint(base)
+                || st.heap_tainted
+                || addr.is_some_and(|a| spec.mem_source(a) || st.mem.contains(&a));
+            st.set_taint(rd, tainted);
+            st.vals[rd.index()] = None;
+        }
+        Instr::Store { src, base, offset } => {
+            if st.reg_taint(base) {
+                flag(SinkKind::StoreAddr, st.calc.get(base).sc);
+                // Secret-chosen destination: memory contents now differ at
+                // secret-chosen locations we cannot resolve.
+                st.heap_tainted = true;
+            }
+            match st.addr_of(base, offset) {
+                Some(a) => {
+                    if st.reg_taint(src) {
+                        st.record_tainted_store(a);
+                    } else {
+                        // Strong update: the exact cell now holds a
+                        // secret-independent value. (A declared memory
+                        // *source* stays a source — the spec describes
+                        // program entry, and re-reading it through a
+                        // tainted pointer is already flagged above.)
+                        st.mem.remove(&a);
+                    }
+                }
+                None => {
+                    if st.reg_taint(src) {
+                        st.heap_tainted = true;
+                    }
+                    // An unresolved untainted store may alias a tainted
+                    // cell; keeping the cell tainted over-approximates.
+                }
+            }
+        }
+        Instr::Flush { base, .. } => {
+            if st.reg_taint(base) {
+                flag(SinkKind::FlushTarget, st.calc.get(base).sc);
+            }
+        }
+        Instr::Bnz { cond, .. } => {
+            if st.reg_taint(cond) {
+                flag(SinkKind::Branch, None);
+            }
+        }
+        Instr::Beq { a, b, .. } | Instr::Blt { a, b, .. } => {
+            if st.reg_taint(a) || st.reg_taint(b) {
+                flag(SinkKind::Branch, None);
+            }
+        }
+        Instr::Rdtsc { rd } => {
+            // Timing is the leakage lab's domain, not dataflow taint.
+            st.set_taint(rd, false);
+            st.vals[rd.index()] = None;
+        }
+        Instr::Nop | Instr::Jmp { .. } | Instr::Halt => {}
+    }
+    // The Scale Tracker mirror sees every retired instruction, exactly
+    // like the runtime calculation buffer.
+    st.calc.apply(instr);
+}
+
+/// Analyzes `program` against `spec` with the paper's Scale Tracker
+/// configuration (64-byte lines, 4 KB pages).
+pub fn analyze(program: &Program, spec: &TaintSpec) -> TaintReport {
+    analyze_with(program, spec, &StConfig::paper())
+}
+
+/// Analyzes `program` against `spec`, predicting DataScale coverage under
+/// an explicit Scale Tracker configuration.
+pub fn analyze_with(program: &Program, spec: &TaintSpec, st_cfg: &StConfig) -> TaintReport {
+    let cfg = Cfg::build(program);
+    let blocks = cfg.blocks();
+    let mut input: Vec<Option<AbsState>> = vec![None; blocks.len()];
+    if blocks.is_empty() {
+        return TaintReport { name: program.name().to_owned(), n_instrs: 0, sinks: Vec::new() };
+    }
+    input[0] = Some(AbsState::entry(spec));
+
+    let mut worklist: VecDeque<usize> = VecDeque::from([0]);
+    let mut queued = vec![false; blocks.len()];
+    queued[0] = true;
+    while let Some(b) = worklist.pop_front() {
+        queued[b] = false;
+        let mut st = input[b].clone().expect("queued blocks have input state");
+        for i in blocks[b].start..blocks[b].end {
+            step(&mut st, &program.instrs()[i], i, spec, None);
+        }
+        for &s in &blocks[b].succs {
+            let changed = match &mut input[s] {
+                Some(cur) => cur.join_from(&st),
+                slot @ None => {
+                    *slot = Some(st.clone());
+                    true
+                }
+            };
+            if changed && !queued[s] {
+                queued[s] = true;
+                worklist.push_back(s);
+            }
+        }
+    }
+
+    // Reporting pass: re-walk each reachable block from its fixed entry
+    // state, collecting sinks. Unreachable blocks never execute and are
+    // not flagged.
+    let mut raw: Vec<(usize, SinkKind, Option<i64>)> = Vec::new();
+    for (b, block) in blocks.iter().enumerate() {
+        let Some(mut st) = input[b].clone() else { continue };
+        for i in block.start..block.end {
+            step(&mut st, &program.instrs()[i], i, spec, Some(&mut raw));
+        }
+    }
+    raw.sort_by_key(|&(i, _, _)| i);
+
+    let sinks = raw
+        .into_iter()
+        .map(|(index, kind, scale)| {
+            let covered = matches!(kind, SinkKind::LoadAddr | SinkKind::StoreAddr)
+                && scale.is_some_and(|sc| {
+                    let sc = sc as u64;
+                    sc > st_cfg.line_size && sc < st_cfg.page_size
+                });
+            Sink {
+                index,
+                pc: program.pc_of(index),
+                kind,
+                scale,
+                covered,
+                disasm: program.instrs()[index].to_string(),
+            }
+        })
+        .collect();
+
+    TaintReport { name: program.name().to_owned(), n_instrs: program.len(), sinks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SECRET: u64 = 0x2_0100;
+
+    fn run(src: &str) -> TaintReport {
+        let p = Program::parse(src).unwrap();
+        analyze(&p, &TaintSpec::secret_cell(SECRET))
+    }
+
+    #[test]
+    fn figure5_victim_flags_one_covered_load() {
+        // The paper's `array[secret * 0x200]` gadget.
+        let r = run("
+            li  r0, 0x20100
+            ld  r1, 0(r0)       ; secret
+            li  r2, 0x100000
+            li  r3, 0x200
+            mul r4, r1, r3
+            add r5, r2, r4
+            ld  r6, 0(r5)       ; secret-dependent address
+            halt
+            ");
+        assert_eq!(r.sinks.len(), 1);
+        let s = &r.sinks[0];
+        assert_eq!(s.kind, SinkKind::LoadAddr);
+        assert_eq!(s.index, 6);
+        assert_eq!(s.scale, Some(0x200));
+        assert!(s.covered);
+        assert_eq!(r.covered(), 1);
+        assert_eq!(r.residual(), 0);
+    }
+
+    #[test]
+    fn secret_free_program_is_clean() {
+        let r = run("li r1, 0x1000\nld r2, 0(r1)\nadd r3, r2, 4\nld r4, 0(r3)\nhalt\n");
+        // r3 derives from an unknown but untainted load — not a sink.
+        assert_eq!(r.flagged(), 0);
+    }
+
+    #[test]
+    fn branch_condition_sink() {
+        let r = run("
+            li  r0, 0x20100
+            ld  r1, 0(r0)
+            bnz r1, L0
+            nop
+            L0:
+            halt
+            ");
+        assert_eq!(r.flagged(), 1);
+        assert_eq!(r.sinks[0].kind, SinkKind::Branch);
+        assert!(!r.sinks[0].covered, "no prefetch hides a branch");
+    }
+
+    #[test]
+    fn flush_target_sink() {
+        let r = run("
+            li  r0, 0x20100
+            ld  r1, 0(r0)
+            li  r2, 0x40
+            mul r3, r1, r2
+            flush 0(r3)
+            halt
+            ");
+        assert_eq!(r.flagged(), 1);
+        assert_eq!(r.sinks[0].kind, SinkKind::FlushTarget);
+        assert!(!r.sinks[0].covered);
+    }
+
+    #[test]
+    fn sub_line_scale_is_residual() {
+        // Scale 8 ≤ line size: flagged but DataScale cannot cover it.
+        let r = run("
+            li  r0, 0x20100
+            ld  r1, 0(r0)
+            li  r2, 8
+            mul r3, r1, r2
+            li  r4, 0x100000
+            add r5, r4, r3
+            ld  r6, 0(r5)
+            halt
+            ");
+        assert_eq!(r.flagged(), 1);
+        assert_eq!(r.sinks[0].scale, Some(8));
+        assert!(!r.sinks[0].covered);
+        assert_eq!(r.residual(), 1);
+    }
+
+    #[test]
+    fn abstract_memory_round_trips_taint() {
+        // Secret spilled to a constant address and reloaded stays tainted.
+        let r = run("
+            li  r0, 0x20100
+            ld  r1, 0(r0)
+            li  r2, 0x3000
+            st  r1, 0(r2)
+            ld  r3, 0(r2)
+            li  r4, 0x200
+            mul r5, r3, r4
+            ld  r6, 0(r5)
+            halt
+            ");
+        assert_eq!(r.flagged(), 1);
+        assert_eq!(r.sinks[0].kind, SinkKind::LoadAddr);
+        assert_eq!(r.sinks[0].index, 7);
+    }
+
+    #[test]
+    fn strong_update_clears_spilled_taint() {
+        // Overwriting the spill slot with a constant un-taints the reload.
+        let r = run("
+            li  r0, 0x20100
+            ld  r1, 0(r0)
+            li  r2, 0x3000
+            st  r1, 0(r2)
+            li  r5, 7
+            st  r5, 0(r2)
+            ld  r3, 0(r2)
+            ld  r6, 0(r3)
+            halt
+            ");
+        assert_eq!(r.flagged(), 0);
+    }
+
+    #[test]
+    fn tainted_store_to_unknown_address_taints_later_loads() {
+        // The secret escapes through a pointer we cannot resolve; any
+        // later load may observe it.
+        let r = run("
+            li  r0, 0x20100
+            ld  r1, 0(r0)       ; secret
+            li  r2, 0x4000
+            ld  r3, 0(r2)       ; unknown pointer
+            st  r1, 0(r3)       ; secret escapes
+            li  r4, 0x5000
+            ld  r5, 0(r4)       ; may alias the escape
+            ld  r6, 0(r5)
+            halt
+            ");
+        // Sink: the final load's base r5 is (conservatively) tainted.
+        assert_eq!(r.count(SinkKind::LoadAddr), 1);
+        assert_eq!(r.sinks[0].index, 7);
+    }
+
+    #[test]
+    fn taint_survives_loop_join_scale_degrades() {
+        // The secret-scaled pointer is rebuilt each iteration with a
+        // different stride on the two paths into the load: still flagged,
+        // but no single scale survives the join, so not covered.
+        let r = run("
+            li  r0, 0x20100
+            ld  r1, 0(r0)
+            li  r2, 0x200
+            mul r3, r1, r2
+            bnz r1, L0
+            li  r2, 0x80
+            mul r3, r1, r2
+            L0:
+            li  r4, 0x100000
+            add r5, r4, r3
+            ld  r6, 0(r5)
+            halt
+            ");
+        // The bnz on the secret is itself a sink, plus the load.
+        assert_eq!(r.count(SinkKind::Branch), 1);
+        assert_eq!(r.count(SinkKind::LoadAddr), 1);
+        let load = r.sinks.iter().find(|s| s.kind == SinkKind::LoadAddr).unwrap();
+        assert_eq!(load.scale, None, "0x200 vs 0x80 disagree at the join");
+        assert!(!load.covered);
+    }
+
+    #[test]
+    fn agreeing_paths_keep_scale_covered() {
+        let r = run("
+            li  r0, 0x20100
+            ld  r1, 0(r0)
+            li  r2, 0x200
+            mul r3, r1, r2
+            li  r9, 1
+            bnz r9, L0
+            nop
+            L0:
+            li  r4, 0x100000
+            add r5, r4, r3
+            ld  r6, 0(r5)
+            halt
+            ");
+        let load = r.sinks.iter().find(|s| s.kind == SinkKind::LoadAddr).unwrap();
+        assert_eq!(load.scale, Some(0x200));
+        assert!(load.covered);
+    }
+
+    #[test]
+    fn register_source_taints_from_entry() {
+        let p = Program::parse("li r2, 0x200\nmul r3, r1, r2\nld r4, 0(r3)\nhalt\n").unwrap();
+        let spec = TaintSpec::empty().with_reg(Reg::R1);
+        let r = analyze(&p, &spec);
+        assert_eq!(r.flagged(), 1);
+        assert_eq!(r.sinks[0].kind, SinkKind::LoadAddr);
+    }
+
+    #[test]
+    fn untaint_by_overwrite() {
+        // Loading a constant over the secret clears the taint bit.
+        let r = run("
+            li  r0, 0x20100
+            ld  r1, 0(r0)
+            li  r1, 5
+            ld  r2, 0(r1)
+            halt
+            ");
+        assert_eq!(r.flagged(), 0);
+    }
+
+    #[test]
+    fn empty_program_is_empty_report() {
+        let p = Program::parse("").unwrap();
+        let r = analyze(&p, &TaintSpec::secret_cell(SECRET));
+        assert_eq!(r.n_instrs, 0);
+        assert_eq!(r.flagged(), 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Static secret-dependence analysis over guest programs.
+//!
+//! The leakage lab measures secret→observation channels *dynamically*
+//! (mutual information against a permutation null); this crate answers the
+//! complementary static question: **which instructions of a program are
+//! secret-dependent at all?** — the property PREFENDER's Scale Tracker
+//! approximates at runtime (Table III) and the property access-based
+//! attacks exploit (load addresses correlated with secrets).
+//!
+//! # The analysis
+//!
+//! [`analyze`] runs a forward dataflow pass over a
+//! [`Program`](prefender_isa::Program)'s control-flow graph ([`Cfg`]): a worklist fixpoint joining, per basic
+//! block, an abstract state with four components:
+//!
+//! * a **taint bit** per register — does the value derive from a source
+//!   declared in the [`TaintSpec`] (explicit dataflow through ALU ops,
+//!   moves, loads and stores)?
+//! * a **constant value** per register (machine-exact folding of the ISA's
+//!   wrapping `u64` semantics) — needed to resolve load/store addresses
+//!   against the spec's memory-range sources;
+//! * a finite **abstract memory**: the set of concrete addresses known to
+//!   hold tainted values (strong updates on exact addresses; a tainted
+//!   value or address escaping to an unresolvable store latches a
+//!   `heap_tainted` bit that conservatively taints every later load);
+//! * a mirror of the Scale Tracker's **calculation buffer** — Table III's
+//!   `(fva, sc)` rules run symbolically along the same CFG, with
+//!   [`RegTrack::join`](prefender_core::RegTrack::join) at merges.
+//!
+//! Three sink classes are flagged wherever a tainted value reaches them:
+//! secret-dependent load/store **addresses**, secret-dependent **branch
+//! conditions**, and secret-dependent **flush targets** (together, the
+//! constant-time policy). For each flagged load/store the mirrored scale
+//! predicts whether PREFENDER's DataScale would *cover* the sink with
+//! pretending prefetches (`line_size < sc < page_size` on every path);
+//! sinks without a usable scale — and all branch/flush sinks, which no
+//! prefetch hides — are *residual*.
+//!
+//! # Soundness scope
+//!
+//! The analysis tracks **explicit flows**. Secret data is assumed to live
+//! only in the declared sources and whatever they flow into: a load from a
+//! statically unresolvable address is treated as untainted unless its base
+//! is tainted or a tainted store escaped first. Control dependence is
+//! flagged at the branch sink itself rather than propagated into the
+//! arms, and `rdtsc` results are untainted (timing channels are the
+//! leakage lab's domain). Within that scope the analyzer is sound — the
+//! crate's proptests check a differential oracle: on random straight-line
+//! programs, every address the machine touches that *varies with the
+//! secret* belongs to a statically flagged sink.
+//!
+//! ```
+//! use prefender_attacks::{victim_program, AttackLayout};
+//! use prefender_taint::{analyze, SinkKind, TaintSpec};
+//!
+//! let l = AttackLayout::paper();
+//! let report = analyze(&victim_program(&l), &TaintSpec::secret_cell(l.secret_addr));
+//! // Figure 5's `array[secret * 0x200]`: one secret-dependent load,
+//! // covered by DataScale (64 < 0x200 < 4096).
+//! assert_eq!(report.sinks.len(), 1);
+//! assert_eq!(report.sinks[0].kind, SinkKind::LoadAddr);
+//! assert_eq!(report.sinks[0].scale, Some(0x200));
+//! assert!(report.sinks[0].covered);
+//! ```
+
+mod analysis;
+mod cfg;
+mod report;
+mod spec;
+
+pub use analysis::analyze;
+pub use cfg::{BasicBlock, Cfg};
+pub use report::{Sink, SinkKind, TaintReport};
+pub use spec::{MemRange, TaintSpec};

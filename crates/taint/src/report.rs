@@ -1,0 +1,114 @@
+//! Per-program analysis reports.
+
+use std::fmt::Write as _;
+
+/// What kind of secret-dependent use a sink is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SinkKind {
+    /// A load whose address derives from the secret — the cache channel
+    /// access-based attacks observe.
+    LoadAddr,
+    /// A store whose address derives from the secret.
+    StoreAddr,
+    /// A conditional branch on a secret-derived value.
+    Branch,
+    /// A `flush` whose target derives from the secret.
+    FlushTarget,
+}
+
+impl SinkKind {
+    /// Stable artifact tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            SinkKind::LoadAddr => "load-addr",
+            SinkKind::StoreAddr => "store-addr",
+            SinkKind::Branch => "branch",
+            SinkKind::FlushTarget => "flush",
+        }
+    }
+}
+
+/// One flagged secret-dependent instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sink {
+    /// Instruction index in the program.
+    pub index: usize,
+    /// The instruction's PC (`base_pc + 4 * index`).
+    pub pc: u64,
+    /// Sink class.
+    pub kind: SinkKind,
+    /// The Scale Tracker mirror's `sc` for the address base register at
+    /// this point — `None` when no single stride survives every path.
+    pub scale: Option<i64>,
+    /// `true` when PREFENDER's DataScale is predicted to cover the sink
+    /// with pretending prefetches (`line < sc < page` on every path;
+    /// load/store sinks only — no prefetch hides a branch or a flush).
+    pub covered: bool,
+    /// Disassembly of the flagged instruction.
+    pub disasm: String,
+}
+
+/// The analysis result for one program: every flagged sink, with the
+/// DataScale coverage prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintReport {
+    /// The analyzed program's name.
+    pub name: String,
+    /// Number of instructions analyzed.
+    pub n_instrs: usize,
+    /// Flagged sinks, ordered by instruction index.
+    pub sinks: Vec<Sink>,
+}
+
+impl TaintReport {
+    /// Total flagged sinks.
+    pub fn flagged(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Flagged sinks of one class.
+    pub fn count(&self, kind: SinkKind) -> usize {
+        self.sinks.iter().filter(|s| s.kind == kind).count()
+    }
+
+    /// Sinks DataScale is predicted to cover.
+    pub fn covered(&self) -> usize {
+        self.sinks.iter().filter(|s| s.covered).count()
+    }
+
+    /// Flagged sinks the defense is *not* predicted to cover.
+    pub fn residual(&self) -> usize {
+        self.flagged() - self.covered()
+    }
+
+    /// Human-readable sink listing (the `repro audit --program` detail).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: {} instrs, {} flagged ({} covered, {} residual)",
+            self.name,
+            self.n_instrs,
+            self.flagged(),
+            self.covered(),
+            self.residual(),
+        );
+        for s in &self.sinks {
+            let scale = match s.scale {
+                Some(sc) => format!("{sc:#x}"),
+                None => "-".into(),
+            };
+            let _ = writeln!(
+                out,
+                "  [{:>4}] {:#08x}  {:<10} scale {:<8} {:<10} {}",
+                s.index,
+                s.pc,
+                s.kind.tag(),
+                scale,
+                if s.covered { "covered" } else { "residual" },
+                s.disasm,
+            );
+        }
+        out
+    }
+}

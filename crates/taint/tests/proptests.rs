@@ -1,0 +1,237 @@
+//! Property tests for the taint analyzer.
+//!
+//! Three properties pin the analyzer's contract:
+//!
+//! 1. **Dynamic soundness** (the important one): on random straight-line
+//!    programs whose memory addressing is either constant or explicitly
+//!    derived from loaded values, any address the machine *actually*
+//!    touches differently under two secrets must sit at a statically
+//!    flagged load/store sink. The generator keeps the programs inside
+//!    the analyzer's documented soundness scope — explicit flows only, no
+//!    `rdtsc` — so a miss here is a real analyzer bug, not a scope gap.
+//! 2. **Nop-padding invariance**: inserting `nop`s anywhere preserves the
+//!    flagged sink set (modulo index remapping).
+//! 3. **Block-reorder invariance**: emitting the same chain of basic
+//!    blocks in a different physical order (with label-based `jmp`s
+//!    preserving the logical chain) preserves the sink set per block.
+
+use proptest::prelude::*;
+
+use prefender_cpu::Machine;
+use prefender_isa::{Instr, Operand, Program, ProgramBuilder, Reg};
+use prefender_sim::HierarchyConfig;
+use prefender_taint::{analyze, SinkKind, TaintSpec};
+
+/// Where the secret lives (one 8-byte cell, same as the attack layout).
+const SECRET: i64 = 0x0002_0100;
+/// A data window far from the secret; masked addressing stays inside
+/// `[DATA_BASE, DATA_BASE + 0x800)`, which never overlaps the secret.
+const DATA_BASE: i64 = 0x40_0000;
+/// Mask keeping window offsets 8-aligned and inside the window.
+const MASK: i64 = 0x7f8;
+
+/// Scratch registers reserved for the generator's address computations.
+const T1: Reg = Reg::R11;
+const T2: Reg = Reg::R12;
+
+fn pool() -> impl Strategy<Value = Reg> {
+    (0u8..8).prop_map(|n| Reg::new(n).expect("in range"))
+}
+
+/// One generator step: a short instruction fragment. Every memory address
+/// is a compile-time constant, the secret cell, or `DATA_BASE + (v & MASK)`
+/// for a register `v` — so dynamically secret-varying addresses always
+/// arise from explicitly tainted dataflow.
+fn arb_fragment() -> impl Strategy<Value = Vec<Instr>> {
+    let alu =
+        (0u8..8, pool(), (pool(), pool()), -256i64..256).prop_map(|(op, rd, (a, breg), imm)| {
+            // Even ops take a register operand, odd ops an immediate.
+            let b = if op % 2 == 0 { Operand::Reg(breg) } else { Operand::Imm(imm) };
+            vec![match op / 2 {
+                0 => Instr::Add { rd, a, b },
+                1 => Instr::Sub { rd, a, b },
+                2 => Instr::Mul { rd, a, b },
+                _ => Instr::Xor { rd, a, b },
+            }]
+        });
+    let window_addr = |src: Reg| {
+        vec![
+            Instr::And { rd: T1, a: src, b: Operand::Imm(MASK) },
+            Instr::LoadImm { rd: T2, imm: DATA_BASE },
+            Instr::Add { rd: T1, a: T1, b: Operand::Reg(T2) },
+        ]
+    };
+    prop_oneof![
+        // Constants and register shuffling.
+        (pool(), -0x1000i64..0x1000).prop_map(|(rd, imm)| vec![Instr::LoadImm { rd, imm }]),
+        alu,
+        (pool(), pool()).prop_map(|(rd, rs)| vec![Instr::Mov { rd, rs }]),
+        // Read the secret cell: the taint source.
+        pool().prop_map(|rd| vec![
+            Instr::LoadImm { rd: T1, imm: SECRET },
+            Instr::Load { rd, base: T1, offset: 0 },
+        ]),
+        // Data-dependent window access: `mem[DATA_BASE + (src & MASK)]`.
+        (pool(), pool()).prop_map(move |(rd, src)| {
+            let mut v = window_addr(src);
+            v.push(Instr::Load { rd, base: T1, offset: 0 });
+            v
+        }),
+        (pool(), pool()).prop_map(move |(val, src)| {
+            let mut v = window_addr(src);
+            v.push(Instr::Store { src: val, base: T1, offset: 0 });
+            v
+        }),
+        // Constant window access: `mem[DATA_BASE + 8k]`.
+        (pool(), 0i64..256).prop_map(|(rd, k)| vec![
+            Instr::LoadImm { rd: T1, imm: DATA_BASE + 8 * k },
+            Instr::Load { rd, base: T1, offset: 0 },
+        ]),
+        (pool(), 0i64..256).prop_map(|(src, k)| vec![
+            Instr::LoadImm { rd: T1, imm: DATA_BASE + 8 * k },
+            Instr::Store { src, base: T1, offset: 0 },
+        ]),
+    ]
+}
+
+fn straight_line(fragments: Vec<Vec<Instr>>) -> Program {
+    let mut instrs: Vec<Instr> = fragments.into_iter().flatten().collect();
+    instrs.push(Instr::Halt);
+    Program::from_instrs(instrs).expect("no branches, always valid")
+}
+
+/// Runs `p` with `secret` in the secret cell; returns the data-access
+/// trace as `(pc, addr)` pairs.
+fn run_trace(p: &Program, secret: u64) -> Vec<(u64, u64)> {
+    let mut m = Machine::new(HierarchyConfig::paper_baseline(1).expect("valid"));
+    m.write_data(SECRET as u64, secret);
+    m.trace_mut().set_enabled(true);
+    m.load_program(0, p.clone());
+    let s = m.run();
+    assert!(!s.truncated, "straight-line program must halt");
+    m.trace().entries().iter().map(|e| (e.pc, e.addr.raw())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness oracle: every dynamically secret-varying access is a
+    /// statically flagged load/store sink.
+    #[test]
+    fn secret_varying_accesses_are_flagged(
+        fragments in prop::collection::vec(arb_fragment(), 1..32),
+        secret in 0u64..0x1_0000,
+    ) {
+        let p = straight_line(fragments);
+        let ta = run_trace(&p, secret);
+        let tb = run_trace(&p, secret ^ 0x7f8); // differs under the mask
+        prop_assert_eq!(ta.len(), tb.len(), "straight-line runs same ops");
+
+        let report = analyze(&p, &TaintSpec::secret_cell(SECRET as u64));
+        let flagged: Vec<usize> = report
+            .sinks
+            .iter()
+            .filter(|s| matches!(s.kind, SinkKind::LoadAddr | SinkKind::StoreAddr))
+            .map(|s| s.index)
+            .collect();
+        for (a, b) in ta.iter().zip(&tb) {
+            prop_assert_eq!(a.0, b.0, "straight-line runs visit the same pcs");
+            if a.1 != b.1 {
+                let idx = ((a.0 - p.base_pc()) / 4) as usize;
+                prop_assert!(
+                    flagged.contains(&idx),
+                    "pc {:#x} (index {}) touches {:#x} vs {:#x} under different \
+                     secrets but is not a flagged sink; flagged = {:?}\n{}",
+                    a.0, idx, a.1, b.1, flagged, p
+                );
+            }
+        }
+    }
+
+    /// Nop padding never changes the sink set (modulo index remapping).
+    #[test]
+    fn nop_padding_preserves_sinks(
+        fragments in prop::collection::vec(arb_fragment(), 1..24),
+        pad in prop::collection::vec(0usize..3, 0..96),
+    ) {
+        let p = straight_line(fragments);
+        // Insert pad[i] nops before instruction i; record the new index
+        // of every original instruction.
+        let mut padded = Vec::new();
+        let mut remap = Vec::with_capacity(p.len());
+        for (i, instr) in p.instrs().iter().enumerate() {
+            for _ in 0..pad.get(i).copied().unwrap_or(0) {
+                padded.push(Instr::Nop);
+            }
+            remap.push(padded.len());
+            padded.push(*instr);
+        }
+        let q = Program::from_instrs(padded).expect("still branch-free");
+
+        let key = |s: &prefender_taint::Sink| (s.index, s.kind, s.scale, s.covered);
+        let orig: Vec<_> = analyze(&p, &TaintSpec::secret_cell(SECRET as u64))
+            .sinks
+            .iter()
+            .map(|s| { let mut k = key(s); k.0 = remap[k.0]; k })
+            .collect();
+        let new: Vec<_> =
+            analyze(&q, &TaintSpec::secret_cell(SECRET as u64)).sinks.iter().map(key).collect();
+        prop_assert_eq!(orig, new);
+    }
+
+    /// Emitting the logical block chain in a different physical order
+    /// (header `jmp` + label-linked blocks) preserves each block's sinks.
+    #[test]
+    fn block_reorder_preserves_sinks(
+        bodies in prop::collection::vec(prop::collection::vec(arb_fragment(), 1..6), 2..5),
+        rot in 1usize..4,
+    ) {
+        let bodies: Vec<Vec<Instr>> = bodies
+            .into_iter()
+            .map(|frags| frags.into_iter().flatten().collect())
+            .collect();
+        let n = bodies.len();
+
+        // Emits the logical chain 0 -> 1 -> ... -> n-1 -> halt with the
+        // blocks laid out in `order`; returns the program plus each
+        // block's start index.
+        let build = |order: &[usize]| -> (Program, Vec<usize>) {
+            let mut b = ProgramBuilder::new();
+            let labels: Vec<_> = (0..=n).map(|_| b.new_label()).collect();
+            b.jmp(labels[0]);
+            let mut starts = vec![0usize; n];
+            for &id in order {
+                b.bind(labels[id]);
+                starts[id] = b.here();
+                b.extend_raw(&bodies[id]);
+                b.jmp(labels[id + 1]);
+            }
+            b.bind(labels[n]);
+            b.halt();
+            (b.build().expect("all labels bound"), starts)
+        };
+
+        // Map a sink to its logical position: (block, offset-in-block).
+        let localize = |p: &Program, starts: &[usize]| -> Vec<(usize, usize, SinkKind, Option<i64>, bool)> {
+            let mut v: Vec<_> = analyze(p, &TaintSpec::secret_cell(SECRET as u64))
+                .sinks
+                .iter()
+                .map(|s| {
+                    let block = (0..starts.len())
+                        .filter(|&i| starts[i] <= s.index)
+                        .min_by_key(|&i| s.index - starts[i])
+                        .expect("sink inside some block");
+                    (block, s.index - starts[block], s.kind, s.scale, s.covered)
+                })
+                .collect();
+            v.sort();
+            v
+        };
+
+        let natural: Vec<usize> = (0..n).collect();
+        let rotated: Vec<usize> = (0..n).map(|i| (i + rot) % n).collect();
+        let (pa, sa) = build(&natural);
+        let (pb, sb) = build(&rotated);
+        prop_assert_eq!(localize(&pa, &sa), localize(&pb, &sb));
+    }
+}

@@ -122,6 +122,9 @@ pub use prefender_obs as obs;
 /// The parallel scenario-sweep engine (`prefender-sweep`).
 pub use prefender_sweep as sweep;
 
+/// Static secret-dependence taint analysis (`prefender-taint`).
+pub use prefender_taint as taint;
+
 // The most common types, flattened for convenience.
 pub use prefender_attacks::{
     run_attack, run_attack_with_timeline, AttackError, AttackKind, AttackLayout, AttackOutcome,

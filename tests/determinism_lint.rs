@@ -1,0 +1,105 @@
+//! Source lint: no unordered-collection iteration in artifact crates.
+//!
+//! Every artifact this repo emits (sweep JSON/CSV, leakage maps,
+//! forensics.json, AUDIT.json, telemetry) is contractually byte-identical
+//! across runs and thread counts. The classic way that contract rots is a
+//! `HashMap`/`HashSet` whose iteration order silently reaches an
+//! artifact. This lint scans the sources of the artifact-producing crates
+//! and fails on any line mentioning `HashMap` or `HashSet` that does not
+//! carry an explicit `// lint: ordered` waiver.
+//!
+//! A waiver asserts the collection is *never iterated* (pure lookup
+//! tables like `Mix64Map`) or iterated only for membership-style
+//! assertions in tests. Use `BTreeMap`/`BTreeSet` anywhere order can
+//! reach output.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates whose output feeds a deterministic artifact.
+const ARTIFACT_CRATES: &[&str] =
+    &["crates/sim", "crates/sweep", "crates/leakage", "crates/obs", "crates/taint", "crates/bench"];
+
+const WAIVER: &str = "// lint: ordered";
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            rust_sources(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+#[test]
+fn artifact_crates_do_not_iterate_unordered_collections() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for krate in ARTIFACT_CRATES {
+        let src = root.join(krate).join("src");
+        assert!(src.is_dir(), "missing {krate}/src — crate moved? update the lint");
+        let mut files = Vec::new();
+        rust_sources(&src, &mut files);
+        assert!(!files.is_empty(), "no sources under {krate}/src");
+        for file in files {
+            let text = fs::read_to_string(&file).expect("readable source");
+            scanned += 1;
+            for (i, line) in text.lines().enumerate() {
+                let has_hash = line.contains("HashMap") || line.contains("HashSet");
+                if has_hash && !line.contains(WAIVER) {
+                    violations.push(format!(
+                        "{}:{}: {}",
+                        file.strip_prefix(root).unwrap_or(&file).display(),
+                        i + 1,
+                        line.trim()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(scanned > 20, "lint scanned suspiciously few files ({scanned})");
+    assert!(
+        violations.is_empty(),
+        "unordered collections in artifact crates without `{WAIVER}` waiver \
+         (use BTreeMap/BTreeSet, or add the waiver if never iterated):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn waivers_are_not_stale() {
+    // Every waiver must still sit on a line that needs it; a waiver on a
+    // HashMap-free line is leftover noise from a refactor.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut stale = Vec::new();
+    for krate in ARTIFACT_CRATES {
+        let mut files = Vec::new();
+        rust_sources(&root.join(krate).join("src"), &mut files);
+        for file in files {
+            let text = fs::read_to_string(&file).expect("readable source");
+            for (i, line) in text.lines().enumerate() {
+                if line.contains(WAIVER)
+                    && !line.contains("HashMap")
+                    && !line.contains("HashSet")
+                    && !line.contains("WAIVER")
+                {
+                    stale.push(format!(
+                        "{}:{}: {}",
+                        file.strip_prefix(root).unwrap_or(&file).display(),
+                        i + 1,
+                        line.trim()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(stale.is_empty(), "stale `{WAIVER}` waivers:\n{}", stale.join("\n"));
+}
