@@ -114,7 +114,7 @@ fn run_audit(args: &[String]) -> Result<(), String> {
             println!("=== Static audit: secret-dependence across every guest program ===\n");
             let report = audit::run();
             print!("{}", report.render());
-            std::fs::write("AUDIT.json", report.to_json())
+            prefender_obs::write_atomic("AUDIT.json", report.to_json())
                 .map_err(|e| format!("writing AUDIT.json: {e}"))?;
             println!("\nwrote AUDIT.json");
         }
@@ -199,7 +199,7 @@ fn run_one(name: &str) -> Result<(), String> {
             println!("=== Leakage forensics: which mechanism carries the secret ===\n");
             let run = prefender_bench::forensics::run();
             println!("{}", run.render());
-            std::fs::write("forensics.json", run.to_json())
+            prefender_obs::write_atomic("forensics.json", run.to_json())
                 .map_err(|e| format!("writing forensics.json: {e}"))?;
             println!("wrote forensics.json");
         }
@@ -207,7 +207,7 @@ fn run_one(name: &str) -> Result<(), String> {
             println!("=== Sweep-engine thread scaling: 576-scenario grid ===\n");
             let report = prefender_bench::sweepbench::run(&[1, 2, 4, 8]);
             print!("{}", report.render());
-            std::fs::write("BENCH_sweep.json", report.to_json())
+            prefender_obs::write_atomic("BENCH_sweep.json", report.to_json())
                 .map_err(|e| format!("writing BENCH_sweep.json: {e}"))?;
             println!("\nwrote BENCH_sweep.json");
         }
@@ -215,7 +215,7 @@ fn run_one(name: &str) -> Result<(), String> {
             println!("=== Phase profile: spans over one leakage cell + the 576 grid ===\n");
             let report = prefender_bench::profile::run();
             print!("{}", report.render());
-            std::fs::write("PROFILE.json", report.to_json())
+            prefender_obs::write_atomic("PROFILE.json", report.to_json())
                 .map_err(|e| format!("writing PROFILE.json: {e}"))?;
             println!("wrote PROFILE.json");
         }
@@ -223,7 +223,7 @@ fn run_one(name: &str) -> Result<(), String> {
             println!("=== Simulator throughput: hot path + fresh-vs-runner cells ===\n");
             let report = prefender_bench::simbench::run(200);
             print!("{}", report.render());
-            std::fs::write("BENCH_sim.json", report.to_json())
+            prefender_obs::write_atomic("BENCH_sim.json", report.to_json())
                 .map_err(|e| format!("writing BENCH_sim.json: {e}"))?;
             println!("\nwrote BENCH_sim.json");
         }

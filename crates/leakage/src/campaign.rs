@@ -174,12 +174,47 @@ impl LeakageCampaign {
         resample: &ResampleOptions,
         runner: &mut Runner,
     ) -> Result<LeakageResult, AttackError> {
+        let trials = self.trials.max(1);
+        let (channel, totals, hist) =
+            self.run_counts_with_runner(campaign_seed, runner, 0..trials)?;
+        let mut result = LeakageResult::from_parts(channel, totals, hist);
+        {
+            let _span = prefender_obs::span("resample");
+            result.apply_resampling(resample, campaign_seed);
+        }
+        Ok(result)
+    }
+
+    /// Runs only the trials in `trials` (for every secret) and returns
+    /// the raw mergeable state — the count matrix, the summed machine
+    /// metrics, and the latency histogram — without computing any
+    /// derived metric.
+    ///
+    /// This is the streaming/resume primitive: each trial's seed depends
+    /// only on `(campaign_seed, slot, trial)`, never on what ran before,
+    /// and all three pieces of state are additive. Running disjoint
+    /// trial batches in any order, on any process, and combining them
+    /// ([`Channel::merge`], metric sums, [`Histogram::merge`]) yields
+    /// exactly the state of one uninterrupted pass, so
+    /// [`LeakageResult::from_parts`] on the merged state reproduces the
+    /// uninterrupted result bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AttackError`] any trial hits.
+    pub fn run_counts_with_runner(
+        &self,
+        campaign_seed: u64,
+        runner: &mut Runner,
+        trials: std::ops::Range<u32>,
+    ) -> Result<(Channel, RunMetrics, Histogram), AttackError> {
+        debug_assert!(trials.end <= self.trials.max(1), "trial range beyond the campaign");
         let mut channel = Channel::new(self.secrets.len());
         let mut totals = RunMetrics::default();
         let mut hist = Histogram::new();
         let mut spec = self.base.clone();
         for (slot, &secret) in self.secrets.iter().enumerate() {
-            for trial in 0..self.trials.max(1) {
+            for trial in trials.clone() {
                 spec.layout.secret = secret;
                 spec.seed = self.trial_seed(campaign_seed, slot, trial);
                 let (outcome, metrics) = runner.run_full(&spec)?;
@@ -197,12 +232,7 @@ impl LeakageCampaign {
                 }
             }
         }
-        let mut result = LeakageResult::from_channel(channel, totals, hist);
-        {
-            let _span = prefender_obs::span("resample");
-            result.apply_resampling(resample, campaign_seed);
-        }
-        Ok(result)
+        Ok((channel, totals, hist))
     }
 }
 
@@ -243,7 +273,12 @@ pub struct LeakageResult {
 }
 
 impl LeakageResult {
-    fn from_channel(channel: Channel, metrics: RunMetrics, latency_hist: Histogram) -> Self {
+    /// Computes every derived metric from raw campaign state — the
+    /// counterpart of [`LeakageCampaign::run_counts_with_runner`] for
+    /// callers that assembled the state from merged batches. All metrics
+    /// are pure functions of the count matrix, so merged-then-derived
+    /// equals derived-on-the-uninterrupted-run exactly.
+    pub fn from_parts(channel: Channel, metrics: RunMetrics, latency_hist: Histogram) -> Self {
         LeakageResult {
             mi_bits: channel.mutual_information_bits(),
             mi_corrected: channel.mi_bits_corrected(),
@@ -433,6 +468,55 @@ mod tests {
         // serves a second campaign identically.
         let again = c.run_with_runner(0xC0FFEE, &ResampleOptions::default(), &mut runner).unwrap();
         assert_eq!(again.mi_bits, private.mi_bits);
+    }
+
+    #[test]
+    fn merged_trial_batches_reproduce_the_uninterrupted_run_exactly() {
+        use prefender_attacks::Runner;
+        // Stream the campaign as trial batches (0..1, 1..3, 3..4), merge
+        // the mergeable state, derive metrics — every float must equal
+        // the uninterrupted run bit for bit, resampling included. This
+        // is the exactness claim crash-resume and `sweep serve` rest on.
+        let c = LeakageCampaign::new(
+            AttackSpec::new(AttackKind::PrimeProbe, DefenseConfig::Full),
+            4,
+            4,
+        );
+        let opts = ResampleOptions { permutations: 40, bootstrap: 20, alpha: 0.05 };
+        let whole = c.run_with(0xC0FFEE, &opts).unwrap();
+        let mut runner = Runner::new(&c.base).unwrap();
+        let mut channel = Channel::new(c.secrets.len());
+        let mut totals = prefender_attacks::RunMetrics::default();
+        let mut hist = prefender_stats::Histogram::new();
+        // Deliberately out of order: batch independence means order
+        // cannot matter.
+        for range in [1..3u32, 3..4, 0..1] {
+            let (ch, m, h) = c.run_counts_with_runner(0xC0FFEE, &mut runner, range).unwrap();
+            channel.merge(&ch);
+            totals.cycles += m.cycles;
+            totals.instructions += m.instructions;
+            totals.l1d += m.l1d;
+            totals.prefetch_issued += m.prefetch_issued;
+            totals.prefender += m.prefender;
+            hist.merge(&h);
+        }
+        let mut merged = LeakageResult::from_parts(channel, totals, hist);
+        merged.apply_resampling(&opts, 0xC0FFEE);
+        assert_eq!(merged.channel, whole.channel);
+        assert_eq!(merged.metrics, whole.metrics);
+        assert_eq!(
+            merged.latency_hist.counts().collect::<Vec<_>>(),
+            whole.latency_hist.counts().collect::<Vec<_>>()
+        );
+        assert_eq!(merged.mi_bits.to_bits(), whole.mi_bits.to_bits());
+        assert_eq!(merged.mi_corrected.to_bits(), whole.mi_corrected.to_bits());
+        assert_eq!(merged.capacity_bits.to_bits(), whole.capacity_bits.to_bits());
+        assert_eq!(merged.ml_accuracy.to_bits(), whole.ml_accuracy.to_bits());
+        assert_eq!(merged.guessing_entropy.to_bits(), whole.guessing_entropy.to_bits());
+        assert_eq!(merged.mi_null, whole.mi_null);
+        assert_eq!(merged.mi_ci, whole.mi_ci);
+        assert_eq!(merged.ml_ci, whole.ml_ci);
+        assert_eq!(merged.sims, whole.sims);
     }
 
     #[test]

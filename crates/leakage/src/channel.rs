@@ -121,6 +121,41 @@ impl Channel {
         self.counts[input][j] += 1;
     }
 
+    /// Merges another channel's counts into this one: the observation
+    /// alphabets are unioned and every `(input, symbol)` cell summed.
+    ///
+    /// Counts are plain trial tallies, so merging is **exact**: a
+    /// channel assembled from any partition of a campaign's trials (a
+    /// resumed shard, a streamed trial batch) equals the channel the
+    /// uninterrupted run records, bit for bit — and so does every
+    /// metric computed from it. This additivity is what makes
+    /// crash-resumed campaigns byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two channels disagree on `n_inputs`.
+    pub fn merge(&mut self, other: &Channel) {
+        assert_eq!(
+            self.n_inputs, other.n_inputs,
+            "cannot merge channels over different secret spaces"
+        );
+        for (j, &symbol) in other.symbols.iter().enumerate() {
+            let col = match self.symbols.binary_search(&symbol) {
+                Ok(col) => col,
+                Err(col) => {
+                    self.symbols.insert(col, symbol);
+                    for row in &mut self.counts {
+                        row.insert(col, 0);
+                    }
+                    col
+                }
+            };
+            for (row, other_row) in self.counts.iter_mut().zip(&other.counts) {
+                row[col] += other_row[j];
+            }
+        }
+    }
+
     /// Number of possible inputs (secrets).
     pub fn n_inputs(&self) -> usize {
         self.n_inputs
@@ -588,6 +623,44 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_input_panics() {
         Channel::new(2).record(2, 0);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one_channel() {
+        // Any partition of the trial stream must reassemble to the same
+        // channel — the invariant resumed campaigns stand on.
+        let trials = [(0usize, 9u64), (1, 5), (2, 9), (0, 5), (1, 1), (2, 2), (0, 9), (1, 9)];
+        let whole = Channel::from_trials(3, trials);
+        for split in 0..=trials.len() {
+            let mut merged = Channel::from_trials(3, trials[..split].iter().copied());
+            merged.merge(&Channel::from_trials(3, trials[split..].iter().copied()));
+            assert_eq!(merged, whole, "split at {split}");
+        }
+        // Merging into an empty channel and merging an empty one are
+        // both identities.
+        let mut empty = Channel::new(3);
+        empty.merge(&whole);
+        assert_eq!(empty, whole);
+        let mut copy = whole.clone();
+        copy.merge(&Channel::new(3));
+        assert_eq!(copy, whole);
+    }
+
+    #[test]
+    fn merge_unions_disjoint_alphabets() {
+        let mut a = Channel::from_trials(2, [(0, 10), (1, 30)]);
+        a.merge(&Channel::from_trials(2, [(0, 20), (1, 10)]));
+        assert_eq!(a.symbols(), &[10, 20, 30]);
+        assert_eq!(a.count(0, 10), 1);
+        assert_eq!(a.count(1, 10), 1);
+        assert_eq!(a.count(0, 20), 1);
+        assert_eq!(a.total_trials(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "different secret spaces")]
+    fn merge_rejects_mismatched_inputs() {
+        Channel::new(2).merge(&Channel::new(3));
     }
 
     #[test]

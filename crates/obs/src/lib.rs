@@ -31,8 +31,15 @@
 //!    environment vendors no serde) for `obs.json`/`PROFILE.json`, host
 //!    identification for bench reports, and a throttled stderr progress
 //!    meter for long campaigns.
+//! 5. **Crash safety** ([`write_atomic`], [`failpoint`]) — the one
+//!    atomic-rename + fsync path every artifact write goes through, and
+//!    a deterministic fault-injection registry (env/flag-armed,
+//!    zero-cost when off) that can kill the process or fail an I/O
+//!    operation at chosen points so the crash-resume story is testable.
 
 mod counters;
+mod failpoint;
+mod fsio;
 mod host;
 mod progress;
 mod snapshot;
@@ -40,6 +47,11 @@ mod span;
 mod trace;
 
 pub use counters::ObsCounters;
+pub use failpoint::{
+    arm_failpoints, arm_failpoints_from_env, disarm_failpoints, failpoint, FailAction,
+    FAILPOINTS_ENV,
+};
+pub use fsio::{is_atomic_tmp, write_atomic};
 pub use host::HostInfo;
 pub use progress::ProgressReporter;
 pub use snapshot::Value;

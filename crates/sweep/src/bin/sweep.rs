@@ -29,6 +29,16 @@
 //!   --out DIR           write DIR/sweep.json + DIR/sweep.csv
 //!                       (+ DIR/leakage.json + DIR/leakage.csv when the
 //!                       grid has leakage campaigns)      [default: .]
+//!   --shard-size N      crash-safe campaign: run the grid in shards of
+//!                       at most N scenarios, committing each to
+//!                       DIR/shards/ atomically with a checksummed
+//!                       footer, under a DIR/campaign.manifest
+//!   --resume DIR        continue the sharded campaign recorded in DIR:
+//!                       complete shards are loaded, truncated/corrupt/
+//!                       foreign ones quarantined and re-run; the final
+//!                       artifacts are byte-identical to an
+//!                       uninterrupted run. Conflicts with every
+//!                       grid-shaping flag (the manifest fixes the grid)
 //!   --bench-json PATH   also write a throughput record (BENCH_sweep.json)
 //!   --list              print the enumerated scenario grid (ids + counts,
 //!                       distinct machine configs, estimated sims) and
@@ -61,12 +71,13 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use prefender_obs::{HostInfo, ProgressReporter};
+use prefender_obs::{write_atomic, HostInfo, ProgressReporter};
 use prefender_sweep::{
-    run_sweep_observed, AttackCase, AttackKind, Basic, DefenseConfig, DefensePoint, Hierarchy,
-    NoiseSpec, SweepGrid, SweepOptions,
+    resume_sharded, run_sharded, run_sweep_observed, AttackCase, AttackKind, Basic, DefenseConfig,
+    DefensePoint, Hierarchy, NoiseSpec, SweepGrid, SweepOptions, SweepReport,
 };
 
+#[derive(Debug)]
 struct Args {
     grid: SweepGrid,
     threads: usize,
@@ -80,6 +91,8 @@ struct Args {
     obs_out: Option<std::path::PathBuf>,
     trace: bool,
     trace_out: Option<std::path::PathBuf>,
+    shard_size: Option<usize>,
+    resume: Option<std::path::PathBuf>,
 }
 
 fn parse_u64(s: &str) -> Result<u64, String> {
@@ -142,10 +155,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         obs_out: None,
         trace: false,
         trace_out: None,
+        shard_size: None,
+        resume: None,
     };
 
+    // Every option the user named, for conflict checks: a resumed
+    // campaign takes its shape from the manifest, not the command line.
+    let mut seen: Vec<String> = Vec::new();
     let mut it = argv.iter();
     while let Some(a) = it.next() {
+        if a.starts_with("--") {
+            seen.push(a.clone());
+        }
         let mut val = |name: &str| {
             it.next().map(|s| s.to_string()).ok_or_else(|| format!("{name} needs a value"))
         };
@@ -201,8 +222,40 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--obs-out" => args.obs_out = Some(val("--obs-out")?.into()),
             "--trace" => args.trace = true,
             "--trace-out" => args.trace_out = Some(val("--trace-out")?.into()),
+            "--shard-size" => {
+                args.shard_size = Some(
+                    val("--shard-size")?.parse().map_err(|_| "invalid --shard-size".to_string())?,
+                )
+            }
+            "--resume" => args.resume = Some(val("--resume")?.into()),
             "--help" | "-h" => return Err("help".to_string()),
             other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+
+    if args.resume.is_some() {
+        // The manifest fixes the grid, seed and output location; the only
+        // things a resume may vary are execution knobs that cannot change
+        // the artifacts.
+        const COMPATIBLE: [&str; 3] = ["--resume", "--threads", "--quiet"];
+        if let Some(bad) = seen.iter().find(|f| !COMPATIBLE.contains(&f.as_str())) {
+            return Err(format!(
+                "{bad} conflicts with --resume: the campaign manifest fixes the grid, \
+                 seed and output directory (only --threads/--quiet may vary)"
+            ));
+        }
+    }
+    if let Some(size) = args.shard_size {
+        if size == 0 {
+            return Err("--shard-size must be at least 1".to_string());
+        }
+        for bad in ["--obs", "--obs-out", "--trace", "--trace-out", "--progress", "--list"] {
+            if seen.iter().any(|f| f == bad) {
+                return Err(format!(
+                    "{bad} is not available with --shard-size (sharded campaigns commit \
+                     shard artifacts, not obs/trace streams)"
+                ));
+            }
         }
     }
 
@@ -309,9 +362,49 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
+/// Writes the final campaign artifacts (sweep + leakage when present)
+/// atomically into `out`, returning the paths written. Every artifact
+/// write in this binary goes through [`write_atomic`] — a crash leaves
+/// either the old bytes or the new bytes, never a torn file.
+fn write_report_artifacts(
+    out: &std::path::Path,
+    report: &SweepReport,
+) -> Result<Vec<std::path::PathBuf>, String> {
+    let mut pairs = vec![("sweep.json", report.to_json()), ("sweep.csv", report.to_csv())];
+    if report.has_leakage() {
+        pairs.push(("leakage.json", report.leakage_json()));
+        pairs.push(("leakage.csv", report.leakage_csv()));
+    }
+    let mut wrote = Vec::with_capacity(pairs.len());
+    for (name, body) in pairs {
+        let path = out.join(name);
+        write_atomic(&path, body).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        wrote.push(path);
+    }
+    Ok(wrote)
+}
+
+/// Validates the output directory *before* running anything: hours of
+/// compute should not be lost to an unwritable `--out` discovered at
+/// artifact time.
+fn ensure_writable_dir(dir: &std::path::Path) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let probe = dir.join(format!(".sweep-writable.tmp.{}", std::process::id()));
+    std::fs::write(&probe, b"probe")
+        .map_err(|e| format!("{} is not writable: {e}", dir.display()))?;
+    let _ = std::fs::remove_file(&probe);
+    Ok(())
+}
+
 fn main() -> ExitCode {
+    // Fault injection for the crash-resume harness: honor
+    // PREFENDER_FAILPOINTS before anything touches the filesystem.
+    if let Err(e) = prefender_obs::arm_failpoints_from_env() {
+        eprintln!("sweep: {}: {e}", prefender_obs::FAILPOINTS_ENV);
+        return ExitCode::FAILURE;
+    }
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let args = match parse_args(&argv) {
+    let mut args = match parse_args(&argv) {
         Ok(a) => a,
         Err(e) => {
             if e != "help" {
@@ -324,19 +417,20 @@ fn main() -> ExitCode {
             );
             eprintln!("             [--permutations N] [--bootstrap N] [--alpha F]");
             eprintln!("             [--threads N] [--seed S] [--out DIR] [--bench-json PATH]");
+            eprintln!("             [--shard-size N] [--resume DIR]");
             eprintln!("             [--list] [--quiet] [--progress] [--obs] [--obs-out PATH]");
             eprintln!("             [--trace] [--trace-out PATH]");
             return if e == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
         }
     };
-    if args.grid.is_empty() {
+    if args.resume.is_none() && args.grid.is_empty() {
         eprintln!("sweep: the selected grid is empty (no attacks, workloads or leakage campaigns)");
         return ExitCode::FAILURE;
     }
 
-    let n = args.grid.len();
-    let sims = args.grid.sims();
     if args.list {
+        let n = args.grid.len();
+        let sims = args.grid.sims();
         // Dry run: print the enumerated work-list for campaign sizing.
         let scenarios = args.grid.enumerate();
         for s in &scenarios {
@@ -369,70 +463,92 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    eprintln!(
-        "sweep: {n} scenarios / {sims} sims ({} attack cases, {} workloads, {} leakage campaigns) x {} defenses x {} basics x {} hierarchies x {} seeds",
-        args.grid.attacks.len(),
-        args.grid.workloads.len(),
-        args.grid.leakages.len(),
-        args.grid.defenses.len(),
-        args.grid.basics.len(),
-        args.grid.hierarchies.len(),
-        args.grid.seeds,
-    );
+    if args.resume.is_none() {
+        let (n, sims) = (args.grid.len(), args.grid.sims());
+        eprintln!(
+            "sweep: {n} scenarios / {sims} sims ({} attack cases, {} workloads, {} leakage campaigns) x {} defenses x {} basics x {} hierarchies x {} seeds",
+            args.grid.attacks.len(),
+            args.grid.workloads.len(),
+            args.grid.leakages.len(),
+            args.grid.defenses.len(),
+            args.grid.basics.len(),
+            args.grid.hierarchies.len(),
+            args.grid.seeds,
+        );
+        // Fail fast on an unusable --out, before any compute runs.
+        if let Err(e) = ensure_writable_dir(&args.out) {
+            eprintln!("sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let opts = SweepOptions { threads: args.threads, campaign_seed: args.campaign_seed };
     if args.trace {
         prefender_obs::arm_trace(prefender_obs::DEFAULT_TRACE_CAPACITY);
     }
     let start = Instant::now();
-    // `run_sweep` is `run_sweep_observed` minus the extras, so running
-    // observed unconditionally cannot change the artifacts — the obs
-    // outputs are simply dropped unless a flag asks for them.
-    let reporter =
-        args.progress.then(|| std::sync::Mutex::new(ProgressReporter::new("sweep", n as u64)));
-    let on_chunk = |done: usize, _total: usize| {
-        if let Some(r) = &reporter {
-            r.lock().expect("progress reporter").update(done as u64);
+    let (report, obs) = if let Some(dir) = args.resume.clone() {
+        // The manifest carries the grid and seed; the command line only
+        // chose the directory. Rebind args so reporting below sees the
+        // campaign's real shape.
+        match resume_sharded(&dir, args.threads) {
+            Ok((report, manifest, stats)) => {
+                eprintln!("sweep: resume: {}", stats.render());
+                args.grid = manifest.grid;
+                args.campaign_seed = manifest.campaign_seed;
+                args.out = dir;
+                (report, None)
+            }
+            Err(e) => {
+                eprintln!("sweep: {e}");
+                return ExitCode::FAILURE;
+            }
         }
+    } else if let Some(size) = args.shard_size {
+        match run_sharded(&args.out, &args.grid, &opts, size) {
+            Ok((report, stats)) => {
+                eprintln!("sweep: shards: {}", stats.render());
+                (report, None)
+            }
+            Err(e) => {
+                eprintln!("sweep: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        // `run_sweep` is `run_sweep_observed` minus the extras, so running
+        // observed unconditionally cannot change the artifacts — the obs
+        // outputs are simply dropped unless a flag asks for them.
+        let total = args.grid.len() as u64;
+        let reporter =
+            args.progress.then(|| std::sync::Mutex::new(ProgressReporter::new("sweep", total)));
+        let on_chunk = |done: usize, _total: usize| {
+            if let Some(r) = &reporter {
+                r.lock().expect("progress reporter").update(done as u64);
+            }
+        };
+        let progress: Option<&(dyn Fn(usize, usize) + Sync)> =
+            if args.progress { Some(&on_chunk) } else { None };
+        let (report, obs) = run_sweep_observed(&args.grid, &opts, progress);
+        if let Some(r) = &reporter {
+            r.lock().expect("progress reporter").finish(total);
+        }
+        (report, Some(obs))
     };
-    let progress: Option<&(dyn Fn(usize, usize) + Sync)> =
-        if args.progress { Some(&on_chunk) } else { None };
-    let (report, obs) = run_sweep_observed(&args.grid, &opts, progress);
     if args.trace {
         prefender_obs::disarm_trace();
     }
-    if let Some(r) = &reporter {
-        r.lock().expect("progress reporter").finish(n as u64);
-    }
+    let n = args.grid.len();
+    let sims = args.grid.sims();
     let elapsed = start.elapsed();
     let per_sec = n as f64 / elapsed.as_secs_f64().max(1e-9);
 
-    if let Err(e) = std::fs::create_dir_all(&args.out) {
-        eprintln!("sweep: creating {}: {e}", args.out.display());
-        return ExitCode::FAILURE;
-    }
-    let json_path = args.out.join("sweep.json");
-    let csv_path = args.out.join("sweep.csv");
-    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
-        eprintln!("sweep: writing {}: {e}", json_path.display());
-        return ExitCode::FAILURE;
-    }
-    if let Err(e) = std::fs::write(&csv_path, report.to_csv()) {
-        eprintln!("sweep: writing {}: {e}", csv_path.display());
-        return ExitCode::FAILURE;
-    }
-    let mut wrote = vec![json_path, csv_path];
-    if report.has_leakage() {
-        for (name, body) in
-            [("leakage.json", report.leakage_json()), ("leakage.csv", report.leakage_csv())]
-        {
-            let path = args.out.join(name);
-            if let Err(e) = std::fs::write(&path, body) {
-                eprintln!("sweep: writing {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-            wrote.push(path);
+    let wrote = match write_report_artifacts(&args.out, &report) {
+        Ok(wrote) => wrote,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            return ExitCode::FAILURE;
         }
-    }
+    };
 
     if !args.quiet {
         println!("{}", report.render_table());
@@ -451,24 +567,29 @@ fn main() -> ExitCode {
         wrote.iter().map(|p| p.display().to_string()).collect::<Vec<_>>().join(", ")
     );
 
+    // The obs/trace flags conflict with --shard-size/--resume at parse
+    // time, so `obs` is always present on these paths.
     if args.obs {
+        let obs = obs.as_ref().expect("--obs runs the in-memory path");
         let path = args.out.join("obs.json");
-        if let Err(e) = std::fs::write(&path, obs.to_json() + "\n") {
+        if let Err(e) = write_atomic(&path, obs.to_json() + "\n") {
             eprintln!("sweep: writing {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
         println!("wrote {}", path.display());
     }
     if let Some(path) = &args.obs_out {
-        if let Err(e) = std::fs::write(path, obs.events_jsonl()) {
+        let obs = obs.as_ref().expect("--obs-out runs the in-memory path");
+        if let Err(e) = write_atomic(path, obs.events_jsonl()) {
             eprintln!("sweep: writing {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
         println!("wrote {}", path.display());
     }
     if args.trace {
+        let obs = obs.as_ref().expect("--trace runs the in-memory path");
         let path = args.trace_out.clone().unwrap_or_else(|| args.out.join("trace.jsonl"));
-        if let Err(e) = std::fs::write(&path, obs.trace_jsonl()) {
+        if let Err(e) = write_atomic(&path, obs.trace_jsonl()) {
             eprintln!("sweep: writing {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
@@ -491,11 +612,86 @@ fn main() -> ExitCode {
             sims as f64 / elapsed.as_secs_f64().max(1e-9),
             HostInfo::capture().json_inline(),
         );
-        if let Err(e) = std::fs::write(&path, record) {
+        if let Err(e) = write_atomic(&path, record) {
             eprintln!("sweep: writing {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
         println!("wrote {}", path.display());
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_args;
+
+    fn parse(line: &str) -> Result<super::Args, String> {
+        parse_args(&line.split_whitespace().map(String::from).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn resume_conflicts_with_every_grid_shaping_flag() {
+        for flags in [
+            "--resume d --attacks fr",
+            "--resume d --noise c3",
+            "--resume d --defenses full",
+            "--resume d --workloads all",
+            "--resume d --leakage pp",
+            "--resume d --secrets 4",
+            "--resume d --trials 2",
+            "--resume d --seeds 3",
+            "--resume d --seed 7",
+            "--resume d --alpha 0.1",
+            "--resume d --out elsewhere",
+            "--resume d --list",
+            "--resume d --shard-size 4",
+            "--resume d --obs",
+            "--resume d --trace",
+            "--resume d --progress",
+            "--resume d --bench-json b.json",
+        ] {
+            let err = parse(flags).expect_err(flags);
+            assert!(err.contains("conflicts with --resume"), "`{flags}` -> {err}");
+        }
+    }
+
+    #[test]
+    fn resume_allows_execution_knobs_only() {
+        let args = parse("--resume some/dir --threads 8 --quiet").expect("compatible flags");
+        assert_eq!(args.resume.as_deref(), Some(std::path::Path::new("some/dir")));
+        assert_eq!(args.threads, 8);
+        assert!(args.quiet);
+    }
+
+    #[test]
+    fn shard_size_must_be_positive() {
+        let err = parse("--shard-size 0").unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse("--shard-size nope").unwrap_err();
+        assert!(err.contains("invalid --shard-size"), "{err}");
+        assert_eq!(parse("--shard-size 16").expect("valid").shard_size, Some(16));
+    }
+
+    #[test]
+    fn shard_size_conflicts_with_obs_and_trace_streams() {
+        for flags in [
+            "--shard-size 4 --obs",
+            "--shard-size 4 --obs-out o.jsonl",
+            "--shard-size 4 --trace",
+            "--shard-size 4 --trace-out t.jsonl",
+            "--shard-size 4 --progress",
+            "--shard-size 4 --list",
+        ] {
+            let err = parse(flags).expect_err(flags);
+            assert!(err.contains("not available with --shard-size"), "`{flags}` -> {err}");
+        }
+    }
+
+    #[test]
+    fn flags_that_need_values_say_so() {
+        for flag in ["--resume", "--shard-size"] {
+            let err = parse(flag).unwrap_err();
+            assert!(err.contains("needs a value"), "`{flag}` -> {err}");
+        }
+    }
 }

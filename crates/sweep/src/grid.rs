@@ -36,6 +36,34 @@ impl AttackCase {
         format!("{kind}{noise}{}", if self.cross_core { "x" } else { "" })
     }
 
+    /// Parses a tag produced by [`AttackCase::tag`] (`fr`, `er+c3`,
+    /// `pp+c3c4x`, …). Total inverse: returns `None` on anything
+    /// `tag` cannot emit.
+    pub fn from_tag(tag: &str) -> Option<AttackCase> {
+        let (body, cross_core) = match tag.strip_suffix('x') {
+            Some(body) => (body, true),
+            None => (tag, false),
+        };
+        let (kind, noise) = match body.split_once('+') {
+            Some((kind, noise)) => (kind, Some(noise)),
+            None => (body, None),
+        };
+        let kind = match kind {
+            "fr" => AttackKind::FlushReload,
+            "er" => AttackKind::EvictReload,
+            "pp" => AttackKind::PrimeProbe,
+            _ => return None,
+        };
+        let noise = match noise {
+            None => NoiseSpec::NONE,
+            Some("c3") => NoiseSpec::C3,
+            Some("c4") => NoiseSpec::C4,
+            Some("c3c4") => NoiseSpec::C3C4,
+            Some(_) => return None,
+        };
+        Some(AttackCase { kind, noise, cross_core })
+    }
+
     /// The paper's twelve Figure 8 panels (single-core).
     pub fn figure8_panels() -> Vec<AttackCase> {
         let kinds = [AttackKind::FlushReload, AttackKind::EvictReload, AttackKind::PrimeProbe];
@@ -111,6 +139,36 @@ impl DefensePoint {
         };
         format!("{c}{}", self.buffers)
     }
+
+    /// Lossless `config:buffers` form for campaign manifests. Unlike
+    /// [`DefensePoint::tag`] (which drops the buffer count for
+    /// buffer-less configs), this round-trips every point exactly.
+    pub fn spec(&self) -> String {
+        let c = match self.config {
+            DefenseConfig::None => "none",
+            DefenseConfig::St => "st",
+            DefenseConfig::At => "at",
+            DefenseConfig::StAt => "stat",
+            DefenseConfig::AtRp => "atrp",
+            DefenseConfig::Full => "full",
+        };
+        format!("{c}:{}", self.buffers)
+    }
+
+    /// Parses the [`DefensePoint::spec`] form.
+    pub fn from_spec(spec: &str) -> Option<DefensePoint> {
+        let (config, buffers) = spec.split_once(':')?;
+        let config = match config {
+            "none" => DefenseConfig::None,
+            "st" => DefenseConfig::St,
+            "at" => DefenseConfig::At,
+            "stat" => DefenseConfig::StAt,
+            "atrp" => DefenseConfig::AtRp,
+            "full" => DefenseConfig::Full,
+            _ => return None,
+        };
+        Some(DefensePoint { config, buffers: buffers.parse().ok()? })
+    }
 }
 
 /// A cache-hierarchy variant of the grid.
@@ -143,6 +201,11 @@ impl Hierarchy {
             Hierarchy::SmallL1d => "sml1d",
             Hierarchy::Fifo => "fifo",
         }
+    }
+
+    /// Parses a tag produced by [`Hierarchy::tag`].
+    pub fn from_tag(tag: &str) -> Option<Hierarchy> {
+        Hierarchy::ALL.into_iter().find(|h| h.tag() == tag)
     }
 
     /// Builds the concrete configuration for `n_cores` cores.
@@ -354,6 +417,107 @@ impl SweepGrid {
         }
     }
 
+    /// Serializes the complete grid shape as one canonical line for the
+    /// campaign manifest: `;`-separated `key=value` sections, list axes
+    /// `,`-joined, `alpha` as the exact bits of the `f64` (hex) so the
+    /// round trip is bit-exact. [`SweepGrid::from_spec`] inverts it.
+    pub fn to_spec(&self) -> String {
+        let join = |tags: Vec<String>| tags.join(",");
+        format!(
+            "attacks={};workloads={};leakages={};secrets={};trials={};jitter={};\
+             permutations={};bootstrap={};alpha={:016x};defenses={};basics={};\
+             hierarchies={};seeds={}",
+            join(self.attacks.iter().map(AttackCase::tag).collect()),
+            self.workloads.join(","),
+            join(self.leakages.iter().map(AttackCase::tag).collect()),
+            self.leakage_secrets,
+            self.leakage_trials,
+            self.leakage_jitter,
+            self.leakage_permutations,
+            self.leakage_bootstrap,
+            self.leakage_alpha.to_bits(),
+            join(self.defenses.iter().map(DefensePoint::spec).collect()),
+            join(self.basics.iter().map(|&b| crate::scenario::basic_tag(b).to_string()).collect()),
+            join(self.hierarchies.iter().map(|h| h.tag().to_string()).collect()),
+            self.seeds,
+        )
+    }
+
+    /// Parses a [`SweepGrid::to_spec`] line back into the identical grid
+    /// (workload names are validated against the catalog, so a manifest
+    /// from a foreign or newer repo fails here rather than panicking
+    /// mid-campaign).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending section.
+    pub fn from_spec(spec: &str) -> Result<SweepGrid, String> {
+        let mut sections: Vec<(&str, &str)> = Vec::new();
+        for part in spec.split(';') {
+            let (key, value) =
+                part.split_once('=').ok_or_else(|| format!("bad grid section `{part}`"))?;
+            if sections.iter().any(|&(k, _)| k == key) {
+                return Err(format!("duplicate grid section `{key}`"));
+            }
+            sections.push((key, value));
+        }
+        let get = |key: &str| -> Result<&str, String> {
+            sections
+                .iter()
+                .find(|&&(k, _)| k == key)
+                .map(|&(_, v)| v)
+                .ok_or_else(|| format!("grid spec missing section `{key}`"))
+        };
+        let list = |key: &str| -> Result<Vec<&str>, String> {
+            Ok(get(key)?.split(',').filter(|t| !t.is_empty()).collect())
+        };
+        let cases = |key: &str| -> Result<Vec<AttackCase>, String> {
+            list(key)?
+                .into_iter()
+                .map(|t| AttackCase::from_tag(t).ok_or_else(|| format!("unknown {key} tag `{t}`")))
+                .collect()
+        };
+        let num = |key: &str| -> Result<u64, String> {
+            get(key)?.parse::<u64>().map_err(|_| format!("bad {key} value `{}`", get(key).unwrap()))
+        };
+        let workloads: Vec<String> = list("workloads")?.into_iter().map(String::from).collect();
+        for w in &workloads {
+            if crate::scenario::catalog_workload(w).is_none() {
+                return Err(format!("unknown workload `{w}`"));
+            }
+        }
+        let alpha_bits = u64::from_str_radix(get("alpha")?, 16)
+            .map_err(|_| format!("bad alpha bits `{}`", get("alpha").unwrap()))?;
+        let grid = SweepGrid {
+            attacks: cases("attacks")?,
+            workloads,
+            leakages: cases("leakages")?,
+            leakage_secrets: num("secrets")? as u32,
+            leakage_trials: num("trials")? as u32,
+            leakage_jitter: num("jitter")?,
+            leakage_permutations: num("permutations")? as u32,
+            leakage_bootstrap: num("bootstrap")? as u32,
+            leakage_alpha: f64::from_bits(alpha_bits),
+            defenses: list("defenses")?
+                .into_iter()
+                .map(|t| DefensePoint::from_spec(t).ok_or_else(|| format!("unknown defense `{t}`")))
+                .collect::<Result<_, _>>()?,
+            basics: list("basics")?
+                .into_iter()
+                .map(|t| {
+                    crate::scenario::basic_from_tag(t)
+                        .ok_or_else(|| format!("unknown basic prefetcher `{t}`"))
+                })
+                .collect::<Result<_, _>>()?,
+            hierarchies: list("hierarchies")?
+                .into_iter()
+                .map(|t| Hierarchy::from_tag(t).ok_or_else(|| format!("unknown hierarchy `{t}`")))
+                .collect::<Result<_, _>>()?,
+            seeds: num("seeds")? as u32,
+        };
+        Ok(grid)
+    }
+
     /// Enumerates the flat, stably-ordered work-list.
     pub fn enumerate(&self) -> Vec<Scenario> {
         let payloads: Vec<Payload> = self
@@ -458,6 +622,75 @@ mod tests {
         // Two defenses × (one attack sim + one 8×4 campaign).
         assert_eq!(g.sims(), 2 * (1 + 8 * 4));
         assert!(ids[0].starts_with("atk:") && ids[2].starts_with("leak:pp:8x4/"), "{ids:?}");
+    }
+
+    #[test]
+    fn attack_tags_round_trip() {
+        for case in AttackCase::all() {
+            assert_eq!(AttackCase::from_tag(&case.tag()), Some(case), "tag {}", case.tag());
+        }
+        for bad in ["", "xx", "fr+c5", "frpp", "x", "fr+"] {
+            assert_eq!(AttackCase::from_tag(bad), None, "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn defense_specs_round_trip_and_keep_buffers() {
+        for config in DefenseConfig::ALL {
+            for buffers in [1, 8, 32, 64] {
+                let p = DefensePoint { config, buffers };
+                assert_eq!(DefensePoint::from_spec(&p.spec()), Some(p));
+            }
+        }
+        // The display tag is lossy for buffer-less configs; the spec
+        // form must not be.
+        let a = DefensePoint { config: DefenseConfig::None, buffers: 8 };
+        let b = DefensePoint { config: DefenseConfig::None, buffers: 32 };
+        assert_eq!(a.tag(), b.tag());
+        assert_ne!(a.spec(), b.spec());
+        assert_eq!(DefensePoint::from_spec("full"), None);
+        assert_eq!(DefensePoint::from_spec("mega:32"), None);
+        assert_eq!(DefensePoint::from_spec("full:x"), None);
+    }
+
+    #[test]
+    fn grid_spec_round_trips_exactly() {
+        let mut g = SweepGrid::security_full();
+        g.workloads = vec!["429.mcf".into(), "401.bzip2".into()];
+        g.leakages = AttackCase::all();
+        g.leakage_secrets = 16;
+        g.leakage_trials = 3;
+        g.leakage_jitter = 2;
+        g.leakage_permutations = 99;
+        g.leakage_bootstrap = 50;
+        g.leakage_alpha = 0.01;
+        g.basics = Basic::ALL.to_vec();
+        g.hierarchies = Hierarchy::ALL.to_vec();
+        g.seeds = 5;
+        let round = SweepGrid::from_spec(&g.to_spec()).expect("spec parses");
+        assert_eq!(round, g);
+        assert_eq!(round.to_spec(), g.to_spec());
+        // Empty axes survive too.
+        let empty = SweepGrid::empty();
+        assert_eq!(SweepGrid::from_spec(&empty.to_spec()).unwrap(), empty);
+    }
+
+    #[test]
+    fn grid_spec_rejects_corruption() {
+        let spec = SweepGrid::security_quick().to_spec();
+        for bad in [
+            spec.replace("attacks=fr", "attacks=zz"),
+            spec.replace("defenses=", "defenses=mega:1,"),
+            spec.replace("seeds=", "seeds=x"),
+            spec.replace("alpha=", "alpha=zz"),
+            spec.replace("hierarchies=paper", "hierarchies=tower"),
+            spec.replace("attacks=", "attacks=fr;attacks="),
+            spec.replace("workloads=", "workloads=not-a-workload,"),
+            spec.replace("basics=", ""),
+            "garbage".to_string(),
+        ] {
+            assert!(SweepGrid::from_spec(&bad).is_err(), "`{bad}` must be rejected");
+        }
     }
 
     #[test]

@@ -35,12 +35,18 @@
 //! ```
 
 mod artifact;
+mod checkpoint;
 mod engine;
 mod grid;
 pub mod perf;
 mod scenario;
+mod shard;
 
 pub use artifact::{SweepReport, REPORT_SCHEMA_VERSION};
+pub use checkpoint::{
+    resume_sharded, run_sharded, CampaignError, Manifest, ResumeStats, MANIFEST_NAME,
+    QUARANTINE_DIR, SHARD_DIR,
+};
 pub use engine::{
     parallel_map, parallel_map_2d, run_sweep, run_sweep_observed, ChunkEvent, SweepObs,
     SweepOptions, SweepTelemetry, WorkerStats,
@@ -49,6 +55,9 @@ pub use grid::{AttackCase, DefensePoint, Hierarchy, SweepGrid};
 pub use scenario::{
     basic_tag, run_scenario, run_scenario_with, run_scenario_with_obs, Payload, Scenario,
     ScenarioResult,
+};
+pub use shard::{
+    decode_shard, encode_shard, fnv1a64, shard_file_name, ShardHeader, ShardPlan, SHARD_MAGIC,
 };
 
 // The axes a grid is built from, re-exported so callers need only this

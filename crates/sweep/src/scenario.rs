@@ -151,6 +151,11 @@ pub fn basic_tag(b: Basic) -> &'static str {
     }
 }
 
+/// Parses a tag produced by [`basic_tag`].
+pub fn basic_from_tag(tag: &str) -> Option<Basic> {
+    Basic::ALL.into_iter().find(|&b| basic_tag(b) == tag)
+}
+
 /// The measurements of one executed scenario.
 ///
 /// Attack scenarios fill the security fields (`leaked`, `anomalies`,

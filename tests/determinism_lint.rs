@@ -75,6 +75,32 @@ fn artifact_crates_do_not_iterate_unordered_collections() {
 }
 
 #[test]
+fn lint_covers_the_crash_safety_modules() {
+    // The crash-safety layer (shard/checkpoint codecs in sweep, the
+    // failpoint registry and atomic writer in obs) serializes artifacts
+    // and replays them on resume — exactly where unordered iteration
+    // would silently break resume-equality. Make sure a future module
+    // move keeps them inside the lint's scan set.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    for krate in ARTIFACT_CRATES {
+        rust_sources(&root.join(krate).join("src"), &mut files);
+    }
+    for required in [
+        "crates/sweep/src/shard.rs",
+        "crates/sweep/src/checkpoint.rs",
+        "crates/obs/src/failpoint.rs",
+        "crates/obs/src/fsio.rs",
+    ] {
+        assert!(
+            files.iter().any(|f| f.ends_with(required)),
+            "{required} is no longer scanned by the determinism lint — \
+             moved crates must stay in ARTIFACT_CRATES"
+        );
+    }
+}
+
+#[test]
 fn waivers_are_not_stale() {
     // Every waiver must still sit on a line that needs it; a waiver on a
     // HashMap-free line is leftover noise from a refactor.
