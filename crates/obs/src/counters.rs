@@ -52,6 +52,20 @@ pub struct ObsCounters {
     pub retire_fast_dispatches: u64,
     /// Instructions retired through the fast path.
     pub retire_fast_nops: u64,
+    /// Shard leases claimed (multi-process campaigns; O_EXCL creates
+    /// that succeeded).
+    pub lease_claims: u64,
+    /// Lease heartbeats renewed while executing a claimed shard.
+    pub lease_renewals: u64,
+    /// Stale leases broken (heartbeat older than the TTL — the holder is
+    /// presumed dead).
+    pub lease_breaks: u64,
+    /// Shards re-executed after their lease was broken or their partial
+    /// state discarded — work reclaimed from a dead worker.
+    pub lease_reclaims: u64,
+    /// Committed-but-invalid shard files moved to `quarantine/` before
+    /// re-execution (torn writes, corruption, foreign campaigns).
+    pub shard_quarantines: u64,
 }
 
 impl ObsCounters {
@@ -79,6 +93,11 @@ impl ObsCounters {
         self.diffmin_rescans += rhs.diffmin_rescans;
         self.retire_fast_dispatches += rhs.retire_fast_dispatches;
         self.retire_fast_nops += rhs.retire_fast_nops;
+        self.lease_claims += rhs.lease_claims;
+        self.lease_renewals += rhs.lease_renewals;
+        self.lease_breaks += rhs.lease_breaks;
+        self.lease_reclaims += rhs.lease_reclaims;
+        self.shard_quarantines += rhs.shard_quarantines;
     }
 
     /// Returns the block and leaves `self` zeroed.
@@ -105,6 +124,11 @@ impl ObsCounters {
             ("diffmin_rescans".into(), Value::U64(self.diffmin_rescans)),
             ("retire_fast_dispatches".into(), Value::U64(self.retire_fast_dispatches)),
             ("retire_fast_nops".into(), Value::U64(self.retire_fast_nops)),
+            ("lease_claims".into(), Value::U64(self.lease_claims)),
+            ("lease_renewals".into(), Value::U64(self.lease_renewals)),
+            ("lease_breaks".into(), Value::U64(self.lease_breaks)),
+            ("lease_reclaims".into(), Value::U64(self.lease_reclaims)),
+            ("shard_quarantines".into(), Value::U64(self.shard_quarantines)),
         ])
     }
 }
@@ -131,6 +155,11 @@ mod tests {
             diffmin_rescans: 14 * k,
             retire_fast_dispatches: 15 * k,
             retire_fast_nops: 16 * k,
+            lease_claims: 17 * k,
+            lease_renewals: 18 * k,
+            lease_breaks: 19 * k,
+            lease_reclaims: 20 * k,
+            shard_quarantines: 21 * k,
         }
     }
 
@@ -140,6 +169,8 @@ mod tests {
         a.merge(&sample(2));
         assert_eq!(a.cache_demand_hits, 3);
         assert_eq!(a.retire_fast_nops, 48);
+        assert_eq!(a.lease_breaks, 57);
+        assert_eq!(a.shard_quarantines, 63);
         // High water merges by max, not sum.
         assert_eq!(a.mshr_high_water, 16);
     }
@@ -176,6 +207,11 @@ mod tests {
             "diffmin_rescans",
             "retire_fast_nops",
             "rp_protections_granted",
+            "lease_claims",
+            "lease_renewals",
+            "lease_breaks",
+            "lease_reclaims",
+            "shard_quarantines",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

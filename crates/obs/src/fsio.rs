@@ -31,9 +31,30 @@ const TMP_MARKER: &str = ".tmp.";
 
 /// Whether a file name looks like a [`write_atomic`] temporary — a
 /// leftover from a writer that died before its rename. Such files carry
-/// no committed data and are safe to delete.
+/// no committed data and are safe to delete **once their writer is
+/// dead**; use [`atomic_tmp_pid`] + [`pid_alive`] before sweeping a
+/// directory that concurrent worker processes may be writing into.
 pub fn is_atomic_tmp(path: &Path) -> bool {
     path.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.contains(TMP_MARKER))
+}
+
+/// The PID embedded in a [`write_atomic`] temporary's name
+/// (`<name>.tmp.<pid>`), or `None` if the name is not a recognizable
+/// temporary. Multi-process campaigns use this to sweep only the
+/// leftovers of *dead* writers: a live worker's in-flight temporary must
+/// never be deleted out from under its rename.
+pub fn atomic_tmp_pid(path: &Path) -> Option<u32> {
+    let name = path.file_name()?.to_str()?;
+    let at = name.rfind(TMP_MARKER)?;
+    name[at + TMP_MARKER.len()..].parse().ok()
+}
+
+/// Whether a process with this PID is currently alive on this host.
+/// Reads `/proc/<pid>` where procfs exists; on hosts without procfs
+/// every PID reads as dead — the single-process behavior, where any
+/// leftover temporary belongs to a previous (finished) run.
+pub fn pid_alive(pid: u32) -> bool {
+    Path::new("/proc").is_dir() && Path::new(&format!("/proc/{pid}")).exists()
 }
 
 fn tmp_sibling(path: &Path) -> io::Result<PathBuf> {
@@ -140,6 +161,23 @@ mod tests {
         assert!(is_atomic_tmp(Path::new("/x/sweep.json.tmp.1234")));
         assert!(!is_atomic_tmp(Path::new("/x/sweep.json")));
         assert!(!is_atomic_tmp(Path::new("/x/tmp")));
+    }
+
+    #[test]
+    fn tmp_pids_parse_from_any_writer() {
+        assert_eq!(atomic_tmp_pid(Path::new("/x/shard-00001.psd.tmp.999")), Some(999));
+        assert_eq!(atomic_tmp_pid(Path::new("/x/a.tmp.1.tmp.42")), Some(42), "rightmost marker");
+        assert_eq!(atomic_tmp_pid(Path::new("/x/sweep.json")), None);
+        assert_eq!(atomic_tmp_pid(Path::new("/x/sweep.json.tmp.notapid")), None);
+    }
+
+    #[test]
+    fn own_pid_is_alive_and_impossible_pids_are_dead() {
+        if Path::new("/proc").is_dir() {
+            assert!(pid_alive(std::process::id()), "the test process itself is alive");
+        }
+        // Linux pid_max tops out at 2^22; this PID can never exist.
+        assert!(!pid_alive(4_000_000_000));
     }
 
     #[test]

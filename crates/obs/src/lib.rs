@@ -51,7 +51,7 @@ pub use failpoint::{
     arm_failpoints, arm_failpoints_from_env, disarm_failpoints, failpoint, FailAction,
     FAILPOINTS_ENV,
 };
-pub use fsio::{is_atomic_tmp, write_atomic};
+pub use fsio::{atomic_tmp_pid, is_atomic_tmp, pid_alive, write_atomic};
 pub use host::HostInfo;
 pub use progress::ProgressReporter;
 pub use snapshot::Value;

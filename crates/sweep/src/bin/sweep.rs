@@ -57,6 +57,27 @@
 //!                       other artifacts are byte-identical with or
 //!                       without it)
 //!   --trace-out PATH    trace JSONL destination (requires --trace)
+//!
+//! multi-process campaigns (EXPERIMENTS.md "Multi-process campaigns"):
+//!   sweep work DIR [--threads N] [--lease-ttl-ms MS] [--sock PATH]
+//!                  [--worker-id K] [--quiet]
+//!                       one worker: claim-execute-commit over DIR's
+//!                       manifest until every shard is committed. Safe
+//!                       to run N at once — shards are guarded by
+//!                       heartbeat leases under DIR/leases/, stale
+//!                       leases are broken, and artifacts stay
+//!                       byte-identical to a 1-process run
+//!   sweep serve DIR --workers N [--worker-threads N] [--restart-budget N]
+//!                  [--lease-ttl-ms MS] [--stall-timeout-ms MS]
+//!                  [--worker-failpoints SPEC] [--quiet] [grid flags]
+//!                       spawn and supervise N `sweep work` children
+//!                       over a Unix socket: restarts dead workers
+//!                       (within the budget, then degrades), kills
+//!                       stalled fleets, heals leftovers in-process,
+//!                       writes the final artifacts. Grid/--seed/
+//!                       --shard-size flags initialize DIR when it has
+//!                       no manifest yet; an existing manifest fixes
+//!                       the grid and rejects them
 //! ```
 //!
 //! Leakage campaigns (`--leakage`) share the noise / cross-core /
@@ -404,6 +425,11 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("work") => return subcmd::run_work(&argv[1..]),
+        Some("serve") => return subcmd::run_serve(&argv[1..]),
+        _ => {}
+    }
     let mut args = match parse_args(&argv) {
         Ok(a) => a,
         Err(e) => {
@@ -420,6 +446,8 @@ fn main() -> ExitCode {
             eprintln!("             [--shard-size N] [--resume DIR]");
             eprintln!("             [--list] [--quiet] [--progress] [--obs] [--obs-out PATH]");
             eprintln!("             [--trace] [--trace-out PATH]");
+            eprintln!("       sweep work DIR [--threads N] [--lease-ttl-ms MS] [--sock PATH]");
+            eprintln!("       sweep serve DIR --workers N [--worker-threads N] [grid flags]");
             return if e == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
         }
     };
@@ -621,6 +649,359 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `work`/`serve` subcommands — the multi-process campaign modes.
+/// Unix-only: worker telemetry rides a Unix domain socket.
+#[cfg(unix)]
+mod subcmd {
+    use std::io::Write as _;
+    use std::os::unix::net::UnixStream;
+    use std::path::PathBuf;
+    use std::process::ExitCode;
+    use std::time::Duration;
+
+    use prefender_sweep::{
+        done_line, event_line, hello_line, init_campaign, load_manifest, serve_campaign,
+        work_campaign, LeaseConfig, ServeOptions, SweepOptions, WorkEvent, WorkOptions,
+        MANIFEST_NAME,
+    };
+
+    use super::{ensure_writable_dir, parse_args, write_report_artifacts};
+
+    const WORK_USAGE: &str = "usage: sweep work DIR [--threads N] [--lease-ttl-ms MS] \
+                              [--sock PATH] [--worker-id K] [--quiet]";
+    const SERVE_USAGE: &str = "usage: sweep serve DIR --workers N [--worker-threads N] \
+                               [--restart-budget N] [--lease-ttl-ms MS] [--stall-timeout-ms MS] \
+                               [--worker-failpoints SPEC] [--quiet] [grid flags when creating]";
+
+    pub(super) struct WorkArgs {
+        pub(super) dir: PathBuf,
+        pub(super) threads: usize,
+        pub(super) ttl_ms: u64,
+        pub(super) sock: Option<PathBuf>,
+        pub(super) worker_id: usize,
+        pub(super) quiet: bool,
+    }
+
+    pub(super) fn parse_work(argv: &[String]) -> Result<WorkArgs, String> {
+        let mut it = argv.iter();
+        let dir: PathBuf = match it.next() {
+            Some(d) if !d.starts_with("--") => d.into(),
+            _ => return Err("work needs a campaign DIR as its first argument".into()),
+        };
+        let mut args = WorkArgs {
+            dir,
+            threads: 1,
+            ttl_ms: LeaseConfig::default().ttl_ms,
+            sock: None,
+            worker_id: 0,
+            quiet: false,
+        };
+        while let Some(a) = it.next() {
+            let mut val =
+                |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+            match a.as_str() {
+                "--threads" => {
+                    args.threads =
+                        val("--threads")?.parse().map_err(|_| "invalid --threads".to_string())?
+                }
+                "--lease-ttl-ms" => {
+                    args.ttl_ms = val("--lease-ttl-ms")?
+                        .parse()
+                        .map_err(|_| "invalid --lease-ttl-ms".to_string())?
+                }
+                "--sock" => args.sock = Some(val("--sock")?.into()),
+                "--worker-id" => {
+                    args.worker_id = val("--worker-id")?
+                        .parse()
+                        .map_err(|_| "invalid --worker-id".to_string())?
+                }
+                "--quiet" => args.quiet = true,
+                other => return Err(format!("unknown work option `{other}`")),
+            }
+        }
+        Ok(args)
+    }
+
+    pub(super) fn run_work(argv: &[String]) -> ExitCode {
+        let wargs = match parse_work(argv) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("sweep: {e}");
+                eprintln!("{WORK_USAGE}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Telemetry is best-effort: a worker without (or outliving) its
+        // supervisor still finishes the campaign.
+        let mut sock = wargs.sock.as_ref().and_then(|p| match UnixStream::connect(p) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!(
+                    "sweep: work: no supervisor at {}: {e} (continuing without telemetry)",
+                    p.display()
+                );
+                None
+            }
+        });
+        if let Some(s) = &mut sock {
+            let _ = writeln!(s, "{}", hello_line(wargs.worker_id, std::process::id()));
+        }
+        let opts =
+            WorkOptions { threads: wargs.threads, lease: LeaseConfig::with_ttl_ms(wargs.ttl_ms) };
+        let quiet = wargs.quiet;
+        let mut on_event = |e: &WorkEvent| {
+            if let Some(s) = &mut sock {
+                let _ = writeln!(s, "{}", event_line(e));
+            }
+            match e {
+                WorkEvent::Broke { shard, holder_pid, age_ms } => eprintln!(
+                    "sweep: work: broke stale lease on shard {shard} \
+                     (holder pid {holder_pid}, heartbeat {age_ms}ms old)"
+                ),
+                WorkEvent::Quarantined { shard, why } => {
+                    eprintln!("sweep: work: quarantined invalid shard {shard}: {why}")
+                }
+                WorkEvent::Committed { shard, done, total } if !quiet => {
+                    eprintln!("sweep: work: committed shard {shard} ({done}/{total})")
+                }
+                _ => {}
+            }
+        };
+        match work_campaign(&wargs.dir, &opts, &mut on_event) {
+            Ok((report, _, summary)) => {
+                if let Some(s) = &mut sock {
+                    let _ = writeln!(s, "{}", done_line(&summary));
+                }
+                eprintln!("sweep: work: {}", summary.render());
+                // Every worker reaching this point holds the complete
+                // converged report; concurrent writers commit identical
+                // bytes through the atomic-rename path.
+                match write_report_artifacts(&wargs.dir, &report) {
+                    Ok(wrote) => {
+                        if !quiet {
+                            println!(
+                                "wrote {}",
+                                wrote
+                                    .iter()
+                                    .map(|p| p.display().to_string())
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            );
+                        }
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("sweep: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("sweep: work: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    pub(super) struct ServeArgs {
+        pub(super) dir: PathBuf,
+        pub(super) workers: usize,
+        pub(super) worker_threads: usize,
+        pub(super) restart_budget: Option<usize>,
+        pub(super) ttl_ms: u64,
+        pub(super) stall_ms: u64,
+        pub(super) worker_failpoints: Option<String>,
+        pub(super) quiet: bool,
+        /// Unrecognized flags, forwarded (with their values, in order)
+        /// to the grid parser when the campaign is being created.
+        pub(super) rest: Vec<String>,
+    }
+
+    pub(super) fn parse_serve(argv: &[String]) -> Result<ServeArgs, String> {
+        let mut it = argv.iter();
+        let dir: PathBuf = match it.next() {
+            Some(d) if !d.starts_with("--") => d.into(),
+            _ => return Err("serve needs a campaign DIR as its first argument".into()),
+        };
+        let mut args = ServeArgs {
+            dir,
+            workers: 0,
+            worker_threads: 1,
+            restart_budget: None,
+            ttl_ms: LeaseConfig::default().ttl_ms,
+            stall_ms: 60_000,
+            worker_failpoints: None,
+            quiet: false,
+            rest: Vec::new(),
+        };
+        while let Some(a) = it.next() {
+            let mut val =
+                |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+            match a.as_str() {
+                "--workers" => {
+                    args.workers =
+                        val("--workers")?.parse().map_err(|_| "invalid --workers".to_string())?
+                }
+                "--worker-threads" => {
+                    args.worker_threads = val("--worker-threads")?
+                        .parse()
+                        .map_err(|_| "invalid --worker-threads".to_string())?
+                }
+                "--restart-budget" => {
+                    args.restart_budget = Some(
+                        val("--restart-budget")?
+                            .parse()
+                            .map_err(|_| "invalid --restart-budget".to_string())?,
+                    )
+                }
+                "--lease-ttl-ms" => {
+                    args.ttl_ms = val("--lease-ttl-ms")?
+                        .parse()
+                        .map_err(|_| "invalid --lease-ttl-ms".to_string())?
+                }
+                "--stall-timeout-ms" => {
+                    args.stall_ms = val("--stall-timeout-ms")?
+                        .parse()
+                        .map_err(|_| "invalid --stall-timeout-ms".to_string())?
+                }
+                "--worker-failpoints" => args.worker_failpoints = Some(val("--worker-failpoints")?),
+                "--quiet" => args.quiet = true,
+                other => args.rest.push(other.to_string()),
+            }
+        }
+        if args.workers == 0 {
+            return Err("serve needs --workers N (at least 1)".into());
+        }
+        Ok(args)
+    }
+
+    pub(super) fn run_serve(argv: &[String]) -> ExitCode {
+        let sargs = match parse_serve(argv) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("sweep: {e}");
+                eprintln!("{SERVE_USAGE}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if sargs.dir.join(MANIFEST_NAME).exists() {
+            if !sargs.rest.is_empty() {
+                eprintln!(
+                    "sweep: serve: {} already holds a campaign; `{}` conflicts — \
+                     the manifest fixes the grid, seed and shard size",
+                    sargs.dir.display(),
+                    sargs.rest.join(" ")
+                );
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = load_manifest(&sargs.dir) {
+                eprintln!("sweep: {e}");
+                return ExitCode::FAILURE;
+            }
+        } else {
+            let gargs = match parse_args(&sargs.rest) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("sweep: serve: {e}");
+                    eprintln!("{SERVE_USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if gargs.resume.is_some()
+                || gargs.list
+                || gargs.obs
+                || gargs.trace
+                || gargs.progress
+                || gargs.obs_out.is_some()
+                || gargs.trace_out.is_some()
+                || gargs.bench_json.is_some()
+            {
+                eprintln!(
+                    "sweep: serve: only grid/--seed/--shard-size flags apply when \
+                     creating a campaign"
+                );
+                return ExitCode::FAILURE;
+            }
+            if gargs.grid.is_empty() {
+                eprintln!("sweep: the selected grid is empty");
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = ensure_writable_dir(&sargs.dir) {
+                eprintln!("sweep: {e}");
+                return ExitCode::FAILURE;
+            }
+            let n = gargs.grid.len();
+            // Default to ~8 shards per worker: fine-grained enough to
+            // balance, coarse enough to amortize commit overhead.
+            let shard_size =
+                gargs.shard_size.unwrap_or_else(|| n.div_ceil(sargs.workers * 8)).max(1);
+            let opts = SweepOptions { threads: 0, campaign_seed: gargs.campaign_seed };
+            match init_campaign(&sargs.dir, &gargs.grid, &opts, shard_size) {
+                Ok(m) => eprintln!(
+                    "sweep: serve: initialized campaign ({n} scenarios, {} shards of <= \
+                     {shard_size})",
+                    m.plan().n_shards()
+                ),
+                Err(e) => {
+                    eprintln!("sweep: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let exe = match std::env::current_exe() {
+            Ok(exe) => exe,
+            Err(e) => {
+                eprintln!("sweep: cannot locate own binary to spawn workers: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut opts = ServeOptions::new(exe, sargs.workers);
+        opts.worker_threads = sargs.worker_threads;
+        if let Some(budget) = sargs.restart_budget {
+            opts.restart_budget = budget;
+        }
+        opts.lease = LeaseConfig::with_ttl_ms(sargs.ttl_ms);
+        opts.stall_timeout = Duration::from_millis(sargs.stall_ms);
+        opts.worker_failpoints = sargs.worker_failpoints.clone();
+        opts.quiet = sargs.quiet;
+        match serve_campaign(&sargs.dir, &opts) {
+            Ok((report, _, summary)) => {
+                for w in &summary.per_worker {
+                    eprintln!(
+                        "sweep: serve: worker {}: {} shards (pids {})",
+                        w.worker,
+                        w.committed,
+                        w.pids.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(",")
+                    );
+                }
+                eprintln!("sweep: serve: {}", summary.render());
+                match write_report_artifacts(&sargs.dir, &report) {
+                    Ok(wrote) => {
+                        println!(
+                            "wrote {}",
+                            wrote
+                                .iter()
+                                .map(|p| p.display().to_string())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("sweep: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("sweep: serve: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::parse_args;
@@ -692,6 +1073,51 @@ mod tests {
         for flag in ["--resume", "--shard-size"] {
             let err = parse(flag).unwrap_err();
             assert!(err.contains("needs a value"), "`{flag}` -> {err}");
+        }
+    }
+
+    #[cfg(unix)]
+    mod subcmd {
+        use crate::subcmd::{parse_serve, parse_work};
+
+        fn argv(line: &str) -> Vec<String> {
+            line.split_whitespace().map(String::from).collect()
+        }
+
+        #[test]
+        fn work_parses_its_flags_and_requires_a_dir() {
+            let args = parse_work(&argv(
+                "camp --threads 2 --lease-ttl-ms 750 --sock camp/serve.sock --worker-id 3 --quiet",
+            ))
+            .expect("valid work line");
+            assert_eq!(args.dir, std::path::Path::new("camp"));
+            assert_eq!(args.threads, 2);
+            assert_eq!(args.ttl_ms, 750);
+            assert_eq!(args.sock.as_deref(), Some(std::path::Path::new("camp/serve.sock")));
+            assert_eq!(args.worker_id, 3);
+            assert!(args.quiet);
+            for bad in ["", "--threads 2", "camp --bogus"] {
+                assert!(parse_work(&argv(bad)).is_err(), "`{bad}` must be rejected");
+            }
+        }
+
+        #[test]
+        fn serve_requires_workers_and_forwards_grid_flags_in_order() {
+            let args = parse_serve(&argv(
+                "camp --workers 4 --leakage fr --restart-budget 9 --seed 0x2A \
+                 --stall-timeout-ms 500 --shard-size 6",
+            ))
+            .expect("valid serve line");
+            assert_eq!(args.dir, std::path::Path::new("camp"));
+            assert_eq!(args.workers, 4);
+            assert_eq!(args.restart_budget, Some(9));
+            assert_eq!(args.stall_ms, 500);
+            // Unrecognized flags pass through with their values, in
+            // order, for the grid parser.
+            assert_eq!(args.rest, argv("--leakage fr --seed 0x2A --shard-size 6"));
+            let err = parse_serve(&argv("camp --leakage fr")).unwrap_err();
+            assert!(err.contains("--workers"), "{err}");
+            assert!(parse_serve(&argv("--workers 2")).is_err(), "DIR must come first");
         }
     }
 }

@@ -35,9 +35,14 @@
 use std::fmt;
 use std::fs;
 use std::io;
+use std::ops::Range;
 use std::path::{Path, PathBuf};
 
-use prefender_obs::{failpoint, is_atomic_tmp, write_atomic};
+use prefender_obs::{
+    atomic_tmp_pid, failpoint, is_atomic_tmp, pid_alive, write_atomic, ObsCounters,
+};
+
+use prefender_leakage::ResampleOptions;
 
 use crate::artifact::{SweepReport, REPORT_SCHEMA_VERSION};
 use crate::engine::{parallel_map, SweepOptions};
@@ -106,7 +111,7 @@ impl std::error::Error for CampaignError {
     }
 }
 
-fn io_err(path: &Path) -> impl FnOnce(io::Error) -> CampaignError + '_ {
+pub(crate) fn io_err(path: &Path) -> impl FnOnce(io::Error) -> CampaignError + '_ {
     move |source| CampaignError::Io { path: path.to_path_buf(), source }
 }
 
@@ -223,6 +228,10 @@ pub struct ResumeStats {
     pub quarantined: Vec<(usize, String)>,
     /// Shards executed this invocation.
     pub executed: usize,
+    /// The campaign-layer event counters of this invocation
+    /// (`shard_quarantines` here; the lease fields stay zero on the
+    /// single-process paths — `work_campaign` is where they move).
+    pub counters: ObsCounters,
 }
 
 impl ResumeStats {
@@ -254,6 +263,25 @@ pub fn run_sharded(
     opts: &SweepOptions,
     shard_size: usize,
 ) -> Result<(SweepReport, ResumeStats), CampaignError> {
+    let manifest = init_campaign(dir, grid, opts, shard_size)?;
+    execute(dir, &manifest, opts.threads, false)
+}
+
+/// Creates a campaign directory without running anything: writes the
+/// manifest (atomically) and the `shards/` subdirectory, so worker
+/// processes ([`crate::work_campaign`], `sweep work`) can start
+/// claiming shards. The directory must not already hold a campaign.
+///
+/// # Errors
+///
+/// [`CampaignError::AlreadyStarted`] if a manifest exists, or any I/O
+/// failure creating/writing the directory.
+pub fn init_campaign(
+    dir: &Path,
+    grid: &SweepGrid,
+    opts: &SweepOptions,
+    shard_size: usize,
+) -> Result<Manifest, CampaignError> {
     if shard_size == 0 {
         return Err(CampaignError::Manifest("shard size must be at least 1".into()));
     }
@@ -264,7 +292,26 @@ pub fn run_sharded(
     fs::create_dir_all(dir.join(SHARD_DIR)).map_err(io_err(dir))?;
     let manifest = Manifest { campaign_seed: opts.campaign_seed, shard_size, grid: grid.clone() };
     write_atomic(&manifest_path, manifest.encode()).map_err(io_err(&manifest_path))?;
-    execute(dir, &manifest, opts.threads, false)
+    Ok(manifest)
+}
+
+/// Loads and validates the manifest of the campaign recorded in `dir`.
+///
+/// # Errors
+///
+/// [`CampaignError::NotACampaign`] when `dir` has no manifest,
+/// [`CampaignError::Manifest`] when it has a corrupt/incompatible one.
+pub fn load_manifest(dir: &Path) -> Result<Manifest, CampaignError> {
+    let manifest_path = dir.join(MANIFEST_NAME);
+    let text = match fs::read_to_string(&manifest_path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Err(CampaignError::NotACampaign(dir.to_path_buf()))
+        }
+        Err(e) => return Err(io_err(&manifest_path)(e)),
+    };
+    Manifest::decode(&text)
+        .map_err(|e| CampaignError::Manifest(format!("{}: {e}", manifest_path.display())))
 }
 
 /// Resumes the campaign recorded in `dir`: validates existing shards
@@ -281,16 +328,7 @@ pub fn resume_sharded(
     dir: &Path,
     threads: usize,
 ) -> Result<(SweepReport, Manifest, ResumeStats), CampaignError> {
-    let manifest_path = dir.join(MANIFEST_NAME);
-    let text = match fs::read_to_string(&manifest_path) {
-        Ok(text) => text,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => {
-            return Err(CampaignError::NotACampaign(dir.to_path_buf()))
-        }
-        Err(e) => return Err(io_err(&manifest_path)(e)),
-    };
-    let manifest = Manifest::decode(&text)
-        .map_err(|e| CampaignError::Manifest(format!("{}: {e}", manifest_path.display())))?;
+    let manifest = load_manifest(dir)?;
     fs::create_dir_all(dir.join(SHARD_DIR)).map_err(io_err(dir))?;
     let (report, stats) = execute(dir, &manifest, threads, true)?;
     Ok((report, manifest, stats))
@@ -335,19 +373,13 @@ fn execute(
                 }
                 Err(why) => {
                     quarantine(dir, &path, shard).map_err(io_err(&path))?;
+                    stats.counters.shard_quarantines += 1;
                     stats.quarantined.push((shard, why));
                 }
             }
         }
-        // Run the range. Scheduling is config-major within the shard for
-        // runner reuse; results are pure functions of each scenario, so
-        // the restored index order below erases the scheduling choice.
-        let mut order: Vec<&Scenario> = scenarios[range].iter().collect();
-        order.sort_by_key(|s| s.machine_key());
-        let mut shard_results = parallel_map(&order, threads, |s| {
-            run_scenario_with(s, manifest.campaign_seed, &resample)
-        });
-        shard_results.sort_by_key(|r| r.index);
+        let shard_results =
+            run_shard_range(&scenarios, range, manifest.campaign_seed, &resample, threads);
         failpoint("shard.write").map_err(io_err(&path))?;
         write_atomic(&path, encode_shard(&header, &shard_results)).map_err(io_err(&path))?;
         failpoint("shard.commit").map_err(io_err(&path))?;
@@ -358,9 +390,46 @@ fn execute(
     Ok((SweepReport { campaign_seed: manifest.campaign_seed, results }, stats))
 }
 
+/// Runs one shard's scenario range and returns its results in index
+/// order — the **single** execution path every campaign mode shares
+/// (in-process `run_sharded`/`resume_sharded` and the multi-process
+/// worker loop in [`crate::lease`]), which is what makes a shard's
+/// bytes identical no matter which process computed them.
+///
+/// Scheduling is config-major within the shard for runner reuse;
+/// results are pure functions of each scenario, so the restored index
+/// order erases the scheduling choice.
+pub(crate) fn run_shard_range(
+    scenarios: &[Scenario],
+    range: Range<usize>,
+    campaign_seed: u64,
+    resample: &ResampleOptions,
+    threads: usize,
+) -> Vec<ScenarioResult> {
+    let mut order: Vec<&Scenario> = scenarios[range].iter().collect();
+    order.sort_by_key(|s| s.machine_key());
+    let mut shard_results =
+        parallel_map(&order, threads, |s| run_scenario_with(s, campaign_seed, resample));
+    shard_results.sort_by_key(|r| r.index);
+    shard_results
+}
+
+/// The identity header every process derives for a shard of this
+/// manifest — what binds a shard file to its campaign.
+pub(crate) fn shard_header(manifest: &Manifest, fingerprint: u64, shard: usize) -> ShardHeader {
+    let range = manifest.plan().range(shard);
+    ShardHeader {
+        shard,
+        start: range.start,
+        end: range.end,
+        campaign_seed: manifest.campaign_seed,
+        fingerprint,
+    }
+}
+
 /// Moves an invalid shard file into `quarantine/`, never overwriting an
 /// earlier incident (a numeric suffix disambiguates repeats).
-fn quarantine(dir: &Path, path: &Path, shard: usize) -> io::Result<()> {
+pub(crate) fn quarantine(dir: &Path, path: &Path, shard: usize) -> io::Result<()> {
     let qdir = dir.join(QUARANTINE_DIR);
     fs::create_dir_all(&qdir)?;
     let base = shard_file_name(shard);
@@ -373,13 +442,18 @@ fn quarantine(dir: &Path, path: &Path, shard: usize) -> io::Result<()> {
     fs::rename(path, target)
 }
 
-/// Deletes leftover `write_atomic` temporaries from a killed writer —
-/// they hold no committed data by construction.
-fn sweep_stale_tmps(shard_dir: &Path) {
+/// Deletes leftover `write_atomic` temporaries of **dead** writers —
+/// they hold no committed data by construction. Temporaries whose
+/// embedded PID is still alive are left alone: in a multi-process
+/// campaign they belong to a concurrent worker mid-write, and deleting
+/// one would fail that worker's rename. (Dead workers — including
+/// foreign PIDs from other killed processes — are exactly what this
+/// sweeps.)
+pub(crate) fn sweep_stale_tmps(shard_dir: &Path) {
     let Ok(entries) = fs::read_dir(shard_dir) else { return };
     for entry in entries.filter_map(|e| e.ok()) {
         let p = entry.path();
-        if is_atomic_tmp(&p) {
+        if is_atomic_tmp(&p) && !atomic_tmp_pid(&p).is_some_and(pid_alive) {
             let _ = fs::remove_file(&p);
         }
     }
@@ -453,28 +527,57 @@ mod tests {
         let reference = run_sweep(&grid, &opts);
         run_sharded(&dir, &grid, &opts, 2).unwrap();
         // Delete one shard, truncate another's tail, and drop a stale
-        // atomic tmp into the directory.
+        // atomic tmp (from a dead foreign PID) into the directory.
         let shards = dir.join(SHARD_DIR);
         fs::remove_file(shards.join(shard_file_name(0))).unwrap();
         let victim = shards.join(shard_file_name(2));
         let bytes = fs::read(&victim).unwrap();
         fs::write(&victim, &bytes[..bytes.len() - 7]).unwrap();
-        fs::write(shards.join("shard-00001.psd.tmp.999"), b"half-written").unwrap();
+        fs::write(shards.join("shard-00001.psd.tmp.4000000000"), b"half-written").unwrap();
         let (resumed, _, stats) = resume_sharded(&dir, 8).unwrap();
         assert_eq!(resumed, reference, "resume must reproduce the uninterrupted bytes");
         assert_eq!(stats.skipped, 1);
         assert_eq!(stats.executed, 2);
         assert_eq!(stats.quarantined.len(), 1);
         assert_eq!(stats.quarantined[0].0, 2);
+        assert_eq!(stats.counters.shard_quarantines, 1);
         // The bad shard is preserved for forensics, the tmp swept.
         assert!(dir.join(QUARANTINE_DIR).join(shard_file_name(2)).exists());
-        assert!(!shards.join("shard-00001.psd.tmp.999").exists());
+        assert!(!shards.join("shard-00001.psd.tmp.4000000000").exists());
         // A second incident at the same shard gets a fresh name.
         let bytes = fs::read(&victim).unwrap();
         fs::write(&victim, &bytes[..10]).unwrap();
         let (_, _, stats) = resume_sharded(&dir, 1).unwrap();
         assert_eq!(stats.quarantined.len(), 1);
         assert!(dir.join(QUARANTINE_DIR).join("shard-00002.psd.2").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tmp_sweep_takes_dead_foreign_pids_and_spares_live_writers() {
+        // Dead workers leave foreign-PID temporaries behind; the sweep
+        // must take those regardless of whose PID they carry — but it
+        // must never delete a temporary whose writer is still alive
+        // (a concurrent worker mid-`write_atomic` would lose its
+        // rename).
+        let dir = scratch("tmps");
+        let grid = small_grid();
+        let opts = SweepOptions { threads: 1, campaign_seed: 9 };
+        run_sharded(&dir, &grid, &opts, 2).unwrap();
+        let shards = dir.join(SHARD_DIR);
+        let dead_foreign = shards.join("shard-00000.psd.tmp.4000000000");
+        let dead_other = shards.join("shard-00002.psd.tmp.3999999999");
+        let live = shards.join(format!("shard-00001.psd.tmp.{}", std::process::id()));
+        for p in [&dead_foreign, &dead_other, &live] {
+            fs::write(p, b"in flight").unwrap();
+        }
+        let (resumed, _, _) = resume_sharded(&dir, 1).unwrap();
+        assert_eq!(resumed, run_sweep(&grid, &opts));
+        assert!(!dead_foreign.exists(), "dead foreign-pid tmp must be swept");
+        assert!(!dead_other.exists(), "every dead pid is swept, not just one pattern");
+        if prefender_obs::pid_alive(std::process::id()) {
+            assert!(live.exists(), "a live writer's tmp must survive the sweep");
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -513,7 +616,7 @@ mod tests {
 
     #[test]
     fn injected_io_failure_surfaces_and_leaves_a_resumable_directory() {
-        let _g = FAILPOINT_GATE.lock().unwrap();
+        let _g = crate::testgate::FAILPOINT_GATE.lock().unwrap();
         let dir = scratch("inject");
         let grid = small_grid();
         let opts = SweepOptions { threads: 1, campaign_seed: 5 };
@@ -531,9 +634,6 @@ mod tests {
         assert_eq!(stats.executed, 2);
         fs::remove_dir_all(&dir).unwrap();
     }
-
-    // Failpoints are process-global; serialize the tests that arm them.
-    static FAILPOINT_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn zero_shard_size_is_rejected() {

@@ -38,23 +38,35 @@ mod artifact;
 mod checkpoint;
 mod engine;
 mod grid;
+mod lease;
 pub mod perf;
 mod scenario;
+#[cfg(unix)]
+mod serve;
 mod shard;
 
 pub use artifact::{SweepReport, REPORT_SCHEMA_VERSION};
 pub use checkpoint::{
-    resume_sharded, run_sharded, CampaignError, Manifest, ResumeStats, MANIFEST_NAME,
-    QUARANTINE_DIR, SHARD_DIR,
+    init_campaign, load_manifest, resume_sharded, run_sharded, CampaignError, Manifest,
+    ResumeStats, MANIFEST_NAME, QUARANTINE_DIR, SHARD_DIR,
 };
 pub use engine::{
     parallel_map, parallel_map_2d, run_sweep, run_sweep_observed, ChunkEvent, SweepObs,
     SweepOptions, SweepTelemetry, WorkerStats,
 };
 pub use grid::{AttackCase, DefensePoint, Hierarchy, SweepGrid};
+pub use lease::{
+    claim_shard, lease_file_name, work_campaign, Claim, Heartbeat, Lease, LeaseConfig, LeaseInfo,
+    WorkEvent, WorkOptions, WorkSummary, LEASE_DIR,
+};
 pub use scenario::{
     basic_tag, run_scenario, run_scenario_with, run_scenario_with_obs, Payload, Scenario,
     ScenarioResult,
+};
+#[cfg(unix)]
+pub use serve::{
+    done_line, event_line, hello_line, serve_campaign, ServeOptions, ServeSummary, WorkerReport,
+    SERVE_SOCK,
 };
 pub use shard::{
     decode_shard, encode_shard, fnv1a64, shard_file_name, ShardHeader, ShardPlan, SHARD_MAGIC,
@@ -64,3 +76,10 @@ pub use shard::{
 // crate.
 pub use prefender_attacks::{AttackKind, Basic, DefenseConfig, NoiseSpec};
 pub use prefender_leakage::{NullTest, ResampleOptions};
+
+/// Failpoints are process-global; tests across this crate's modules
+/// that arm them serialize on this gate.
+#[cfg(test)]
+pub(crate) mod testgate {
+    pub static FAILPOINT_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+}

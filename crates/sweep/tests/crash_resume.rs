@@ -97,6 +97,69 @@ fn assert_artifacts_equal(dir: &Path, json: &[u8], csv: &[u8], what: &str) {
 }
 
 #[test]
+fn double_resume_of_a_complete_campaign_is_a_byte_identical_noop() {
+    // Resuming a campaign whose every shard is already committed must
+    // be a no-op that still regenerates ALL artifacts byte-identically
+    // — including the leakage pair — at 1 and at 8 threads. This is
+    // the idempotence contract multi-process workers lean on: any
+    // number of late resumes/workers converge on the same bytes.
+    let clean = scratch("noop-clean");
+    let camp = scratch("noop-camp");
+    const LEAK_GRID: &[&str] = &[
+        "--attacks",
+        "fr",
+        "--defenses",
+        "base,full",
+        "--leakage",
+        "fr",
+        "--secrets",
+        "4",
+        "--trials",
+        "2",
+        "--seeds",
+        "1",
+    ];
+    const ARTIFACTS: [&str; 4] = ["sweep.json", "sweep.csv", "leakage.json", "leakage.csv"];
+    let run = |extra: &[&str]| {
+        let status = Command::new(SWEEP)
+            .args(LEAK_GRID)
+            .args(extra)
+            .arg("--quiet")
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .status()
+            .expect("spawn sweep");
+        assert!(status.success(), "sweep failed: {status}");
+    };
+    let read_artifacts = |dir: &Path| -> Vec<Vec<u8>> {
+        ARTIFACTS
+            .iter()
+            .map(|n| fs::read(dir.join(n)).unwrap_or_else(|e| panic!("missing {n}: {e}")))
+            .collect()
+    };
+    run(&["--threads", "1", "--out", clean.to_str().unwrap()]);
+    let want = read_artifacts(&clean);
+    // A complete sharded campaign (16 scenarios / shard size 3 = 6
+    // shards), with the final artifacts deleted so each resume must
+    // regenerate them from the shards rather than inherit stale files.
+    run(&["--threads", "2", "--shard-size", "3", "--out", camp.to_str().unwrap()]);
+    for (threads, tag) in [("1", "first resume, 1 thread"), ("8", "second resume, 8 threads")] {
+        for name in ARTIFACTS {
+            fs::remove_file(camp.join(name)).expect(name);
+        }
+        let telemetry = resume(&camp, threads);
+        assert!(telemetry.contains("6 skipped"), "{tag}: {telemetry}");
+        assert!(telemetry.contains("0 quarantined"), "{tag}: {telemetry}");
+        assert!(telemetry.contains("0 executed"), "{tag}: {telemetry}");
+        for (name, (got, want)) in ARTIFACTS.iter().zip(read_artifacts(&camp).iter().zip(&want)) {
+            assert_eq!(got, want, "{tag}: {name} differs from the uninterrupted run");
+        }
+    }
+    fs::remove_dir_all(&clean).unwrap();
+    fs::remove_dir_all(&camp).unwrap();
+}
+
+#[test]
 fn aborted_campaign_resumes_to_identical_artifacts_single_threaded() {
     let clean = scratch("abort-clean");
     let camp = scratch("abort-camp");

@@ -89,6 +89,8 @@ fn lint_covers_the_crash_safety_modules() {
     for required in [
         "crates/sweep/src/shard.rs",
         "crates/sweep/src/checkpoint.rs",
+        "crates/sweep/src/lease.rs",
+        "crates/sweep/src/serve.rs",
         "crates/obs/src/failpoint.rs",
         "crates/obs/src/fsio.rs",
     ] {
